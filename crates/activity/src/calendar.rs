@@ -1,0 +1,215 @@
+//! Holiday calendars used when excluding days from activity profiles.
+//!
+//! The paper discards timestamps falling on weekends *and holidays*, because
+//! users change their posting habits on those days (§IV-B, §VI). The forums
+//! studied are anglophone, so we provide the US federal holiday rules; custom
+//! fixed dates can be added for other jurisdictions.
+
+use crate::civil::{CivilDate, Weekday};
+use std::collections::BTreeSet;
+
+/// A source of holiday dates, queried per-date while building activity
+/// profiles.
+pub trait HolidayCalendar {
+    /// Returns `true` if `date` is a holiday under this calendar.
+    fn is_holiday(&self, date: CivilDate) -> bool;
+
+    /// Convenience: `true` when the date should be excluded from a profile
+    /// because it is a weekend or a holiday.
+    fn is_excluded(&self, date: CivilDate) -> bool {
+        date.weekday().is_weekend() || self.is_holiday(date)
+    }
+}
+
+/// A calendar with no holidays; only weekends are excluded.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NoHolidays;
+
+impl HolidayCalendar for NoHolidays {
+    fn is_holiday(&self, _date: CivilDate) -> bool {
+        false
+    }
+}
+
+/// The ten US federal holidays, computed by rule for any year.
+///
+/// ```
+/// use darklight_activity::calendar::{HolidayCalendar, UsFederalHolidays};
+/// use darklight_activity::civil::CivilDate;
+///
+/// let cal = UsFederalHolidays::new();
+/// assert!(cal.is_holiday(CivilDate::new(2017, 7, 4).unwrap()));   // July 4th
+/// assert!(cal.is_holiday(CivilDate::new(2017, 11, 23).unwrap())); // Thanksgiving
+/// assert!(!cal.is_holiday(CivilDate::new(2017, 7, 5).unwrap()));
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct UsFederalHolidays {
+    _private: (),
+}
+
+impl UsFederalHolidays {
+    /// Creates the calendar.
+    pub fn new() -> UsFederalHolidays {
+        UsFederalHolidays::default()
+    }
+
+    /// All federal holidays of a given year, in date order.
+    pub fn holidays_for_year(&self, year: i32) -> Vec<CivilDate> {
+        let d = |m, day| CivilDate::new(year, m, day).expect("fixed holiday date is valid");
+        let nth = |m, wd, n| {
+            CivilDate::nth_weekday_of_month(year, m, wd, n).expect("rule holiday exists")
+        };
+        let last = |m, wd| CivilDate::last_weekday_of_month(year, m, wd).expect("month non-empty");
+        vec![
+            d(1, 1),                          // New Year's Day
+            nth(1, Weekday::Monday, 3),       // Martin Luther King Jr. Day
+            nth(2, Weekday::Monday, 3),       // Washington's Birthday
+            last(5, Weekday::Monday),         // Memorial Day
+            d(7, 4),                          // Independence Day
+            nth(9, Weekday::Monday, 1),       // Labor Day
+            nth(10, Weekday::Monday, 2),      // Columbus Day
+            d(11, 11),                        // Veterans Day
+            nth(11, Weekday::Thursday, 4),    // Thanksgiving
+            d(12, 25),                        // Christmas
+        ]
+    }
+}
+
+impl HolidayCalendar for UsFederalHolidays {
+    fn is_holiday(&self, date: CivilDate) -> bool {
+        self.holidays_for_year(date.year()).contains(&date)
+    }
+}
+
+/// A calendar made of an explicit set of dates, optionally layered on top of
+/// another calendar (e.g. US federal holidays plus a local festival).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FixedDates {
+    dates: BTreeSet<CivilDate>,
+}
+
+impl FixedDates {
+    /// Creates an empty fixed-date calendar.
+    pub fn new() -> FixedDates {
+        FixedDates::default()
+    }
+
+    /// Adds a holiday date.
+    pub fn insert(&mut self, date: CivilDate) -> &mut FixedDates {
+        self.dates.insert(date);
+        self
+    }
+
+    /// Number of dates in the calendar.
+    pub fn len(&self) -> usize {
+        self.dates.len()
+    }
+
+    /// Returns `true` when the calendar holds no dates.
+    pub fn is_empty(&self) -> bool {
+        self.dates.is_empty()
+    }
+}
+
+impl FromIterator<CivilDate> for FixedDates {
+    fn from_iter<I: IntoIterator<Item = CivilDate>>(iter: I) -> FixedDates {
+        FixedDates {
+            dates: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl Extend<CivilDate> for FixedDates {
+    fn extend<I: IntoIterator<Item = CivilDate>>(&mut self, iter: I) {
+        self.dates.extend(iter);
+    }
+}
+
+impl HolidayCalendar for FixedDates {
+    fn is_holiday(&self, date: CivilDate) -> bool {
+        self.dates.contains(&date)
+    }
+}
+
+/// The union of two calendars: a date is a holiday if either side says so.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Union<A, B>(pub A, pub B);
+
+impl<A: HolidayCalendar, B: HolidayCalendar> HolidayCalendar for Union<A, B> {
+    fn is_holiday(&self, date: CivilDate) -> bool {
+        self.0.is_holiday(date) || self.1.is_holiday(date)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn date(y: i32, m: u8, d: u8) -> CivilDate {
+        CivilDate::new(y, m, d).unwrap()
+    }
+
+    #[test]
+    fn us_2017_holidays() {
+        let cal = UsFederalHolidays::new();
+        let hs = cal.holidays_for_year(2017);
+        assert_eq!(hs.len(), 10);
+        let expected = [
+            date(2017, 1, 1),
+            date(2017, 1, 16),
+            date(2017, 2, 20),
+            date(2017, 5, 29),
+            date(2017, 7, 4),
+            date(2017, 9, 4),
+            date(2017, 10, 9),
+            date(2017, 11, 11),
+            date(2017, 11, 23),
+            date(2017, 12, 25),
+        ];
+        assert_eq!(hs, expected);
+    }
+
+    #[test]
+    fn excluded_covers_weekends_and_holidays() {
+        let cal = UsFederalHolidays::new();
+        assert!(cal.is_excluded(date(2017, 1, 7))); // Saturday
+        assert!(cal.is_excluded(date(2017, 7, 4))); // Tuesday, holiday
+        assert!(!cal.is_excluded(date(2017, 7, 5))); // Wednesday, ordinary
+    }
+
+    #[test]
+    fn no_holidays_excludes_only_weekends() {
+        let cal = NoHolidays;
+        assert!(!cal.is_holiday(date(2017, 12, 25)));
+        assert!(cal.is_excluded(date(2017, 12, 24))); // Sunday
+        assert!(!cal.is_excluded(date(2017, 12, 25))); // Monday
+    }
+
+    #[test]
+    fn fixed_dates_and_union() {
+        let mut local = FixedDates::new();
+        local.insert(date(2017, 6, 2)); // Italian Republic Day (a Friday)
+        assert_eq!(local.len(), 1);
+        assert!(!local.is_empty());
+        let both = Union(UsFederalHolidays::new(), local);
+        assert!(both.is_holiday(date(2017, 6, 2)));
+        assert!(both.is_holiday(date(2017, 7, 4)));
+        assert!(!both.is_holiday(date(2017, 6, 5)));
+    }
+
+    #[test]
+    fn fixed_dates_from_iterator() {
+        let cal: FixedDates = [date(2017, 1, 6), date(2017, 8, 15)].into_iter().collect();
+        assert_eq!(cal.len(), 2);
+        assert!(cal.is_holiday(date(2017, 8, 15)));
+    }
+
+    #[test]
+    fn holidays_differ_across_years() {
+        let cal = UsFederalHolidays::new();
+        // Thanksgiving moves: 2017-11-23 vs 2018-11-22.
+        assert!(cal.is_holiday(date(2017, 11, 23)));
+        assert!(cal.is_holiday(date(2018, 11, 22)));
+        assert!(!cal.is_holiday(date(2018, 11, 23)));
+    }
+}

@@ -1,0 +1,457 @@
+//! Proleptic-Gregorian civil-time arithmetic.
+//!
+//! Implements the minimal calendar algebra the pipeline needs — converting
+//! unix timestamps to calendar dates and hours (and back), and computing
+//! weekdays — using the classic days-from-civil / civil-from-days algorithms
+//! (Howard Hinnant's formulation). Everything is UTC; per-forum timezone
+//! offsets are applied as plain second shifts before conversion.
+
+use std::fmt;
+
+/// Seconds in a civil day.
+pub const SECS_PER_DAY: i64 = 86_400;
+
+/// A day of the week. `Monday` through `Sunday`, ISO order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Weekday {
+    /// Monday (ISO weekday 1).
+    Monday,
+    /// Tuesday (ISO weekday 2).
+    Tuesday,
+    /// Wednesday (ISO weekday 3).
+    Wednesday,
+    /// Thursday (ISO weekday 4).
+    Thursday,
+    /// Friday (ISO weekday 5).
+    Friday,
+    /// Saturday (ISO weekday 6).
+    Saturday,
+    /// Sunday (ISO weekday 7).
+    Sunday,
+}
+
+impl Weekday {
+    /// All weekdays in ISO order, Monday first.
+    pub const ALL: [Weekday; 7] = [
+        Weekday::Monday,
+        Weekday::Tuesday,
+        Weekday::Wednesday,
+        Weekday::Thursday,
+        Weekday::Friday,
+        Weekday::Saturday,
+        Weekday::Sunday,
+    ];
+
+    /// Returns `true` for Saturday and Sunday.
+    ///
+    /// ```
+    /// use darklight_activity::civil::Weekday;
+    /// assert!(Weekday::Saturday.is_weekend());
+    /// assert!(!Weekday::Wednesday.is_weekend());
+    /// ```
+    pub fn is_weekend(self) -> bool {
+        matches!(self, Weekday::Saturday | Weekday::Sunday)
+    }
+
+    /// ISO weekday number: Monday = 1 … Sunday = 7.
+    pub fn iso_number(self) -> u8 {
+        match self {
+            Weekday::Monday => 1,
+            Weekday::Tuesday => 2,
+            Weekday::Wednesday => 3,
+            Weekday::Thursday => 4,
+            Weekday::Friday => 5,
+            Weekday::Saturday => 6,
+            Weekday::Sunday => 7,
+        }
+    }
+
+    fn from_days_from_epoch(days: i64) -> Weekday {
+        // 1970-01-01 was a Thursday.
+        let idx = (days + 3).rem_euclid(7); // 0 = Monday
+        Weekday::ALL[idx as usize]
+    }
+}
+
+impl fmt::Display for Weekday {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            Weekday::Monday => "Monday",
+            Weekday::Tuesday => "Tuesday",
+            Weekday::Wednesday => "Wednesday",
+            Weekday::Thursday => "Thursday",
+            Weekday::Friday => "Friday",
+            Weekday::Saturday => "Saturday",
+            Weekday::Sunday => "Sunday",
+        };
+        f.write_str(name)
+    }
+}
+
+/// A calendar date in the proleptic Gregorian calendar (UTC).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct CivilDate {
+    year: i32,
+    month: u8,
+    day: u8,
+}
+
+impl CivilDate {
+    /// Creates a date, validating the month and the day-of-month range.
+    ///
+    /// Returns `None` for out-of-range components (e.g. February 30).
+    ///
+    /// ```
+    /// use darklight_activity::civil::CivilDate;
+    /// assert!(CivilDate::new(2017, 2, 29).is_none());
+    /// assert!(CivilDate::new(2016, 2, 29).is_some());
+    /// ```
+    pub fn new(year: i32, month: u8, day: u8) -> Option<CivilDate> {
+        if !(1..=12).contains(&month) {
+            return None;
+        }
+        if day == 0 || day > days_in_month(year, month) {
+            return None;
+        }
+        Some(CivilDate { year, month, day })
+    }
+
+    /// The calendar year.
+    pub fn year(self) -> i32 {
+        self.year
+    }
+
+    /// The calendar month, 1–12.
+    pub fn month(self) -> u8 {
+        self.month
+    }
+
+    /// The day of month, 1-based.
+    pub fn day(self) -> u8 {
+        self.day
+    }
+
+    /// Number of days since the unix epoch (1970-01-01 = 0; earlier dates
+    /// are negative).
+    pub fn days_from_epoch(self) -> i64 {
+        days_from_civil(self.year, self.month, self.day)
+    }
+
+    /// Builds a date from a count of days since the unix epoch.
+    pub fn from_days_from_epoch(days: i64) -> CivilDate {
+        let (year, month, day) = civil_from_days(days);
+        CivilDate { year, month, day }
+    }
+
+    /// The weekday this date falls on.
+    ///
+    /// ```
+    /// use darklight_activity::civil::{CivilDate, Weekday};
+    /// let date = CivilDate::new(2017, 1, 1).unwrap();
+    /// assert_eq!(date.weekday(), Weekday::Sunday);
+    /// ```
+    pub fn weekday(self) -> Weekday {
+        Weekday::from_days_from_epoch(self.days_from_epoch())
+    }
+
+    /// The date `n` days after this one (negative `n` goes backwards).
+    pub fn plus_days(self, n: i64) -> CivilDate {
+        CivilDate::from_days_from_epoch(self.days_from_epoch() + n)
+    }
+
+    /// The n-th (1-based) occurrence of `weekday` within this date's month,
+    /// e.g. the 3rd Monday of January. Returns `None` when the month has no
+    /// n-th occurrence (n = 5 in short months).
+    pub fn nth_weekday_of_month(year: i32, month: u8, weekday: Weekday, n: u8) -> Option<CivilDate> {
+        if n == 0 || !(1..=12).contains(&month) {
+            return None;
+        }
+        let first = CivilDate::new(year, month, 1)?;
+        let offset =
+            (weekday.iso_number() as i64 - first.weekday().iso_number() as i64).rem_euclid(7);
+        let day = 1 + offset + 7 * (n as i64 - 1);
+        if day > days_in_month(year, month) as i64 {
+            None
+        } else {
+            CivilDate::new(year, month, day as u8)
+        }
+    }
+
+    /// The last occurrence of `weekday` within this date's month, e.g. the
+    /// last Monday of May.
+    pub fn last_weekday_of_month(year: i32, month: u8, weekday: Weekday) -> Option<CivilDate> {
+        let last_day = days_in_month(year, month);
+        let last = CivilDate::new(year, month, last_day)?;
+        let back =
+            (last.weekday().iso_number() as i64 - weekday.iso_number() as i64).rem_euclid(7);
+        Some(last.plus_days(-back))
+    }
+}
+
+impl fmt::Display for CivilDate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:04}-{:02}-{:02}", self.year, self.month, self.day)
+    }
+}
+
+/// A calendar date plus a time of day, second resolution, UTC.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct CivilDateTime {
+    date: CivilDate,
+    hour: u8,
+    minute: u8,
+    second: u8,
+}
+
+impl CivilDateTime {
+    /// Converts a unix timestamp (seconds, UTC) to civil time.
+    ///
+    /// ```
+    /// use darklight_activity::civil::CivilDateTime;
+    /// let dt = CivilDateTime::from_unix(1_483_228_800); // 2017-01-01T00:00:00Z
+    /// assert_eq!(dt.date().year(), 2017);
+    /// assert_eq!(dt.hour(), 0);
+    /// ```
+    pub fn from_unix(unix: i64) -> CivilDateTime {
+        let days = unix.div_euclid(SECS_PER_DAY);
+        let secs = unix.rem_euclid(SECS_PER_DAY);
+        CivilDateTime {
+            date: CivilDate::from_days_from_epoch(days),
+            hour: (secs / 3600) as u8,
+            minute: (secs % 3600 / 60) as u8,
+            second: (secs % 60) as u8,
+        }
+    }
+
+    /// Builds a civil date-time from components. Returns `None` when the
+    /// date is invalid or the time of day is out of range.
+    pub fn new(
+        year: i32,
+        month: u8,
+        day: u8,
+        hour: u8,
+        minute: u8,
+        second: u8,
+    ) -> Option<CivilDateTime> {
+        if hour > 23 || minute > 59 || second > 59 {
+            return None;
+        }
+        Some(CivilDateTime {
+            date: CivilDate::new(year, month, day)?,
+            hour,
+            minute,
+            second,
+        })
+    }
+
+    /// Converts back to a unix timestamp in seconds.
+    pub fn to_unix(self) -> i64 {
+        self.date.days_from_epoch() * SECS_PER_DAY
+            + self.hour as i64 * 3600
+            + self.minute as i64 * 60
+            + self.second as i64
+    }
+
+    /// The date component.
+    pub fn date(self) -> CivilDate {
+        self.date
+    }
+
+    /// Hour of day, 0–23.
+    pub fn hour(self) -> u8 {
+        self.hour
+    }
+
+    /// Minute, 0–59.
+    pub fn minute(self) -> u8 {
+        self.minute
+    }
+
+    /// Second, 0–59.
+    pub fn second(self) -> u8 {
+        self.second
+    }
+}
+
+impl fmt::Display for CivilDateTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}T{:02}:{:02}:{:02}Z",
+            self.date, self.hour, self.minute, self.second
+        )
+    }
+}
+
+/// Returns `true` if `year` is a Gregorian leap year.
+///
+/// ```
+/// use darklight_activity::civil::is_leap_year;
+/// assert!(is_leap_year(2016));
+/// assert!(!is_leap_year(1900));
+/// assert!(is_leap_year(2000));
+/// ```
+pub fn is_leap_year(year: i32) -> bool {
+    year % 4 == 0 && (year % 100 != 0 || year % 400 == 0)
+}
+
+/// Number of days in the given month of the given year.
+pub fn days_in_month(year: i32, month: u8) -> u8 {
+    match month {
+        1 | 3 | 5 | 7 | 8 | 10 | 12 => 31,
+        4 | 6 | 9 | 11 => 30,
+        2 => {
+            if is_leap_year(year) {
+                29
+            } else {
+                28
+            }
+        }
+        _ => 0,
+    }
+}
+
+// Hinnant's days_from_civil: days since 1970-01-01.
+fn days_from_civil(y: i32, m: u8, d: u8) -> i64 {
+    let y = y as i64 - if m <= 2 { 1 } else { 0 };
+    let era = if y >= 0 { y } else { y - 399 } / 400;
+    let yoe = y - era * 400; // [0, 399]
+    let mp = (m as i64 + 9) % 12; // March = 0
+    let doy = (153 * mp + 2) / 5 + d as i64 - 1; // [0, 365]
+    let doe = yoe * 365 + yoe / 4 - yoe / 100 + doy; // [0, 146096]
+    era * 146_097 + doe - 719_468
+}
+
+// Hinnant's civil_from_days: inverse of the above.
+fn civil_from_days(z: i64) -> (i32, u8, u8) {
+    let z = z + 719_468;
+    let era = if z >= 0 { z } else { z - 146_096 } / 146_097;
+    let doe = z - era * 146_097; // [0, 146096]
+    let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365; // [0, 399]
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100); // [0, 365]
+    let mp = (5 * doy + 2) / 153; // [0, 11]
+    let d = doy - (153 * mp + 2) / 5 + 1; // [1, 31]
+    let m = if mp < 10 { mp + 3 } else { mp - 9 }; // [1, 12]
+    ((y + if m <= 2 { 1 } else { 0 }) as i32, m as u8, d as u8)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epoch_is_thursday() {
+        let d = CivilDate::from_days_from_epoch(0);
+        assert_eq!(d, CivilDate::new(1970, 1, 1).unwrap());
+        assert_eq!(d.weekday(), Weekday::Thursday);
+    }
+
+    #[test]
+    fn known_dates_round_trip() {
+        let cases = [
+            (0, (1970, 1, 1)),
+            (1_483_228_800, (2017, 1, 1)),
+            (1_514_764_799, (2017, 12, 31)),
+            (951_782_400, (2000, 2, 29)),
+            (-86_400, (1969, 12, 31)),
+        ];
+        for (unix, (y, m, d)) in cases {
+            let dt = CivilDateTime::from_unix(unix);
+            assert_eq!(
+                (dt.date().year(), dt.date().month(), dt.date().day()),
+                (y, m, d),
+                "unix={unix}"
+            );
+        }
+    }
+
+    #[test]
+    fn to_unix_inverts_from_unix() {
+        for unix in [0i64, 1, -1, 1_500_000_000, -1_000_000_000, 86_399, 86_400] {
+            assert_eq!(CivilDateTime::from_unix(unix).to_unix(), unix);
+        }
+    }
+
+    #[test]
+    fn hours_minutes_seconds_extracted() {
+        // 2017-06-15T13:45:30Z
+        let dt = CivilDateTime::new(2017, 6, 15, 13, 45, 30).unwrap();
+        let back = CivilDateTime::from_unix(dt.to_unix());
+        assert_eq!(back, dt);
+        assert_eq!(back.hour(), 13);
+        assert_eq!(back.minute(), 45);
+        assert_eq!(back.second(), 30);
+    }
+
+    #[test]
+    fn invalid_dates_rejected() {
+        assert!(CivilDate::new(2017, 0, 1).is_none());
+        assert!(CivilDate::new(2017, 13, 1).is_none());
+        assert!(CivilDate::new(2017, 2, 29).is_none());
+        assert!(CivilDate::new(2017, 4, 31).is_none());
+        assert!(CivilDate::new(2017, 1, 0).is_none());
+        assert!(CivilDateTime::new(2017, 1, 1, 24, 0, 0).is_none());
+    }
+
+    #[test]
+    fn leap_year_rules() {
+        assert!(is_leap_year(2016));
+        assert!(is_leap_year(2000));
+        assert!(!is_leap_year(1900));
+        assert!(!is_leap_year(2017));
+        assert_eq!(days_in_month(2016, 2), 29);
+        assert_eq!(days_in_month(2017, 2), 28);
+    }
+
+    #[test]
+    fn weekday_progression() {
+        // 2017-01-01 was a Sunday; subsequent days cycle in ISO order.
+        let base = CivilDate::new(2017, 1, 1).unwrap();
+        let expect = [
+            Weekday::Sunday,
+            Weekday::Monday,
+            Weekday::Tuesday,
+            Weekday::Wednesday,
+            Weekday::Thursday,
+            Weekday::Friday,
+            Weekday::Saturday,
+        ];
+        for (i, wd) in expect.iter().enumerate() {
+            assert_eq!(base.plus_days(i as i64).weekday(), *wd);
+        }
+    }
+
+    #[test]
+    fn nth_weekday() {
+        // MLK day 2017: 3rd Monday of January = Jan 16.
+        let mlk = CivilDate::nth_weekday_of_month(2017, 1, Weekday::Monday, 3).unwrap();
+        assert_eq!(mlk, CivilDate::new(2017, 1, 16).unwrap());
+        // Thanksgiving 2017: 4th Thursday of November = Nov 23.
+        let tg = CivilDate::nth_weekday_of_month(2017, 11, Weekday::Thursday, 4).unwrap();
+        assert_eq!(tg, CivilDate::new(2017, 11, 23).unwrap());
+        // No 5th Monday in February 2017.
+        assert!(CivilDate::nth_weekday_of_month(2017, 2, Weekday::Monday, 5).is_none());
+    }
+
+    #[test]
+    fn last_weekday() {
+        // Memorial day 2017: last Monday of May = May 29.
+        let md = CivilDate::last_weekday_of_month(2017, 5, Weekday::Monday).unwrap();
+        assert_eq!(md, CivilDate::new(2017, 5, 29).unwrap());
+    }
+
+    #[test]
+    fn display_formats() {
+        let dt = CivilDateTime::new(2017, 3, 5, 7, 8, 9).unwrap();
+        assert_eq!(dt.to_string(), "2017-03-05T07:08:09Z");
+        assert_eq!(dt.date().to_string(), "2017-03-05");
+        assert_eq!(Weekday::Friday.to_string(), "Friday");
+    }
+
+    #[test]
+    fn negative_timestamps() {
+        let dt = CivilDateTime::from_unix(-1);
+        assert_eq!(dt.to_string(), "1969-12-31T23:59:59Z");
+    }
+}

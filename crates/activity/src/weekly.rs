@@ -1,0 +1,199 @@
+//! Weekly activity profiles: the 7×24 extension of the daily profile.
+//!
+//! The paper discards weekend posts because "users typically change their
+//! habits" on those days (§IV-B) — which means the weekday/weekend *split
+//! itself* is signal. A [`WeeklyProfile`] keeps the full 168-bin
+//! hour-of-week histogram, letting analyses compare weekday and weekend
+//! behaviour, and provides Jensen-Shannon divergence as a
+//! bounded, symmetric alternative to cosine for distribution comparison.
+
+use crate::civil::CivilDateTime;
+
+/// Bins per week (7 days × 24 hours).
+pub const WEEK_HOURS: usize = 168;
+
+/// A normalized 168-bin hour-of-week profile. Bin `d * 24 + h` holds the
+/// share of posts in hour `h` of ISO weekday `d` (0 = Monday).
+#[derive(Debug, Clone, PartialEq)]
+pub struct WeeklyProfile {
+    shares: Vec<f64>,
+    total: u32,
+}
+
+impl WeeklyProfile {
+    /// Builds a profile from unix timestamps (UTC). Returns `None` when
+    /// `timestamps` is empty.
+    pub fn from_timestamps(timestamps: &[i64]) -> Option<WeeklyProfile> {
+        if timestamps.is_empty() {
+            return None;
+        }
+        let mut counts = vec![0u32; WEEK_HOURS];
+        for &t in timestamps {
+            let dt = CivilDateTime::from_unix(t);
+            let day = dt.date().weekday().iso_number() as usize - 1;
+            counts[day * 24 + dt.hour() as usize] += 1;
+        }
+        let total: u32 = counts.iter().sum();
+        let shares = counts
+            .iter()
+            .map(|&c| c as f64 / total as f64)
+            .collect();
+        Some(WeeklyProfile {
+            shares,
+            total,
+        })
+    }
+
+    /// The share of posts in hour `h` of ISO weekday `d` (0 = Monday).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `day >= 7` or `hour >= 24`.
+    pub fn share(&self, day: usize, hour: usize) -> f64 {
+        assert!(day < 7 && hour < 24, "bin out of range");
+        self.shares[day * 24 + hour]
+    }
+
+    /// Total posts behind the profile.
+    pub fn total_posts(&self) -> u32 {
+        self.total
+    }
+
+    /// All 168 shares in (day, hour) order.
+    pub fn shares(&self) -> &[f64] {
+        &self.shares
+    }
+
+    /// Fraction of activity on Saturday/Sunday.
+    pub fn weekend_share(&self) -> f64 {
+        self.shares[5 * 24..].iter().sum()
+    }
+
+    /// Cosine similarity with another weekly profile.
+    pub fn cosine(&self, other: &WeeklyProfile) -> f64 {
+        let dot: f64 = self
+            .shares
+            .iter()
+            .zip(&other.shares)
+            .map(|(a, b)| a * b)
+            .sum();
+        let na: f64 = self.shares.iter().map(|a| a * a).sum::<f64>().sqrt();
+        let nb: f64 = other.shares.iter().map(|b| b * b).sum::<f64>().sqrt();
+        if na == 0.0 || nb == 0.0 {
+            0.0
+        } else {
+            dot / (na * nb)
+        }
+    }
+
+    /// Jensen-Shannon divergence with another profile, in bits; 0 for
+    /// identical distributions, 1 for disjoint supports.
+    pub fn js_divergence(&self, other: &WeeklyProfile) -> f64 {
+        let kl = |p: &[f64], q: &[f64]| -> f64 {
+            p.iter()
+                .zip(q)
+                .filter(|&(&pi, _)| pi > 0.0)
+                .map(|(&pi, &qi)| pi * (pi / qi).log2())
+                .sum()
+        };
+        let m: Vec<f64> = self
+            .shares
+            .iter()
+            .zip(&other.shares)
+            .map(|(a, b)| (a + b) / 2.0)
+            .collect();
+        (kl(&self.shares, &m) + kl(&other.shares, &m)) / 2.0
+    }
+
+    /// Collapses to a 24-bin daily view (summing over weekdays).
+    pub fn daily_shares(&self) -> [f64; 24] {
+        let mut out = [0.0; 24];
+        for day in 0..7 {
+            for (hour, o) in out.iter_mut().enumerate() {
+                *o += self.shares[day * 24 + hour];
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::civil::CivilDateTime;
+
+    fn at(y: i32, m: u8, d: u8, h: u8) -> i64 {
+        CivilDateTime::new(y, m, d, h, 0, 0).unwrap().to_unix()
+    }
+
+    #[test]
+    fn bins_by_weekday_and_hour() {
+        // 2017-02-06 is a Monday; 2017-02-11 a Saturday.
+        let ts = [at(2017, 2, 6, 9), at(2017, 2, 6, 9), at(2017, 2, 11, 22)];
+        let p = WeeklyProfile::from_timestamps(&ts).unwrap();
+        assert!((p.share(0, 9) - 2.0 / 3.0).abs() < 1e-12);
+        assert!((p.share(5, 22) - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(p.total_posts(), 3);
+    }
+
+    #[test]
+    fn weekend_share() {
+        let ts = [
+            at(2017, 2, 6, 9),  // Mon
+            at(2017, 2, 11, 9), // Sat
+            at(2017, 2, 12, 9), // Sun
+            at(2017, 2, 8, 9),  // Wed
+        ];
+        let p = WeeklyProfile::from_timestamps(&ts).unwrap();
+        assert!((p.weekend_share() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn shares_sum_to_one() {
+        let ts: Vec<i64> = (0..100).map(|i| at(2017, 3, 1, 0) + i * 3671).collect();
+        let p = WeeklyProfile::from_timestamps(&ts).unwrap();
+        let sum: f64 = p.shares().iter().sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_rejected() {
+        assert!(WeeklyProfile::from_timestamps(&[]).is_none());
+    }
+
+    #[test]
+    fn cosine_self_is_one() {
+        let ts = [at(2017, 2, 6, 9), at(2017, 2, 7, 20)];
+        let p = WeeklyProfile::from_timestamps(&ts).unwrap();
+        assert!((p.cosine(&p) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn js_divergence_bounds() {
+        let a = WeeklyProfile::from_timestamps(&[at(2017, 2, 6, 9)]).unwrap();
+        let b = WeeklyProfile::from_timestamps(&[at(2017, 2, 7, 20)]).unwrap();
+        assert_eq!(a.js_divergence(&a), 0.0);
+        // Disjoint supports: exactly 1 bit.
+        assert!((a.js_divergence(&b) - 1.0).abs() < 1e-12);
+        // Symmetric.
+        assert!((a.js_divergence(&b) - b.js_divergence(&a)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn daily_collapse_matches() {
+        let ts = [at(2017, 2, 6, 9), at(2017, 2, 7, 9), at(2017, 2, 8, 21)];
+        let p = WeeklyProfile::from_timestamps(&ts).unwrap();
+        let daily = p.daily_shares();
+        assert!((daily[9] - 2.0 / 3.0).abs() < 1e-12);
+        assert!((daily[21] - 1.0 / 3.0).abs() < 1e-12);
+        let sum: f64 = daily.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "bin out of range")]
+    fn share_bounds_checked() {
+        let p = WeeklyProfile::from_timestamps(&[at(2017, 2, 6, 9)]).unwrap();
+        p.share(7, 0);
+    }
+}

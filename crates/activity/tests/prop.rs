@@ -1,0 +1,106 @@
+//! Property-based tests for the civil-time and profile substrate.
+
+use darklight_activity::civil::{days_in_month, CivilDate, CivilDateTime};
+use darklight_activity::profile::{DailyActivityProfile, ProfileBuilder, ProfilePolicy, HOURS};
+use proptest::prelude::*;
+
+proptest! {
+    /// Unix -> civil -> unix is the identity over a ±200-year range.
+    #[test]
+    fn unix_civil_round_trip(unix in -6_000_000_000i64..6_000_000_000i64) {
+        let dt = CivilDateTime::from_unix(unix);
+        prop_assert_eq!(dt.to_unix(), unix);
+    }
+
+    /// Civil components produced by conversion are always in range.
+    #[test]
+    fn civil_components_in_range(unix in -6_000_000_000i64..6_000_000_000i64) {
+        let dt = CivilDateTime::from_unix(unix);
+        let d = dt.date();
+        prop_assert!((1..=12).contains(&d.month()));
+        prop_assert!(d.day() >= 1 && d.day() <= days_in_month(d.year(), d.month()));
+        prop_assert!(dt.hour() < 24);
+        prop_assert!(dt.minute() < 60);
+        prop_assert!(dt.second() < 60);
+    }
+
+    /// Consecutive days have consecutive weekdays (mod 7).
+    #[test]
+    fn weekday_advances_by_one(days in -100_000i64..100_000i64) {
+        let a = CivilDate::from_days_from_epoch(days);
+        let b = CivilDate::from_days_from_epoch(days + 1);
+        let wa = a.weekday().iso_number() as i64;
+        let wb = b.weekday().iso_number() as i64;
+        prop_assert_eq!((wa % 7) + 1, wb);
+    }
+
+    /// Profiles are normalized: shares sum to 1 and lie in [0, 1].
+    #[test]
+    fn profile_is_normalized(counts in proptest::array::uniform24(0u32..50)) {
+        prop_assume!(counts.iter().any(|&c| c > 0));
+        let p = DailyActivityProfile::from_counts(counts).unwrap();
+        let sum: f64 = p.shares().iter().sum();
+        prop_assert!((sum - 1.0).abs() < 1e-9);
+        prop_assert!(p.shares().iter().all(|&s| (0.0..=1.0).contains(&s)));
+    }
+
+    /// Cosine similarity between profiles is symmetric and in [0, 1];
+    /// self-similarity is 1.
+    #[test]
+    fn profile_cosine_bounds(
+        a in proptest::array::uniform24(0u32..50),
+        b in proptest::array::uniform24(0u32..50),
+    ) {
+        prop_assume!(a.iter().any(|&c| c > 0) && b.iter().any(|&c| c > 0));
+        let pa = DailyActivityProfile::from_counts(a).unwrap();
+        let pb = DailyActivityProfile::from_counts(b).unwrap();
+        let s = pa.cosine(&pb);
+        prop_assert!((-1e-12..=1.0 + 1e-12).contains(&s));
+        prop_assert!((pa.cosine(&pb) - pb.cosine(&pa)).abs() < 1e-12);
+        prop_assert!((pa.cosine(&pa) - 1.0).abs() < 1e-12);
+    }
+
+    /// Rotating by any amount and back is the identity, and rotation
+    /// preserves the post total.
+    #[test]
+    fn rotation_invertible(
+        counts in proptest::array::uniform24(0u32..50),
+        shift in -48i32..48,
+    ) {
+        prop_assume!(counts.iter().any(|&c| c > 0));
+        let p = DailyActivityProfile::from_counts(counts).unwrap();
+        let r = p.rotate(shift);
+        prop_assert_eq!(r.total_posts(), p.total_posts());
+        prop_assert_eq!(r.rotate(-shift), p);
+    }
+
+    /// The builder never counts weekend timestamps under the default policy.
+    #[test]
+    fn weekends_never_counted(offsets in proptest::collection::vec(0i64..365 * 86_400, 1..80)) {
+        let base = 1_483_228_800i64; // 2017-01-01T00:00:00Z
+        let ts: Vec<i64> = offsets.iter().map(|o| base + o).collect();
+        let b = ProfileBuilder::new(ProfilePolicy::default().with_min_timestamps(1));
+        match b.build(&ts) {
+            Ok(p) => {
+                prop_assert_eq!(p.total_posts() as usize, b.usable_count(&ts));
+                prop_assert!(p.total_posts() as usize <= ts.len());
+            }
+            Err(_) => prop_assert_eq!(b.usable_count(&ts), 0),
+        }
+    }
+
+    /// Hour binning matches civil conversion for arbitrary timestamps.
+    #[test]
+    fn hour_binning_matches_civil(unix in 1_483_228_800i64..1_514_764_800i64) {
+        let b = ProfileBuilder::new(ProfilePolicy::keep_everything());
+        let p = b.build(&[unix]).unwrap();
+        let hour = CivilDateTime::from_unix(unix).hour() as usize;
+        prop_assert_eq!(p.count(hour), 1);
+        prop_assert_eq!(p.total_posts(), 1);
+        for h in 0..HOURS {
+            if h != hour {
+                prop_assert_eq!(p.count(h), 0);
+            }
+        }
+    }
+}

@@ -1,0 +1,56 @@
+//! The §IV-F wall-clock race: Standard baseline vs Koppel baseline vs our
+//! method on the same known/unknown sets. The paper reports 155 s /
+//! 2,501 s / 1,541 s on its hardware; the *ordering* (Standard fastest,
+//! Koppel slowest) is the reproducible claim.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use darklight_bench::{prepare_world, World};
+use darklight_core::baseline::{KoppelBaseline, StandardBaseline};
+use darklight_core::twostage::{TwoStage, TwoStageConfig};
+use darklight_synth::scenario::ScenarioConfig;
+use std::hint::black_box;
+use std::sync::OnceLock;
+
+fn world() -> &'static World {
+    static WORLD: OnceLock<World> = OnceLock::new();
+    WORLD.get_or_init(|| prepare_world(&ScenarioConfig::small()))
+}
+
+fn bench_standard(c: &mut Criterion) {
+    let w = world();
+    c.bench_function("baseline_standard_small", |b| {
+        b.iter(|| {
+            black_box(StandardBaseline::default().run(&w.reddit.originals, &w.reddit.alter_egos))
+        })
+    });
+}
+
+fn bench_koppel(c: &mut Criterion) {
+    let w = world();
+    // 10 iterations (not 100) keeps the bench tractable; scale linearly.
+    let koppel = KoppelBaseline {
+        iterations: 10,
+        ..KoppelBaseline::default()
+    };
+    c.bench_function("baseline_koppel_10iter_small", |b| {
+        b.iter(|| black_box(koppel.run(&w.reddit.originals, &w.reddit.alter_egos)))
+    });
+}
+
+fn bench_ours(c: &mut Criterion) {
+    let w = world();
+    let engine = TwoStage::new(TwoStageConfig {
+        threads: 2,
+        ..TwoStageConfig::default()
+    });
+    c.bench_function("ours_two_stage_small", |b| {
+        b.iter(|| black_box(engine.run(&w.reddit.originals, &w.reddit.alter_egos)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_standard, bench_koppel, bench_ours
+}
+criterion_main!(benches);

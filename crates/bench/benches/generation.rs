@@ -1,0 +1,54 @@
+//! Benchmarks of the corpus generator: message sampling, timestamp
+//! sampling, and whole-scenario builds.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use darklight_synth::scenario::{ScenarioBuilder, ScenarioConfig};
+use darklight_synth::style::StyleGenome;
+use darklight_synth::temporal::TemporalGenome;
+use darklight_synth::textgen::generate_message;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_message_generation(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(5);
+    let genome = StyleGenome::sample(&mut rng, 1.0);
+    c.bench_function("generate_100_messages", |b| {
+        b.iter(|| {
+            for _ in 0..100 {
+                black_box(generate_message(&mut rng, &genome, 2));
+            }
+        })
+    });
+}
+
+fn bench_timestamp_sampling(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(6);
+    let genome = TemporalGenome::sample(&mut rng);
+    c.bench_function("sample_1000_timestamps", |b| {
+        b.iter(|| black_box(genome.sample_timestamps(&mut rng, 1_000)))
+    });
+}
+
+fn bench_scenario_build(c: &mut Criterion) {
+    let config = ScenarioConfig {
+        reddit_users: 20,
+        tmg_users: 8,
+        dm_users: 6,
+        cross_tmg_dm: 2,
+        cross_reddit_tmg: 2,
+        cross_reddit_dm: 2,
+        thin_frac: 0.5,
+        ..ScenarioConfig::small()
+    };
+    c.bench_function("scenario_build_tiny", |b| {
+        b.iter(|| black_box(ScenarioBuilder::new(config.clone()).build()))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_message_generation, bench_timestamp_sampling, bench_scenario_build
+}
+criterion_main!(benches);

@@ -1,0 +1,108 @@
+//! Calibration probe: checks that the synthetic world produces paper-shaped
+//! numbers (Table III accuracy-vs-words, threshold behaviour) before the
+//! full experiment harness runs. Not part of the reproduction itself —
+//! a development tool kept for transparency.
+
+use darklight_bench::prepare_world;
+use darklight_core::twostage::{TwoStage, TwoStageConfig};
+use darklight_eval::curve::PrCurve;
+use darklight_eval::metrics::{labeled_best_matches, reduction_accuracy_at_k};
+use darklight_synth::scenario::ScenarioConfig;
+use std::time::Instant;
+
+fn main() {
+    let mut config = ScenarioConfig::default_scale();
+    if let Ok(s) = std::env::var("CAL_STRENGTH") {
+        config.style_strength = s.parse().expect("CAL_STRENGTH must be a float");
+    }
+    if let Ok(s) = std::env::var("CAL_REDDIT") {
+        config.reddit_users = s.parse().expect("CAL_REDDIT must be an integer");
+    }
+    let t0 = Instant::now();
+    let world = prepare_world(&config);
+    eprintln!(
+        "world: reddit {}/{} raw, refined originals {} / alter-egos {} ({:.1}s)",
+        world.reddit.polished_users,
+        world.reddit.raw_users,
+        world.reddit.originals.len(),
+        world.reddit.alter_egos.len(),
+        t0.elapsed().as_secs_f64()
+    );
+
+    let known = &world.reddit.originals;
+    let ae = &world.reddit.alter_egos;
+    let n_unknown = ae.len().min(300);
+    let unknown = darklight_core::dataset::Dataset {
+        name: "probe".into(),
+        records: ae.records[..n_unknown].to_vec(),
+    };
+
+    let act_w: f32 = std::env::var("CAL_ACT_W")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(darklight_features::pipeline::FeatureConfig::space_reduction().activity_weight);
+    let char_w: f32 = std::env::var("CAL_CHAR_W")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1.0);
+    let mut base = TwoStageConfig::default();
+    base.reduction.activity_weight = act_w;
+    base.reduction.char_weight = char_w;
+    base.final_stage.activity_weight = act_w;
+    base.final_stage.char_weight = char_w;
+
+    for words in [400usize, 800, 1200, 1500] {
+        let k_ds = known.with_word_budget(words);
+        let u_ds = unknown.with_word_budget(words);
+        for (label, cfg) in [
+            ("text", base.clone().without_activity()),
+            ("all", base.clone()),
+        ] {
+            let t = Instant::now();
+            let engine = TwoStage::new(cfg);
+            let stage1 = engine.reduce(&k_ds, &u_ds);
+            let results: Vec<_> = stage1
+                .into_iter()
+                .enumerate()
+                .map(|(u, s1)| darklight_core::twostage::RankedMatch {
+                    unknown: u,
+                    stage1: s1.clone(),
+                    stage2: s1,
+                })
+                .collect();
+            let a1 = reduction_accuracy_at_k(&results, &k_ds, &u_ds, 1);
+            let a10 = reduction_accuracy_at_k(&results, &k_ds, &u_ds, 10);
+            println!(
+                "words={words:5} {label:4}  acc@1={:5.1}%  acc@10={:5.1}%  ({:.1}s)",
+                a1 * 100.0,
+                a10 * 100.0,
+                t.elapsed().as_secs_f64()
+            );
+        }
+    }
+
+    // Threshold behaviour at the full budget.
+    let t = Instant::now();
+    let engine = TwoStage::new(base.clone());
+    let results = engine.run(known, &unknown);
+    let labeled = labeled_best_matches(&results, known, &unknown);
+    let curve = PrCurve::from_labeled(&labeled);
+    println!("stage2 AUC = {:.3} ({:.1}s)", curve.auc(), t.elapsed().as_secs_f64());
+    if let Some(p) = curve.threshold_for_recall(0.80) {
+        println!(
+            "threshold@80% recall = {:.4}  precision = {:.1}%",
+            p.threshold,
+            p.precision * 100.0
+        );
+    } else {
+        println!("recall never reaches 80%");
+    }
+    if let Some(p) = curve.best_f1() {
+        println!(
+            "best F1 point: t={:.4} P={:.1}% R={:.1}%",
+            p.threshold,
+            p.precision * 100.0,
+            p.recall * 100.0
+        );
+    }
+}

@@ -1,0 +1,153 @@
+//! Experiment harness shared by the `repro` binary and the Criterion
+//! benches: scenario preparation (generate → polish → refine → alter-ego →
+//! datasets) and the scale switch.
+//!
+//! Set `DARKLIGHT_SCALE=small|default|paper` to pick the scenario scale
+//! (default: `default`). All experiments are deterministic per scale.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ablations;
+pub mod experiments;
+
+/// Fallback threshold when calibration cannot reach 80% recall (paper's
+/// own global threshold, for reference).
+pub const PAPER_THRESHOLD_FALLBACK: f64 = darklight_core::PAPER_THRESHOLD;
+
+use darklight_activity::profile::{ProfileBuilder, ProfilePolicy};
+use darklight_core::dataset::{Dataset, DatasetBuilder};
+use darklight_corpus::model::Corpus;
+use darklight_corpus::polish::{PolishConfig, Polisher, PolishReport};
+use darklight_corpus::refine::{build_alter_egos, refine, AlterEgoConfig, RefineConfig};
+use darklight_synth::scenario::{Scenario, ScenarioBuilder, ScenarioConfig};
+
+/// One forum prepared for experiments: the refined originals and their
+/// alter-egos (Table IV's dataset pairs), both as corpora (for ground
+/// truth) and attribution datasets.
+#[derive(Debug, Clone)]
+pub struct ForumData {
+    /// Refined original users (post-split halves for eligible users).
+    pub originals: Dataset,
+    /// The alter-ego aliases.
+    pub alter_egos: Dataset,
+    /// Polished+refined corpus behind `originals`.
+    pub originals_corpus: Corpus,
+    /// Corpus behind `alter_egos`.
+    pub alter_egos_corpus: Corpus,
+    /// Polishing report for the raw corpus.
+    pub polish_report: PolishReport,
+    /// Users in the raw (generated) corpus.
+    pub raw_users: usize,
+    /// Users surviving polishing.
+    pub polished_users: usize,
+}
+
+/// The full prepared world.
+#[derive(Debug, Clone)]
+pub struct World {
+    /// The generated scenario (raw corpora + personas).
+    pub scenario: Scenario,
+    /// Prepared Reddit data.
+    pub reddit: ForumData,
+    /// Prepared Majestic Garden data.
+    pub tmg: ForumData,
+    /// Prepared Dream Market data.
+    pub dm: ForumData,
+}
+
+impl World {
+    /// The merged DarkWeb dataset pair of §IV-G (TMG ∪ DM).
+    pub fn darkweb(&self) -> (Dataset, Dataset) {
+        (
+            self.tmg
+                .originals
+                .merged_with(&self.dm.originals, "darkweb"),
+            self.tmg
+                .alter_egos
+                .merged_with(&self.dm.alter_egos, "ae_darkweb"),
+        )
+    }
+}
+
+/// Prepares one raw corpus: polish → refine → alter-ego split → datasets.
+pub fn prepare_forum(raw: &Corpus) -> ForumData {
+    let polisher = Polisher::new(PolishConfig::default());
+    let (polished, polish_report) = polisher.polish(raw);
+    let profiles = ProfileBuilder::new(ProfilePolicy::default());
+    let refined = refine(&polished, RefineConfig::default(), &profiles);
+    let (orig_corpus, ae_corpus) = build_alter_egos(&refined, &AlterEgoConfig::default(), &profiles);
+    let builder = DatasetBuilder::new();
+    ForumData {
+        originals: builder.build(&orig_corpus),
+        alter_egos: builder.build(&ae_corpus),
+        originals_corpus: orig_corpus,
+        alter_egos_corpus: ae_corpus,
+        polish_report,
+        raw_users: raw.len(),
+        polished_users: polished.len(),
+    }
+}
+
+/// Generates and prepares the full world for a config.
+pub fn prepare_world(config: &ScenarioConfig) -> World {
+    let scenario = ScenarioBuilder::new(config.clone()).build();
+    let reddit = prepare_forum(&scenario.reddit);
+    let tmg = prepare_forum(&scenario.tmg);
+    let dm = prepare_forum(&scenario.dm);
+    World {
+        scenario,
+        reddit,
+        tmg,
+        dm,
+    }
+}
+
+/// Reads `DARKLIGHT_SCALE` and returns the matching scenario config.
+pub fn scale_from_env() -> ScenarioConfig {
+    scale_from_name(std::env::var("DARKLIGHT_SCALE").ok().as_deref())
+}
+
+/// Maps a scale name (`small` / `paper` / anything else → default) to its
+/// scenario config.
+pub fn scale_from_name(name: Option<&str>) -> ScenarioConfig {
+    match name {
+        Some("small") => ScenarioConfig::small(),
+        Some("paper") => ScenarioConfig::paper_scale(),
+        _ => ScenarioConfig::default_scale(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prepare_world_small() {
+        let world = prepare_world(&ScenarioConfig::small());
+        // Polishing dropped the noise accounts.
+        assert!(world.reddit.polished_users < world.reddit.raw_users);
+        // Refinement keeps a core of rich users.
+        assert!(world.reddit.originals.len() > 10);
+        // Alter egos exist and are fewer than originals (Table IV shape).
+        assert!(!world.reddit.alter_egos.is_empty());
+        assert!(world.reddit.alter_egos.len() <= world.reddit.originals.len());
+        // The darkweb merge concatenates.
+        let (dw, ae_dw) = world.darkweb();
+        assert_eq!(dw.len(), world.tmg.originals.len() + world.dm.originals.len());
+        assert!(!ae_dw.is_empty());
+    }
+}
+
+#[cfg(test)]
+mod scale_tests {
+    use super::*;
+
+    #[test]
+    fn scale_names_map_to_configs() {
+        assert_eq!(scale_from_name(Some("small")), ScenarioConfig::small());
+        assert_eq!(scale_from_name(Some("paper")), ScenarioConfig::paper_scale());
+        assert_eq!(scale_from_name(Some("bogus")), ScenarioConfig::default_scale());
+        assert_eq!(scale_from_name(None), ScenarioConfig::default_scale());
+    }
+}

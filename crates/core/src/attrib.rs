@@ -1,0 +1,232 @@
+//! Cosine ranking and k-attribution (§IV-C).
+//!
+//! With ~10,000 candidate aliases it is "neither practical to learn a
+//! single classifier for 10,000 classes, nor … 10,000 one-versus-all
+//! binary classifiers"; the paper ranks candidates by cosine similarity
+//! instead. Vectors are unit-norm, so ranking reduces to sparse dot
+//! products; the [`CandidateIndex`] stores the known aliases' vectors as an
+//! inverted index (feature → postings) and scores a query in
+//! O(Σ_{f ∈ query} |postings(f)|) — orders of magnitude faster than
+//! pairwise dot products at forum scale. Query batches are scored in
+//! parallel with scoped threads.
+
+use darklight_features::sparse::SparseVector;
+
+/// A ranked candidate: index into the known set plus cosine score.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Ranked {
+    /// Index of the known alias.
+    pub index: usize,
+    /// Cosine similarity to the query (vectors are unit-norm).
+    pub score: f64,
+}
+
+/// An inverted index over the known aliases' unit-norm feature vectors.
+#[derive(Debug, Clone)]
+pub struct CandidateIndex {
+    postings: Vec<Vec<(u32, f32)>>,
+    n_users: usize,
+}
+
+impl CandidateIndex {
+    /// Builds the index. `dim` must exceed every feature index used by the
+    /// vectors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a vector holds an index `>= dim`.
+    pub fn build(vectors: &[SparseVector], dim: usize) -> CandidateIndex {
+        let mut postings: Vec<Vec<(u32, f32)>> = vec![Vec::new(); dim];
+        for (user, v) in vectors.iter().enumerate() {
+            for (f, w) in v.iter() {
+                postings[f as usize].push((user as u32, w));
+            }
+        }
+        CandidateIndex {
+            postings,
+            n_users: vectors.len(),
+        }
+    }
+
+    /// Number of indexed aliases.
+    pub fn len(&self) -> usize {
+        self.n_users
+    }
+
+    /// `true` when no aliases are indexed.
+    pub fn is_empty(&self) -> bool {
+        self.n_users == 0
+    }
+
+    /// Dot products (== cosine for unit-norm inputs) of `query` against
+    /// every indexed alias.
+    pub fn scores(&self, query: &SparseVector) -> Vec<f64> {
+        let mut scores = vec![0.0f64; self.n_users];
+        for (f, w) in query.iter() {
+            if let Some(list) = self.postings.get(f as usize) {
+                for &(user, wu) in list {
+                    scores[user as usize] += w as f64 * wu as f64;
+                }
+            }
+        }
+        scores
+    }
+
+    /// The `k` best-scoring aliases for `query`, sorted by descending
+    /// score (ties broken toward lower indices for determinism).
+    pub fn top_k(&self, query: &SparseVector, k: usize) -> Vec<Ranked> {
+        let scores = self.scores(query);
+        top_k_of(&scores, k)
+    }
+
+    /// Scores a batch of queries across `threads` worker threads,
+    /// preserving input order.
+    pub fn top_k_batch(
+        &self,
+        queries: &[SparseVector],
+        k: usize,
+        threads: usize,
+    ) -> Vec<Vec<Ranked>> {
+        let threads = threads.max(1).min(queries.len().max(1));
+        if threads == 1 || queries.len() < 4 {
+            return queries.iter().map(|q| self.top_k(q, k)).collect();
+        }
+        let chunk = queries.len().div_ceil(threads);
+        let mut results: Vec<Vec<Ranked>> = vec![Vec::new(); queries.len()];
+        let mut slots: Vec<&mut [Vec<Ranked>]> = results.chunks_mut(chunk).collect();
+        crossbeam::scope(|s| {
+            for (i, slot) in slots.iter_mut().enumerate() {
+                let qs = &queries[i * chunk..(i * chunk + slot.len())];
+                let index = &*self;
+                s.spawn(move |_| {
+                    for (out, q) in slot.iter_mut().zip(qs) {
+                        *out = index.top_k(q, k);
+                    }
+                });
+            }
+        })
+        .expect("scoring threads do not panic");
+        results
+    }
+}
+
+/// Extracts the top-k entries of a dense score vector.
+pub fn top_k_of(scores: &[f64], k: usize) -> Vec<Ranked> {
+    let mut ranked: Vec<Ranked> = scores
+        .iter()
+        .enumerate()
+        .map(|(index, &score)| Ranked { index, score })
+        .collect();
+    ranked.sort_by(|a, b| {
+        b.score
+            .partial_cmp(&a.score)
+            .expect("scores are finite")
+            .then_with(|| a.index.cmp(&b.index))
+    });
+    ranked.truncate(k);
+    ranked
+}
+
+/// The rank (1-based) of `target` in the scores, or `None` if tied-out of
+/// range; used by accuracy@k computations.
+pub fn rank_of(scores: &[f64], target: usize) -> Option<usize> {
+    if target >= scores.len() {
+        return None;
+    }
+    let t = scores[target];
+    let better = scores
+        .iter()
+        .enumerate()
+        .filter(|&(i, &s)| s > t || (s == t && i < target))
+        .count();
+    Some(better + 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vec_of(pairs: &[(u32, f32)]) -> SparseVector {
+        SparseVector::from_pairs(pairs.iter().copied()).l2_normalized()
+    }
+
+    fn sample_index() -> (CandidateIndex, Vec<SparseVector>) {
+        let vectors = vec![
+            vec_of(&[(0, 1.0), (1, 1.0)]),
+            vec_of(&[(1, 1.0), (2, 1.0)]),
+            vec_of(&[(3, 1.0)]),
+        ];
+        (CandidateIndex::build(&vectors, 8), vectors)
+    }
+
+    #[test]
+    fn scores_match_pairwise_cosine() {
+        let (index, vectors) = sample_index();
+        let q = vec_of(&[(0, 1.0), (2, 1.0)]);
+        let scores = index.scores(&q);
+        for (i, v) in vectors.iter().enumerate() {
+            assert!((scores[i] - q.cosine(v)).abs() < 1e-6, "user {i}");
+        }
+    }
+
+    #[test]
+    fn top_k_sorted_and_truncated() {
+        let (index, _) = sample_index();
+        let q = vec_of(&[(1, 1.0)]);
+        let top = index.top_k(&q, 2);
+        assert_eq!(top.len(), 2);
+        assert!(top[0].score >= top[1].score);
+        assert_eq!(top[0].index, 0); // tie with 1 broken toward lower index
+    }
+
+    #[test]
+    fn top_k_larger_than_set() {
+        let (index, _) = sample_index();
+        let top = index.top_k(&vec_of(&[(0, 1.0)]), 10);
+        assert_eq!(top.len(), 3);
+    }
+
+    #[test]
+    fn batch_matches_sequential() {
+        let (index, vectors) = sample_index();
+        let queries: Vec<SparseVector> = (0..40)
+            .map(|i| vectors[i % vectors.len()].clone())
+            .collect();
+        let seq: Vec<Vec<Ranked>> = queries.iter().map(|q| index.top_k(q, 2)).collect();
+        let par = index.top_k_batch(&queries, 2, 4);
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn self_query_scores_one() {
+        let (index, vectors) = sample_index();
+        for (i, v) in vectors.iter().enumerate() {
+            let top = index.top_k(v, 1);
+            assert_eq!(top[0].index, i);
+            assert!((top[0].score - 1.0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn empty_index() {
+        let index = CandidateIndex::build(&[], 4);
+        assert!(index.is_empty());
+        assert!(index.top_k(&vec_of(&[(0, 1.0)]), 3).is_empty());
+    }
+
+    #[test]
+    fn rank_of_positions() {
+        let scores = [0.9, 0.5, 0.7];
+        assert_eq!(rank_of(&scores, 0), Some(1));
+        assert_eq!(rank_of(&scores, 2), Some(2));
+        assert_eq!(rank_of(&scores, 1), Some(3));
+        assert_eq!(rank_of(&scores, 9), None);
+    }
+
+    #[test]
+    fn rank_of_tie_break() {
+        let scores = [0.5, 0.5];
+        assert_eq!(rank_of(&scores, 0), Some(1));
+        assert_eq!(rank_of(&scores, 1), Some(2));
+    }
+}

@@ -1,0 +1,248 @@
+//! RAM-bounded batch processing (§IV-J of the paper).
+//!
+//! When the known set is too large for memory, the paper splits it into
+//! batches of `B` aliases, runs 10-attribution within each batch, pools the
+//! per-batch survivors, and repeats until at most `B` candidates remain;
+//! the final two-stage step then runs on that reduced set. Validated in
+//! the paper with `B = 100`, giving precision 91% / recall 81% at the
+//! global threshold — within a few points of the unbatched pipeline.
+
+use crate::attrib::Ranked;
+use crate::dataset::Dataset;
+use crate::twostage::{RankedMatch, TwoStage};
+
+/// Batched attribution configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchConfig {
+    /// Maximum aliases the "hardware" can hold at once (paper: 100).
+    pub batch_size: usize,
+}
+
+impl Default for BatchConfig {
+    fn default() -> BatchConfig {
+        BatchConfig { batch_size: 100 }
+    }
+}
+
+/// Runs the hierarchical batched pipeline: batched k-attribution rounds
+/// until the candidate pool fits one batch, then the standard second stage.
+///
+/// # Panics
+///
+/// Panics if `config.batch_size` is zero.
+pub fn run_batched(
+    engine: &TwoStage,
+    config: &BatchConfig,
+    known: &Dataset,
+    unknown: &Dataset,
+) -> Vec<RankedMatch> {
+    assert!(config.batch_size > 0, "batch size must be positive");
+    let k = engine.config().k;
+    // Per-unknown surviving candidate indices (into `known`).
+    let mut survivors: Vec<Vec<usize>> = vec![(0..known.len()).collect(); unknown.len()];
+    // Iterate rounds until every unknown's pool fits in one batch. Each
+    // round applies k-attribution within batches of B.
+    loop {
+        let max_pool = survivors.iter().map(Vec::len).max().unwrap_or(0);
+        if max_pool <= config.batch_size {
+            break;
+        }
+        // All unknowns share rounds but pools can differ after round one;
+        // in round one all pools are identical, afterwards k·ceil(n/B)
+        // shrinks fast. Process per unknown-group with identical pools to
+        // reuse fits: in practice pools stay identical across unknowns
+        // only in round one, so round two onward we just batch per unknown.
+        let identical = survivors.windows(2).all(|w| w[0] == w[1]);
+        if identical && !survivors.is_empty() {
+            let pool = survivors[0].clone();
+            let new_pools = batched_round(engine, config, known, unknown, &pool, None);
+            survivors = new_pools;
+        } else {
+            let mut next: Vec<Vec<usize>> = Vec::with_capacity(survivors.len());
+            for (u, pool) in survivors.iter().enumerate() {
+                let round =
+                    batched_round(engine, config, known, unknown, pool, Some(u));
+                next.push(round.into_iter().next().expect("one unknown processed"));
+            }
+            survivors = next;
+        }
+        let _ = k;
+    }
+    // Final stage: rescore each unknown against its surviving pool.
+    let stage1: Vec<Vec<Ranked>> = survivors
+        .iter()
+        .enumerate()
+        .map(|(u, pool)| {
+            if pool.is_empty() {
+                return Vec::new();
+            }
+            let sub = subset(known, pool);
+            let one = subset_one(unknown, u);
+            let reduced = engine.reduce(&sub, &one);
+            reduced[0]
+                .iter()
+                .take(engine.config().k)
+                .map(|r| Ranked {
+                    index: pool[r.index],
+                    score: r.score,
+                })
+                .collect()
+        })
+        .collect();
+    engine.rescore(known, unknown, stage1)
+}
+
+/// One batched k-attribution round over `pool`. When `only` is given, only
+/// that unknown is scored (used when pools diverge); otherwise all
+/// unknowns are scored and the function returns one new pool per unknown.
+fn batched_round(
+    engine: &TwoStage,
+    config: &BatchConfig,
+    known: &Dataset,
+    unknown: &Dataset,
+    pool: &[usize],
+    only: Option<usize>,
+) -> Vec<Vec<usize>> {
+    let n_unknown = if only.is_some() { 1 } else { unknown.len() };
+    let mut new_pools: Vec<Vec<usize>> = vec![Vec::new(); n_unknown];
+    for batch in pool.chunks(config.batch_size) {
+        let sub = subset(known, batch);
+        let uset = match only {
+            Some(u) => subset_one(unknown, u),
+            None => unknown.clone(),
+        };
+        let reduced = engine.reduce(&sub, &uset);
+        for (slot, ranked) in new_pools.iter_mut().zip(reduced) {
+            for r in ranked.iter().take(engine.config().k) {
+                slot.push(batch[r.index]);
+            }
+        }
+    }
+    for p in &mut new_pools {
+        p.sort_unstable();
+        p.dedup();
+    }
+    new_pools
+}
+
+fn subset(ds: &Dataset, indices: &[usize]) -> Dataset {
+    Dataset {
+        name: ds.name.clone(),
+        records: indices.iter().map(|&i| ds.records[i].clone()).collect(),
+    }
+}
+
+fn subset_one(ds: &Dataset, index: usize) -> Dataset {
+    subset(ds, &[index])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::DatasetBuilder;
+    use crate::twostage::TwoStageConfig;
+    use darklight_corpus::model::{Corpus, Post, User};
+
+    /// Twelve authors with distinct vocabularies; known + unknown halves.
+    fn world() -> (Dataset, Dataset) {
+        let vocabs = [
+            "kayak paddle rapids portage",
+            "espresso grinder portafilter crema",
+            "orchid repotting perlite humidity",
+            "violin rosin luthier vibrato",
+            "falconry jesses tiercel mews",
+            "pottery kiln glaze stoneware",
+            "beekeeping hive frames nectar",
+            "origami crease valley tessellation",
+            "astronomy nebula telescope eyepiece",
+            "fencing parry riposte piste",
+            "calligraphy nib flourish gouache",
+            "mycology spores substrate fruiting",
+        ];
+        let mut known = Corpus::new("known");
+        let mut unknown = Corpus::new("unknown");
+        let base = 1_486_375_200i64;
+        for (pid, vocab) in vocabs.iter().enumerate() {
+            let words: Vec<&str> = vocab.split(' ').collect();
+            for (half, corpus) in [(0usize, &mut known), (1, &mut unknown)] {
+                let mut u = User::new(format!("user{pid}_{half}"), Some(pid as u64));
+                for i in 0..35i64 {
+                    let ts = base + (i / 5) * 7 * 86_400 + (i % 5) * 86_400;
+                    let w1 = words[i as usize % words.len()];
+                    let w2 = words[(i as usize + 1) % words.len()];
+                    u.posts.push(Post::new(
+                        format!("my notes about {w1} mention the {w2} setup and more {w1} details for the club"),
+                        ts,
+                    ));
+                }
+                corpus.users.push(u);
+            }
+        }
+        let b = DatasetBuilder::new();
+        (b.build(&known), b.build(&unknown))
+    }
+
+    fn engine() -> TwoStage {
+        TwoStage::new(TwoStageConfig {
+            k: 3,
+            threads: 2,
+            ..TwoStageConfig::default()
+        })
+    }
+
+    #[test]
+    fn batched_matches_true_authors() {
+        let (known, unknown) = world();
+        let results = run_batched(&engine(), &BatchConfig { batch_size: 4 }, &known, &unknown);
+        for m in &results {
+            let best = m.best().expect("candidates exist");
+            assert_eq!(
+                known.records[best.index].persona,
+                unknown.records[m.unknown].persona,
+                "unknown {}",
+                m.unknown
+            );
+        }
+    }
+
+    #[test]
+    fn batched_agrees_with_unbatched_on_top_match() {
+        let (known, unknown) = world();
+        let e = engine();
+        let unbatched = e.run(&known, &unknown);
+        let batched = run_batched(&e, &BatchConfig { batch_size: 5 }, &known, &unknown);
+        for (a, b) in unbatched.iter().zip(&batched) {
+            assert_eq!(
+                a.best().map(|r| r.index),
+                b.best().map(|r| r.index),
+                "unknown {}",
+                a.unknown
+            );
+        }
+    }
+
+    #[test]
+    fn huge_batch_equals_single_round() {
+        let (known, unknown) = world();
+        let e = engine();
+        let batched = run_batched(
+            &e,
+            &BatchConfig {
+                batch_size: known.len() + 10,
+            },
+            &known,
+            &unknown,
+        );
+        let unbatched = e.run(&known, &unknown);
+        for (a, b) in unbatched.iter().zip(&batched) {
+            assert_eq!(a.best().map(|r| r.index), b.best().map(|r| r.index));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "batch size must be positive")]
+    fn zero_batch_rejected() {
+        let (known, unknown) = world();
+        run_batched(&engine(), &BatchConfig { batch_size: 0 }, &known, &unknown);
+    }
+}

@@ -1,0 +1,286 @@
+//! Threshold calibration (§IV-E of the paper), as a library API.
+//!
+//! The paper finds its global threshold by running the two-stage pipeline
+//! on a labeled split (alter-egos whose true aliases are known), drawing
+//! the precision-recall trade-off over the best-match scores, and picking
+//! the threshold at the target recall. This module packages that protocol:
+//! hand it a known set and a labeled unknown set, get back the threshold
+//! and its operating point, plus a validation hook for a second split.
+
+use crate::dataset::Dataset;
+use crate::twostage::{RankedMatch, TwoStage};
+
+/// A labeled operating point on the score scale.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OperatingPoint {
+    /// The similarity threshold.
+    pub threshold: f64,
+    /// Precision of emitted pairs at this threshold.
+    pub precision: f64,
+    /// Recall over findable unknowns at this threshold.
+    pub recall: f64,
+}
+
+/// The calibration outcome.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Calibration {
+    /// The chosen operating point.
+    pub chosen: OperatingPoint,
+    /// The full threshold sweep, highest threshold first.
+    pub sweep: Vec<OperatingPoint>,
+    /// Number of unknowns whose true alias was present (recall
+    /// denominator).
+    pub positives: usize,
+}
+
+impl Calibration {
+    /// The operating point obtained by applying the chosen threshold to a
+    /// different sweep (e.g. the W2 validation split).
+    pub fn apply_to(&self, other: &Calibration) -> OperatingPoint {
+        let mut best = OperatingPoint {
+            threshold: self.chosen.threshold,
+            precision: 1.0,
+            recall: 0.0,
+        };
+        for p in &other.sweep {
+            if p.threshold >= self.chosen.threshold {
+                best = OperatingPoint {
+                    threshold: self.chosen.threshold,
+                    ..*p
+                };
+            } else {
+                break;
+            }
+        }
+        best
+    }
+}
+
+/// Errors from calibration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CalibrateError {
+    /// The unknown set carries no alias whose persona exists in the known
+    /// set, so recall is undefined.
+    NoPositives,
+    /// The target recall was never reached at any threshold.
+    TargetUnreachable,
+}
+
+impl std::fmt::Display for CalibrateError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CalibrateError::NoPositives => {
+                f.write_str("no unknown alias has its true alias in the known set")
+            }
+            CalibrateError::TargetUnreachable => {
+                f.write_str("target recall is never reached on the calibration split")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CalibrateError {}
+
+/// Runs the full §IV-E protocol: two-stage pipeline on the labeled split,
+/// sweep all best-match scores as thresholds, and choose the highest
+/// threshold reaching `target_recall`.
+///
+/// # Errors
+///
+/// [`CalibrateError::NoPositives`] when the split has no findable unknowns;
+/// [`CalibrateError::TargetUnreachable`] when even threshold 0 cannot reach
+/// the target (e.g. the reduction stage lost too many true aliases).
+pub fn calibrate_threshold(
+    engine: &TwoStage,
+    known: &Dataset,
+    labeled_unknowns: &Dataset,
+    target_recall: f64,
+) -> Result<Calibration, CalibrateError> {
+    let results = engine.run(known, labeled_unknowns);
+    calibrate_from_results(&results, known, labeled_unknowns, target_recall)
+}
+
+/// Like [`calibrate_threshold`] but reusing existing pipeline results.
+pub fn calibrate_from_results(
+    results: &[RankedMatch],
+    known: &Dataset,
+    unknown: &Dataset,
+    target_recall: f64,
+) -> Result<Calibration, CalibrateError> {
+    // Label best matches (inline to keep `core` independent of `eval`).
+    struct L {
+        score: f64,
+        correct: bool,
+        has_truth: bool,
+    }
+    let labeled: Vec<L> = results
+        .iter()
+        .filter_map(|m| {
+            let persona = unknown.records[m.unknown].persona;
+            let has_truth = persona
+                .map(|p| known.records.iter().any(|r| r.persona == Some(p)))
+                .unwrap_or(false);
+            let best = m.best()?;
+            let correct = match (persona, known.records[best.index].persona) {
+                (Some(a), Some(b)) => a == b,
+                _ => false,
+            };
+            Some(L {
+                score: best.score,
+                correct,
+                has_truth,
+            })
+        })
+        .collect();
+    let positives = labeled.iter().filter(|l| l.has_truth).count();
+    if positives == 0 {
+        return Err(CalibrateError::NoPositives);
+    }
+    let mut sorted: Vec<&L> = labeled.iter().collect();
+    sorted.sort_by(|a, b| b.score.partial_cmp(&a.score).expect("finite scores"));
+    let mut sweep = Vec::new();
+    let mut emitted = 0usize;
+    let mut correct = 0usize;
+    let mut i = 0;
+    while i < sorted.len() {
+        let t = sorted[i].score;
+        while i < sorted.len() && sorted[i].score == t {
+            emitted += 1;
+            if sorted[i].correct {
+                correct += 1;
+            }
+            i += 1;
+        }
+        sweep.push(OperatingPoint {
+            threshold: t,
+            precision: correct as f64 / emitted as f64,
+            recall: correct as f64 / positives as f64,
+        });
+    }
+    let chosen = sweep
+        .iter()
+        .find(|p| p.recall >= target_recall)
+        .copied()
+        .ok_or(CalibrateError::TargetUnreachable)?;
+    Ok(Calibration {
+        chosen,
+        sweep,
+        positives,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attrib::Ranked;
+    use crate::dataset::Record;
+    use darklight_features::pipeline::{CountedDoc, PreparedDoc};
+
+    fn record(persona: Option<u64>) -> Record {
+        let doc = PreparedDoc::prepare("t", None);
+        let counted = CountedDoc::from_prepared(&doc, 3, 5);
+        Record {
+            alias: format!("{persona:?}"),
+            persona,
+            facts: Vec::new(),
+            text: String::new(),
+            doc,
+            counted,
+            profile: None,
+        }
+    }
+
+    fn dataset(personas: &[Option<u64>]) -> Dataset {
+        Dataset {
+            name: "d".into(),
+            records: personas.iter().map(|&p| record(p)).collect(),
+        }
+    }
+
+    fn rm(unknown: usize, best: usize, score: f64) -> RankedMatch {
+        let ranked = vec![Ranked { index: best, score }];
+        RankedMatch {
+            unknown,
+            stage1: ranked.clone(),
+            stage2: ranked,
+        }
+    }
+
+    #[test]
+    fn picks_highest_threshold_at_target() {
+        let known = dataset(&[Some(0), Some(1), Some(2), Some(3)]);
+        let unknown = dataset(&[Some(0), Some(1), Some(2), Some(3)]);
+        // Scores: two high correct, one low correct, one wrong in between.
+        let results = vec![
+            rm(0, 0, 0.9),
+            rm(1, 1, 0.8),
+            rm(2, 0, 0.7), // wrong (persona 2 matched to 0)
+            rm(3, 3, 0.6),
+        ];
+        let cal = calibrate_from_results(&results, &known, &unknown, 0.5).unwrap();
+        assert_eq!(cal.positives, 4);
+        assert_eq!(cal.chosen.threshold, 0.8);
+        assert_eq!(cal.chosen.precision, 1.0);
+        assert_eq!(cal.chosen.recall, 0.5);
+        // Asking for 75% recall must dip past the wrong match.
+        let cal75 = calibrate_from_results(&results, &known, &unknown, 0.75).unwrap();
+        assert_eq!(cal75.chosen.threshold, 0.6);
+        assert!((cal75.chosen.precision - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn no_positives_errors() {
+        let known = dataset(&[Some(0)]);
+        let unknown = dataset(&[Some(9), None]);
+        let results = vec![rm(0, 0, 0.9), rm(1, 0, 0.8)];
+        assert_eq!(
+            calibrate_from_results(&results, &known, &unknown, 0.5).unwrap_err(),
+            CalibrateError::NoPositives
+        );
+    }
+
+    #[test]
+    fn unreachable_target_errors() {
+        let known = dataset(&[Some(0), Some(1)]);
+        let unknown = dataset(&[Some(0), Some(1)]);
+        // Both matched to the wrong alias: recall never exceeds 0.
+        let results = vec![rm(0, 1, 0.9), rm(1, 0, 0.8)];
+        assert_eq!(
+            calibrate_from_results(&results, &known, &unknown, 0.5).unwrap_err(),
+            CalibrateError::TargetUnreachable
+        );
+    }
+
+    #[test]
+    fn apply_to_transfers_threshold() {
+        let known = dataset(&[Some(0), Some(1)]);
+        let unknown = dataset(&[Some(0), Some(1)]);
+        let w1 = calibrate_from_results(
+            &[rm(0, 0, 0.9), rm(1, 1, 0.7)],
+            &known,
+            &unknown,
+            0.5,
+        )
+        .unwrap();
+        let w2 = calibrate_from_results(
+            &[rm(0, 0, 0.95), rm(1, 0, 0.5)],
+            &known,
+            &unknown,
+            0.5,
+        )
+        .unwrap();
+        let applied = w1.apply_to(&w2);
+        assert_eq!(applied.threshold, w1.chosen.threshold);
+        // At threshold 0.9, W2 emits only its 0.95 pair (correct).
+        assert_eq!(applied.precision, 1.0);
+        assert_eq!(applied.recall, 0.5);
+    }
+
+    #[test]
+    fn error_display() {
+        assert!(CalibrateError::NoPositives.to_string().contains("no unknown"));
+        assert!(CalibrateError::TargetUnreachable
+            .to_string()
+            .contains("never reached"));
+    }
+}

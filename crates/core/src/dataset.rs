@@ -1,0 +1,238 @@
+//! Attribution-ready datasets.
+//!
+//! A [`Dataset`] is a polished corpus reduced to what the attribution
+//! engine consumes: per alias, the 1,500-word longest-first text selection
+//! (§IV-D), its prepared/precounted form, and the daily activity profile
+//! (when the alias has enough usable timestamps). Ground-truth metadata
+//! (persona ids, leaked facts) rides along untouched for the evaluation
+//! layer.
+
+use darklight_activity::profile::{DailyActivityProfile, ProfileBuilder, ProfilePolicy};
+use darklight_corpus::model::{Corpus, Fact};
+use darklight_corpus::refine::select_text;
+use darklight_features::pipeline::{CountedDoc, PreparedDoc};
+use darklight_text::lemma::Lemmatizer;
+
+/// One attribution-ready alias.
+#[derive(Debug, Clone)]
+pub struct Record {
+    /// The alias name.
+    pub alias: String,
+    /// Ground truth: persona id, if this is a persona-backed alias.
+    pub persona: Option<u64>,
+    /// Ground truth: facts leaked by this alias.
+    pub facts: Vec<Fact>,
+    /// The selected text (longest-first, word-budgeted).
+    pub text: String,
+    /// Tokenized/lemmatized form of `text`.
+    pub doc: PreparedDoc,
+    /// Precomputed n-gram counts of `doc`.
+    pub counted: CountedDoc,
+    /// The daily activity profile, when buildable.
+    pub profile: Option<DailyActivityProfile>,
+}
+
+/// A named set of attribution-ready records.
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    /// Dataset name (usually the forum name).
+    pub name: String,
+    /// The records.
+    pub records: Vec<Record>,
+}
+
+impl Dataset {
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// `true` when empty.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Index of an alias, if present.
+    pub fn index_of(&self, alias: &str) -> Option<usize> {
+        self.records.iter().position(|r| r.alias == alias)
+    }
+
+    /// Restricts every record's document to the first `words` word tokens
+    /// (the Table III word-budget sweep). Profiles are kept as they are —
+    /// the sweep varies text, not timestamps.
+    pub fn with_word_budget(&self, words: usize) -> Dataset {
+        let records = self
+            .records
+            .iter()
+            .map(|r| {
+                let doc = r.doc.truncate_words(words);
+                let counted = CountedDoc::from_prepared(&doc, 3, 5);
+                Record {
+                    alias: r.alias.clone(),
+                    persona: r.persona,
+                    facts: r.facts.clone(),
+                    text: r.text.clone(),
+                    doc,
+                    counted,
+                    profile: r.profile.clone(),
+                }
+            })
+            .collect();
+        Dataset {
+            name: self.name.clone(),
+            records,
+        }
+    }
+
+    /// Concatenates two datasets (the paper merges TMG and DM into a
+    /// single DarkWeb dataset in §IV-G).
+    pub fn merged_with(&self, other: &Dataset, name: impl Into<String>) -> Dataset {
+        let mut records = self.records.clone();
+        records.extend(other.records.iter().cloned());
+        Dataset {
+            name: name.into(),
+            records,
+        }
+    }
+}
+
+/// Builds [`Dataset`]s from corpora.
+#[derive(Debug)]
+pub struct DatasetBuilder {
+    /// Word budget per alias (paper: 1,500).
+    pub word_budget: usize,
+    /// Profile policy (paper defaults: UTC, 30 timestamps, weekends and
+    /// holidays excluded).
+    pub profile_policy: ProfilePolicy,
+    lemmatizer: Lemmatizer,
+}
+
+impl DatasetBuilder {
+    /// Builder with the paper's settings.
+    pub fn new() -> DatasetBuilder {
+        DatasetBuilder {
+            word_budget: crate::PAPER_WORD_BUDGET,
+            profile_policy: ProfilePolicy::default(),
+            lemmatizer: Lemmatizer::new(),
+        }
+    }
+
+    /// Sets the per-alias word budget.
+    pub fn with_word_budget(mut self, words: usize) -> DatasetBuilder {
+        self.word_budget = words;
+        self
+    }
+
+    /// Builds the dataset: selects text, prepares and counts documents,
+    /// builds activity profiles. Aliases whose profile cannot be built
+    /// keep `profile = None` (their vectors simply lack the activity
+    /// block).
+    pub fn build(&self, corpus: &Corpus) -> Dataset {
+        let profiles = ProfileBuilder::new(self.profile_policy);
+        let records = corpus
+            .users
+            .iter()
+            .map(|user| {
+                let text = select_text(user, self.word_budget);
+                let doc = PreparedDoc::prepare(&text, Some(&self.lemmatizer));
+                let counted = CountedDoc::from_prepared(&doc, 3, 5);
+                let profile = profiles.build(&user.timestamps()).ok();
+                Record {
+                    alias: user.alias.clone(),
+                    persona: user.persona,
+                    facts: user.facts.clone(),
+                    text,
+                    doc,
+                    counted,
+                    profile,
+                }
+            })
+            .collect();
+        Dataset {
+            name: corpus.name.clone(),
+            records,
+        }
+    }
+}
+
+impl Default for DatasetBuilder {
+    fn default() -> DatasetBuilder {
+        DatasetBuilder::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use darklight_corpus::model::{Post, User};
+
+    fn corpus() -> Corpus {
+        let mut c = Corpus::new("t");
+        let mut u = User::new("writer", Some(9));
+        // 40 weekday posts (Mondays–Fridays from 2017-02-06), ~20 words each.
+        let base = 1_486_375_200i64;
+        for i in 0..40 {
+            let ts = base + (i / 5) * 7 * 86_400 + (i % 5) * 86_400;
+            u.posts.push(Post::new(
+                format!("a reasonably long message number {i} with some filler words to cross twenty words in total for testing"),
+                ts,
+            ));
+        }
+        c.users.push(u);
+        let mut thin = User::new("thin", None);
+        thin.posts.push(Post::new("just one tiny post", base));
+        c.users.push(thin);
+        c
+    }
+
+    #[test]
+    fn build_produces_profiles_when_possible() {
+        let ds = DatasetBuilder::new().build(&corpus());
+        assert_eq!(ds.len(), 2);
+        let writer = &ds.records[ds.index_of("writer").unwrap()];
+        assert!(writer.profile.is_some());
+        assert!(writer.doc.word_len() > 100);
+        let thin = &ds.records[ds.index_of("thin").unwrap()];
+        assert!(thin.profile.is_none());
+    }
+
+    #[test]
+    fn word_budget_respected() {
+        let ds = DatasetBuilder::new().with_word_budget(50).build(&corpus());
+        let writer = &ds.records[0];
+        // Longest-first selection stops once the budget is crossed; the
+        // last message may overshoot by one message's worth.
+        assert!(writer.doc.word_len() >= 50);
+        assert!(writer.doc.word_len() < 50 + 25);
+    }
+
+    #[test]
+    fn with_word_budget_truncates() {
+        let ds = DatasetBuilder::new().build(&corpus());
+        let cut = ds.with_word_budget(30);
+        assert_eq!(cut.records[0].doc.word_len(), 30);
+        assert_eq!(cut.records[1].doc.word_len().min(30), cut.records[1].doc.word_len());
+    }
+
+    #[test]
+    fn merged_keeps_all_records() {
+        let ds = DatasetBuilder::new().build(&corpus());
+        let merged = ds.merged_with(&ds, "double");
+        assert_eq!(merged.len(), 4);
+        assert_eq!(merged.name, "double");
+    }
+
+    #[test]
+    fn facts_and_persona_pass_through() {
+        let mut c = corpus();
+        c.users[0]
+            .facts
+            .push(darklight_corpus::model::Fact::new(
+                darklight_corpus::model::FactKind::City,
+                "miami",
+            ));
+        let ds = DatasetBuilder::new().build(&c);
+        assert_eq!(ds.records[0].persona, Some(9));
+        assert_eq!(ds.records[0].facts.len(), 1);
+    }
+}

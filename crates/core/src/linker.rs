@@ -1,0 +1,193 @@
+//! High-level corpus-to-corpus alias linking.
+//!
+//! [`Linker`] wraps the full flow the paper applies in §V: polish both
+//! corpora, refine them to the minimum-data thresholds, build datasets,
+//! run the two-stage pipeline, and emit alias pairs above the threshold.
+//! This is the API a downstream investigator would call.
+
+use crate::dataset::{Dataset, DatasetBuilder};
+use crate::twostage::{TwoStage, TwoStageConfig};
+use darklight_corpus::model::Corpus;
+use darklight_corpus::polish::{PolishConfig, Polisher};
+use darklight_corpus::refine::{refine, RefineConfig};
+use darklight_activity::profile::{ProfileBuilder, ProfilePolicy};
+
+/// One emitted alias pair.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AliasMatch {
+    /// Alias in the known (searched) corpus.
+    pub known_alias: String,
+    /// Alias in the unknown (query) corpus.
+    pub unknown_alias: String,
+    /// Final-stage similarity score.
+    pub score: f64,
+}
+
+/// End-to-end linker configuration.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct LinkerConfig {
+    /// Polishing steps (paper defaults).
+    pub polish: PolishConfig,
+    /// Refinement thresholds (paper: 30 timestamps, 1,500 words).
+    pub refine: RefineConfig,
+    /// The attribution engine settings.
+    pub two_stage: TwoStageConfig,
+    /// Skip polishing (for pre-polished corpora).
+    pub already_polished: bool,
+}
+
+/// The end-to-end linker.
+#[derive(Debug)]
+pub struct Linker {
+    config: LinkerConfig,
+    polisher: Polisher,
+    builder: DatasetBuilder,
+}
+
+impl Linker {
+    /// Creates a linker.
+    pub fn new(config: LinkerConfig) -> Linker {
+        let polisher = Polisher::new(config.polish.clone());
+        Linker {
+            config,
+            polisher,
+            builder: DatasetBuilder::new(),
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &LinkerConfig {
+        &self.config
+    }
+
+    /// Polishes + refines one corpus into an attribution dataset.
+    pub fn prepare(&self, corpus: &Corpus) -> Dataset {
+        let polished = if self.config.already_polished {
+            corpus.clone()
+        } else {
+            self.polisher.polish(corpus).0
+        };
+        let profiles = ProfileBuilder::new(ProfilePolicy::default());
+        let refined = refine(&polished, self.config.refine, &profiles);
+        self.builder.build(&refined)
+    }
+
+    /// Links `unknown`'s aliases to `known`'s: every emitted pair says
+    /// "this unknown alias is the same person as this known alias".
+    pub fn link(&self, known: &Corpus, unknown: &Corpus) -> Vec<AliasMatch> {
+        let known_ds = self.prepare(known);
+        let unknown_ds = self.prepare(unknown);
+        self.link_datasets(&known_ds, &unknown_ds)
+    }
+
+    /// Links two prepared datasets.
+    pub fn link_datasets(&self, known: &Dataset, unknown: &Dataset) -> Vec<AliasMatch> {
+        if known.is_empty() || unknown.is_empty() {
+            return Vec::new();
+        }
+        let engine = TwoStage::new(self.config.two_stage.clone());
+        engine
+            .link(known, unknown)
+            .into_iter()
+            .map(|(u, k, score)| AliasMatch {
+                known_alias: known.records[k].alias.clone(),
+                unknown_alias: unknown.records[u].alias.clone(),
+                score,
+            })
+            .collect()
+    }
+}
+
+impl Default for Linker {
+    fn default() -> Linker {
+        Linker::new(LinkerConfig::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use darklight_corpus::model::{Post, User};
+
+    /// Builds a corpus of `n` users with distinctive vocabulary; user 0 of
+    /// each corpus is the same persona.
+    fn corpus(name: &str, salt: usize) -> Corpus {
+        let mut c = Corpus::new(name);
+        let base = 1_486_375_200i64;
+        for pid in 0..4u64 {
+            let mut u = User::new(format!("{name}_user{pid}"), Some(pid));
+            // Shared persona vocabulary regardless of forum; enough posts
+            // and words to survive refinement.
+            let vocab = match pid {
+                0 => ["harpsichord", "madrigal", "counterpoint", "basso"],
+                1 => ["terrarium", "isopods", "springtails", "bioactive"],
+                2 => ["leatherwork", "awl", "burnishing", "saddle"],
+                _ => ["homebrew", "fermenter", "sparge", "lauter"],
+            };
+            for i in 0..70i64 {
+                let ts = base
+                    + (i / 5) * 7 * 86_400
+                    + (i % 5) * 86_400
+                    + (pid as i64) * 7_200
+                    + salt as i64; // forums differ slightly
+                let w1 = vocab[i as usize % 4];
+                let w2 = vocab[(i as usize + 1) % 4];
+                // Unique per-post marker words keep the dedup step from
+                // collapsing the corpus.
+                let ma = char::from(b'a' + (i % 26) as u8);
+                let mb = char::from(b'a' + ((i / 26) % 26) as u8);
+                u.posts.push(Post::new(
+                    format!(
+                        "today the {w1} project moved forward again and i compared several {w2} methods \
+                         with friends near batch {ma}{mb} before writing longer notes about {w1} \
+                         techniques and the tools involved"
+                    ),
+                    ts,
+                ));
+            }
+            c.users.push(u);
+        }
+        c
+    }
+
+    #[test]
+    fn links_matching_personas_across_corpora() {
+        let known = corpus("forum_a", 0);
+        let unknown = corpus("forum_b", 1800);
+        let mut cfg = LinkerConfig::default();
+        cfg.two_stage.k = 2;
+        cfg.two_stage.threshold = 0.3;
+        cfg.two_stage.threads = 2;
+        let linker = Linker::new(cfg);
+        let matches = linker.link(&known, &unknown);
+        assert!(!matches.is_empty());
+        for m in &matches {
+            // forum_a_userX should match forum_b_userX.
+            let ka = m.known_alias.trim_start_matches("forum_a_user");
+            let ua = m.unknown_alias.trim_start_matches("forum_b_user");
+            assert_eq!(ka, ua, "{m:?}");
+            assert!(m.score >= 0.3);
+        }
+    }
+
+    #[test]
+    fn empty_corpora_yield_no_matches() {
+        let linker = Linker::default();
+        let empty = Corpus::new("e");
+        assert!(linker.link(&empty, &empty).is_empty());
+        let known = corpus("a", 0);
+        assert!(linker.link(&known, &empty).is_empty());
+    }
+
+    #[test]
+    fn prepare_refines_thin_users_away() {
+        let mut c = corpus("x", 0);
+        let mut thin = User::new("thin_user", None);
+        thin.posts.push(Post::new("one short post only", 1_486_375_200));
+        c.users.push(thin);
+        let linker = Linker::default();
+        let ds = linker.prepare(&c);
+        assert!(ds.index_of("thin_user").is_none());
+        assert_eq!(ds.len(), 4);
+    }
+}

@@ -1,0 +1,448 @@
+//! The two-stage attribution algorithm (§IV-I of the paper).
+//!
+//! Stage 1 fits the *space-reduction* feature space on the known aliases,
+//! embeds everyone, and keeps the k most similar candidates per unknown.
+//! Stage 2 re-fits the *final* feature space on just those k candidates —
+//! "this changes the sequences of words and chars selected by frequency and
+//! consequently the Tf-Idf weighting" — re-scores, and outputs the best
+//! pair when its score clears the threshold.
+
+use crate::attrib::{top_k_of, CandidateIndex, Ranked};
+use crate::dataset::Dataset;
+use darklight_features::pipeline::{FeatureConfig, FeatureExtractor};
+use darklight_features::sparse::SparseVector;
+
+/// Configuration of the two-stage pipeline. Defaults are the paper's.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TwoStageConfig {
+    /// Candidates kept by the reduction stage (paper: 10).
+    pub k: usize,
+    /// Stage-1 feature configuration (Table II, "Space Reduction").
+    pub reduction: FeatureConfig,
+    /// Stage-2 feature configuration (Table II, "Final").
+    pub final_stage: FeatureConfig,
+    /// Similarity threshold for emitting a pair (paper: 0.4190).
+    pub threshold: f64,
+    /// Worker threads for batch scoring (0 = all available cores).
+    pub threads: usize,
+}
+
+impl Default for TwoStageConfig {
+    fn default() -> TwoStageConfig {
+        TwoStageConfig {
+            k: crate::PAPER_K,
+            reduction: FeatureConfig::space_reduction(),
+            final_stage: FeatureConfig::final_stage(),
+            threshold: crate::PAPER_THRESHOLD,
+            threads: 0,
+        }
+    }
+}
+
+impl TwoStageConfig {
+    /// Copy without the daily-activity block in either stage (the
+    /// "text-only" rows of Table III and Fig. 4).
+    pub fn without_activity(mut self) -> TwoStageConfig {
+        self.reduction = self.reduction.without_activity();
+        self.final_stage = self.final_stage.without_activity();
+        self
+    }
+
+    fn effective_threads(&self) -> usize {
+        if self.threads > 0 {
+            self.threads
+        } else {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4)
+        }
+    }
+}
+
+/// The outcome of the pipeline for one unknown alias.
+#[derive(Debug, Clone)]
+pub struct RankedMatch {
+    /// Index of the unknown alias in the unknown dataset.
+    pub unknown: usize,
+    /// Stage-1 candidates (indices into the known dataset), best first.
+    pub stage1: Vec<Ranked>,
+    /// Stage-2 re-scores of those candidates, best first.
+    pub stage2: Vec<Ranked>,
+}
+
+impl RankedMatch {
+    /// The best candidate after stage 2, if any candidates existed.
+    pub fn best(&self) -> Option<Ranked> {
+        self.stage2.first().copied()
+    }
+
+    /// `true` when the best stage-2 score clears `threshold`.
+    pub fn accepted(&self, threshold: f64) -> bool {
+        self.best().is_some_and(|b| b.score >= threshold)
+    }
+}
+
+/// The two-stage attribution engine.
+#[derive(Debug, Clone, Default)]
+pub struct TwoStage {
+    config: TwoStageConfig,
+}
+
+impl TwoStage {
+    /// Engine with the given configuration.
+    pub fn new(config: TwoStageConfig) -> TwoStage {
+        TwoStage { config }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &TwoStageConfig {
+        &self.config
+    }
+
+    /// Stage 1 only: the k-attribution candidates for every unknown
+    /// (§IV-C). Returned per unknown, best first.
+    pub fn reduce(&self, known: &Dataset, unknown: &Dataset) -> Vec<Vec<Ranked>> {
+        let space = FeatureExtractor::new(self.config.reduction.clone())
+            .fit_counted(known.records.iter().map(|r| &r.counted));
+        let known_vecs: Vec<SparseVector> = known
+            .records
+            .iter()
+            .map(|r| space.vectorize_counted(&r.counted, r.profile.as_ref()))
+            .collect();
+        let index = CandidateIndex::build(&known_vecs, space.dim());
+        let queries: Vec<SparseVector> = unknown
+            .records
+            .iter()
+            .map(|r| space.vectorize_counted(&r.counted, r.profile.as_ref()))
+            .collect();
+        index.top_k_batch(&queries, self.config.k, self.config.effective_threads())
+    }
+
+    /// Both stages for every unknown alias.
+    pub fn run(&self, known: &Dataset, unknown: &Dataset) -> Vec<RankedMatch> {
+        let stage1 = self.reduce(known, unknown);
+        self.rescore(known, unknown, stage1)
+    }
+
+    /// Stage 2 given existing stage-1 candidate lists (used by the batch
+    /// mode of §IV-J, which produces candidates hierarchically).
+    pub fn rescore(
+        &self,
+        known: &Dataset,
+        unknown: &Dataset,
+        stage1: Vec<Vec<Ranked>>,
+    ) -> Vec<RankedMatch> {
+        assert_eq!(stage1.len(), unknown.records.len(), "stage-1 shape mismatch");
+        let threads = self.config.effective_threads().max(1);
+        let n = unknown.records.len();
+        let mut results: Vec<Option<RankedMatch>> = vec![None; n];
+        let chunk = n.div_ceil(threads).max(1);
+        let stage1_ref = &stage1;
+        let mut slots: Vec<&mut [Option<RankedMatch>]> = results.chunks_mut(chunk).collect();
+        crossbeam::scope(|s| {
+            for (ci, slot) in slots.iter_mut().enumerate() {
+                let start = ci * chunk;
+                let engine = &*self;
+                s.spawn(move |_| {
+                    for (off, out) in slot.iter_mut().enumerate() {
+                        let u = start + off;
+                        *out = Some(engine.rescore_one(known, unknown, u, &stage1_ref[u]));
+                    }
+                });
+            }
+        })
+        .expect("rescoring threads do not panic");
+        results
+            .into_iter()
+            .map(|r| r.expect("every slot filled"))
+            .collect()
+    }
+
+    /// Runs stage 2 for a single unknown: refit on the candidate set,
+    /// vectorize, re-rank.
+    fn rescore_one(
+        &self,
+        known: &Dataset,
+        unknown: &Dataset,
+        u: usize,
+        candidates: &[Ranked],
+    ) -> RankedMatch {
+        if candidates.is_empty() {
+            return RankedMatch {
+                unknown: u,
+                stage1: Vec::new(),
+                stage2: Vec::new(),
+            };
+        }
+        let urec = &unknown.records[u];
+        // The refit corpus is the k candidates *plus the unknown document*:
+        // §IV-I — "this procedure changes the feature vector of the unknown
+        // alias too". Grams unique to the unknown then carry high IDF,
+        // sharpening the discrimination among near candidates.
+        let space = FeatureExtractor::new(self.config.final_stage.clone()).fit_counted(
+            candidates
+                .iter()
+                .map(|c| &known.records[c.index].counted)
+                .chain(std::iter::once(&urec.counted)),
+        );
+        let uvec = space.vectorize_counted(&urec.counted, urec.profile.as_ref());
+        let mut stage2: Vec<Ranked> = candidates
+            .iter()
+            .map(|c| {
+                let rec = &known.records[c.index];
+                let v = space.vectorize_counted(&rec.counted, rec.profile.as_ref());
+                Ranked {
+                    index: c.index,
+                    score: uvec.dot(&v),
+                }
+            })
+            .collect();
+        stage2.sort_by(|a, b| {
+            b.score
+                .partial_cmp(&a.score)
+                .expect("scores are finite")
+                .then_with(|| a.index.cmp(&b.index))
+        });
+        RankedMatch {
+            unknown: u,
+            stage1: candidates.to_vec(),
+            stage2,
+        }
+    }
+
+    /// Single-stage ablation (the "without reduction" rows of Table VI and
+    /// Fig. 5): fit the final feature space on *all* known aliases and rank
+    /// every candidate in one pass, keeping the top `k` per unknown.
+    pub fn run_without_reduction(&self, known: &Dataset, unknown: &Dataset) -> Vec<RankedMatch> {
+        self.run_without_reduction_depth(known, unknown, self.config.k)
+    }
+
+    /// Like [`run_without_reduction`](TwoStage::run_without_reduction) but
+    /// keeping `depth` candidates per unknown — `known.len()` gives the
+    /// full ranking, which the paper's literal pair-emission rule needs
+    /// when there is no reduction to cap the candidate set.
+    pub fn run_without_reduction_depth(
+        &self,
+        known: &Dataset,
+        unknown: &Dataset,
+        depth: usize,
+    ) -> Vec<RankedMatch> {
+        let space = FeatureExtractor::new(self.config.final_stage.clone())
+            .fit_counted(known.records.iter().map(|r| &r.counted));
+        let known_vecs: Vec<SparseVector> = known
+            .records
+            .iter()
+            .map(|r| space.vectorize_counted(&r.counted, r.profile.as_ref()))
+            .collect();
+        let index = CandidateIndex::build(&known_vecs, space.dim());
+        let queries: Vec<SparseVector> = unknown
+            .records
+            .iter()
+            .map(|r| space.vectorize_counted(&r.counted, r.profile.as_ref()))
+            .collect();
+        let tops = index.top_k_batch(&queries, depth, self.config.effective_threads());
+        tops.into_iter()
+            .enumerate()
+            .map(|(u, ranked)| RankedMatch {
+                unknown: u,
+                stage1: ranked.clone(),
+                stage2: ranked,
+            })
+            .collect()
+    }
+
+    /// Convenience: accepted pairs `(unknown, candidate, score)` at the
+    /// configured threshold.
+    pub fn link(&self, known: &Dataset, unknown: &Dataset) -> Vec<(usize, usize, f64)> {
+        self.run(known, unknown)
+            .into_iter()
+            .filter_map(|m| {
+                let best = m.best()?;
+                (best.score >= self.config.threshold)
+                    .then_some((m.unknown, best.index, best.score))
+            })
+            .collect()
+    }
+}
+
+/// Extension used by ablations: score a full similarity matrix without an
+/// index (small sets only).
+pub fn dense_scores(known: &[SparseVector], unknown: &[SparseVector]) -> Vec<Vec<f64>> {
+    unknown
+        .iter()
+        .map(|u| known.iter().map(|k| u.dot(k)).collect())
+        .collect()
+}
+
+/// Ranks a dense score row; see [`top_k_of`].
+pub fn rank_row(scores: &[f64], k: usize) -> Vec<Ranked> {
+    top_k_of(scores, k)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::DatasetBuilder;
+    use darklight_corpus::model::{Corpus, Post, User};
+
+    /// A small world: three authors with distinctive vocabulary, split into
+    /// known/unknown halves.
+    fn world() -> (Dataset, Dataset) {
+        let styles = [
+            ("alice", "gardening tulips compost seedling watering trowel blossom pruning"),
+            ("bob", "overclocking motherboard thermals benchmark silicon wattage chipset bios"),
+            ("carol", "sourdough hydration crumb proofing levain bannetons scoring oven"),
+        ];
+        let mut known = Corpus::new("known");
+        let mut unknown = Corpus::new("unknown");
+        let base = 1_486_375_200i64;
+        for (pid, (name, vocab)) in styles.iter().enumerate() {
+            let words: Vec<&str> = vocab.split(' ').collect();
+            for (half, corpus) in [(0, &mut known), (1, &mut unknown)] {
+                let alias = if half == 0 {
+                    name.to_string()
+                } else {
+                    format!("{name}_alt")
+                };
+                let mut u = User::new(alias, Some(pid as u64));
+                for i in 0..40 {
+                    let ts = base
+                        + ((i + half * 40) / 5) * 7 * 86_400
+                        + ((i + half * 40) % 5) * 86_400
+                        + pid as i64 * 3600; // distinct posting hours
+                    let w1 = words[i as usize % words.len()];
+                    let w2 = words[(i as usize + 1) % words.len()];
+                    let w3 = words[(i as usize + 3) % words.len()];
+                    u.posts.push(Post::new(
+                        format!("today i worked on {w1} and then compared {w2} with {w3} before writing notes about {w1} again"),
+                        ts,
+                    ));
+                }
+                corpus.users.push(u);
+            }
+        }
+        let b = DatasetBuilder::new();
+        (b.build(&known), b.build(&unknown))
+    }
+
+    fn config() -> TwoStageConfig {
+        TwoStageConfig {
+            k: 2,
+            threads: 2,
+            ..TwoStageConfig::default()
+        }
+    }
+
+    #[test]
+    fn reduce_finds_true_author_in_candidates() {
+        let (known, unknown) = world();
+        let engine = TwoStage::new(config());
+        let stage1 = engine.reduce(&known, &unknown);
+        for (u, candidates) in stage1.iter().enumerate() {
+            let truth = unknown.records[u].persona;
+            assert!(
+                candidates
+                    .iter()
+                    .any(|c| known.records[c.index].persona == truth),
+                "unknown {u}: true author not in candidates"
+            );
+        }
+    }
+
+    #[test]
+    fn full_pipeline_matches_correctly() {
+        let (known, unknown) = world();
+        let engine = TwoStage::new(config());
+        let results = engine.run(&known, &unknown);
+        assert_eq!(results.len(), unknown.len());
+        for m in &results {
+            let best = m.best().expect("candidates exist");
+            assert_eq!(
+                known.records[best.index].persona,
+                unknown.records[m.unknown].persona,
+                "wrong match for unknown {}",
+                m.unknown
+            );
+            assert!(best.score > 0.2, "score {}", best.score);
+            // Stage-2 list is sorted.
+            for w in m.stage2.windows(2) {
+                assert!(w[0].score >= w[1].score);
+            }
+        }
+    }
+
+    #[test]
+    fn without_reduction_also_ranks() {
+        let (known, unknown) = world();
+        let engine = TwoStage::new(config());
+        let results = engine.run_without_reduction(&known, &unknown);
+        for m in &results {
+            let best = m.best().unwrap();
+            assert_eq!(
+                known.records[best.index].persona,
+                unknown.records[m.unknown].persona
+            );
+        }
+    }
+
+    #[test]
+    fn link_respects_threshold() {
+        let (known, unknown) = world();
+        let mut cfg = config();
+        cfg.threshold = 1.1; // impossible
+        assert!(TwoStage::new(cfg.clone()).link(&known, &unknown).is_empty());
+        cfg.threshold = 0.0;
+        let links = TwoStage::new(cfg).link(&known, &unknown);
+        assert_eq!(links.len(), unknown.len());
+    }
+
+    #[test]
+    fn deterministic_across_thread_counts() {
+        let (known, unknown) = world();
+        let r1 = TwoStage::new(TwoStageConfig {
+            threads: 1,
+            ..config()
+        })
+        .run(&known, &unknown);
+        let r4 = TwoStage::new(TwoStageConfig {
+            threads: 4,
+            ..config()
+        })
+        .run(&known, &unknown);
+        for (a, b) in r1.iter().zip(&r4) {
+            assert_eq!(a.best().map(|x| x.index), b.best().map(|x| x.index));
+            assert!((a.best().unwrap().score - b.best().unwrap().score).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn empty_unknown_set() {
+        let (known, _) = world();
+        let empty = Dataset {
+            name: "empty".into(),
+            records: Vec::new(),
+        };
+        let engine = TwoStage::new(config());
+        assert!(engine.run(&known, &empty).is_empty());
+    }
+
+    #[test]
+    fn accepted_logic() {
+        let m = RankedMatch {
+            unknown: 0,
+            stage1: vec![],
+            stage2: vec![Ranked {
+                index: 3,
+                score: 0.5,
+            }],
+        };
+        assert!(m.accepted(0.4));
+        assert!(!m.accepted(0.6));
+        let none = RankedMatch {
+            unknown: 0,
+            stage1: vec![],
+            stage2: vec![],
+        };
+        assert!(!none.accepted(0.0));
+    }
+}

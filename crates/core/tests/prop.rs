@@ -1,0 +1,79 @@
+//! Property-based tests for the attribution engine.
+
+use darklight_core::attrib::{rank_of, top_k_of, CandidateIndex};
+use darklight_features::sparse::SparseVector;
+use proptest::prelude::*;
+
+fn vector_strategy() -> impl Strategy<Value = SparseVector> {
+    proptest::collection::vec((0u32..2_000, 0.01f32..5.0), 1..60)
+        .prop_map(|pairs| SparseVector::from_pairs(pairs).l2_normalized())
+}
+
+proptest! {
+    /// Inverted-index scores equal pairwise dot products.
+    #[test]
+    fn index_scores_match_pairwise(
+        vectors in proptest::collection::vec(vector_strategy(), 1..20),
+        query in vector_strategy(),
+    ) {
+        let index = CandidateIndex::build(&vectors, 2_000);
+        let scores = index.scores(&query);
+        prop_assert_eq!(scores.len(), vectors.len());
+        for (i, v) in vectors.iter().enumerate() {
+            prop_assert!((scores[i] - query.dot(v)).abs() < 1e-5, "user {}", i);
+        }
+    }
+
+    /// top_k is sorted descending, truncated, and consistent with scores.
+    #[test]
+    fn top_k_consistent(
+        vectors in proptest::collection::vec(vector_strategy(), 1..20),
+        query in vector_strategy(),
+        k in 1usize..25,
+    ) {
+        let index = CandidateIndex::build(&vectors, 2_000);
+        let top = index.top_k(&query, k);
+        prop_assert!(top.len() <= k.min(vectors.len()));
+        for w in top.windows(2) {
+            prop_assert!(w[0].score >= w[1].score);
+        }
+        // The top-1 really is the max.
+        if let Some(first) = top.first() {
+            let scores = index.scores(&query);
+            let max = scores.iter().cloned().fold(f64::MIN, f64::max);
+            prop_assert!((first.score - max).abs() < 1e-9);
+        }
+    }
+
+    /// Batch scoring equals sequential scoring for any thread count.
+    #[test]
+    fn batch_matches_sequential(
+        vectors in proptest::collection::vec(vector_strategy(), 1..12),
+        queries in proptest::collection::vec(vector_strategy(), 0..12),
+        threads in 1usize..6,
+    ) {
+        let index = CandidateIndex::build(&vectors, 2_000);
+        let seq: Vec<_> = queries.iter().map(|q| index.top_k(q, 3)).collect();
+        let par = index.top_k_batch(&queries, 3, threads);
+        prop_assert_eq!(seq, par);
+    }
+
+    /// rank_of agrees with top_k_of ordering.
+    #[test]
+    fn rank_of_agrees_with_sort(scores in proptest::collection::vec(0.0f64..1.0, 1..30)) {
+        let ranked = top_k_of(&scores, scores.len());
+        for (pos, r) in ranked.iter().enumerate() {
+            prop_assert_eq!(rank_of(&scores, r.index), Some(pos + 1));
+        }
+    }
+
+    /// Every index appears exactly once in a full ranking.
+    #[test]
+    fn full_ranking_is_permutation(scores in proptest::collection::vec(0.0f64..1.0, 1..30)) {
+        let ranked = top_k_of(&scores, scores.len());
+        let mut seen: Vec<usize> = ranked.iter().map(|r| r.index).collect();
+        seen.sort_unstable();
+        let expected: Vec<usize> = (0..scores.len()).collect();
+        prop_assert_eq!(seen, expected);
+    }
+}

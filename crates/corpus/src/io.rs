@@ -1,0 +1,315 @@
+//! TSV serialization of corpora.
+//!
+//! Experiment artifacts (generated corpora, refined datasets) are stored in
+//! a simple line-oriented, tab-separated format so they can be inspected
+//! with standard tools and diffed across runs. Tabs, newlines, and
+//! backslashes inside fields are escaped. The format is versioned by a
+//! header line.
+//!
+//! ```text
+//! #darklight-corpus v1 <name>
+//! U<TAB><alias><TAB><persona|->
+//! F<TAB><kind><TAB><value>          (facts of the last U)
+//! P<TAB><timestamp><TAB><topic><TAB><text>   (posts of the last U)
+//! ```
+
+use crate::model::{Corpus, Fact, FactKind, Post, User};
+use std::error::Error;
+use std::fmt;
+use std::io::{BufRead, Write};
+
+/// Errors produced while reading the TSV format.
+#[derive(Debug)]
+pub enum ReadError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// The header line is missing or has the wrong version.
+    BadHeader(String),
+    /// A malformed record line, with its 1-based line number.
+    BadRecord {
+        /// 1-based line number.
+        line: usize,
+        /// Explanation of the problem.
+        reason: String,
+    },
+}
+
+impl fmt::Display for ReadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReadError::Io(e) => write!(f, "i/o error reading corpus: {e}"),
+            ReadError::BadHeader(h) => write!(f, "bad corpus header: {h:?}"),
+            ReadError::BadRecord { line, reason } => {
+                write!(f, "bad corpus record at line {line}: {reason}")
+            }
+        }
+    }
+}
+
+impl Error for ReadError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ReadError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for ReadError {
+    fn from(e: std::io::Error) -> ReadError {
+        ReadError::Io(e)
+    }
+}
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\t' => out.push_str("\\t"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+fn unescape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('t') => out.push('\t'),
+            Some('n') => out.push('\n'),
+            Some('r') => out.push('\r'),
+            Some('\\') => out.push('\\'),
+            Some(other) => {
+                out.push('\\');
+                out.push(other);
+            }
+            None => out.push('\\'),
+        }
+    }
+    out
+}
+
+/// Writes a corpus in the TSV format.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the writer.
+pub fn write_corpus<W: Write>(corpus: &Corpus, mut w: W) -> std::io::Result<()> {
+    writeln!(w, "#darklight-corpus v1 {}", escape(&corpus.name))?;
+    for user in &corpus.users {
+        let persona = match user.persona {
+            Some(p) => p.to_string(),
+            None => "-".to_string(),
+        };
+        writeln!(w, "U\t{}\t{}", escape(&user.alias), persona)?;
+        for fact in &user.facts {
+            writeln!(w, "F\t{}\t{}", fact.kind.as_str(), escape(&fact.value))?;
+        }
+        for post in &user.posts {
+            writeln!(
+                w,
+                "P\t{}\t{}\t{}",
+                post.timestamp,
+                escape(&post.topic),
+                escape(&post.text)
+            )?;
+        }
+    }
+    Ok(())
+}
+
+/// Reads a corpus from the TSV format.
+///
+/// # Errors
+///
+/// Returns [`ReadError`] on I/O failure, a bad header, or malformed record
+/// lines.
+pub fn read_corpus<R: BufRead>(r: R) -> Result<Corpus, ReadError> {
+    let mut lines = r.lines().enumerate();
+    let (_, header) = lines
+        .next()
+        .ok_or_else(|| ReadError::BadHeader("<empty input>".into()))?;
+    let header = header?;
+    let name = header
+        .strip_prefix("#darklight-corpus v1 ")
+        .ok_or_else(|| ReadError::BadHeader(header.clone()))?;
+    let mut corpus = Corpus::new(unescape(name));
+    for (idx, line) in lines {
+        let line = line?;
+        let lineno = idx + 1;
+        if line.is_empty() {
+            continue;
+        }
+        let bad = |reason: &str| ReadError::BadRecord {
+            line: lineno + 1,
+            reason: reason.to_string(),
+        };
+        let mut fields = line.split('\t');
+        match fields.next() {
+            Some("U") => {
+                let alias = fields.next().ok_or_else(|| bad("missing alias"))?;
+                let persona = fields.next().ok_or_else(|| bad("missing persona"))?;
+                let persona = if persona == "-" {
+                    None
+                } else {
+                    Some(
+                        persona
+                            .parse::<u64>()
+                            .map_err(|_| bad("persona is not an integer"))?,
+                    )
+                };
+                corpus.users.push(User::new(unescape(alias), persona));
+            }
+            Some("F") => {
+                let user = corpus
+                    .users
+                    .last_mut()
+                    .ok_or_else(|| bad("fact before any user"))?;
+                let kind = fields.next().ok_or_else(|| bad("missing fact kind"))?;
+                let kind = FactKind::parse(kind).ok_or_else(|| bad("unknown fact kind"))?;
+                let value = fields.next().ok_or_else(|| bad("missing fact value"))?;
+                user.facts.push(Fact::new(kind, unescape(value)));
+            }
+            Some("P") => {
+                let user = corpus
+                    .users
+                    .last_mut()
+                    .ok_or_else(|| bad("post before any user"))?;
+                let ts = fields
+                    .next()
+                    .ok_or_else(|| bad("missing timestamp"))?
+                    .parse::<i64>()
+                    .map_err(|_| bad("timestamp is not an integer"))?;
+                let topic = fields.next().ok_or_else(|| bad("missing topic"))?;
+                let text = fields.next().ok_or_else(|| bad("missing text"))?;
+                user.posts
+                    .push(Post::with_topic(unescape(text), ts, unescape(topic)));
+            }
+            Some(other) => return Err(bad(&format!("unknown record type {other:?}"))),
+            None => unreachable!("split always yields at least one item"),
+        }
+    }
+    Ok(corpus)
+}
+
+/// Writes `corpus` to a file path.
+///
+/// # Errors
+///
+/// Propagates file-creation and write errors.
+pub fn save_corpus(corpus: &Corpus, path: &std::path::Path) -> std::io::Result<()> {
+    let f = std::fs::File::create(path)?;
+    write_corpus(corpus, std::io::BufWriter::new(f))
+}
+
+/// Reads a corpus from a file path.
+///
+/// # Errors
+///
+/// Returns [`ReadError`] on any I/O or format problem.
+pub fn load_corpus(path: &std::path::Path) -> Result<Corpus, ReadError> {
+    let f = std::fs::File::open(path)?;
+    read_corpus(std::io::BufReader::new(f))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Corpus {
+        let mut c = Corpus::new("dark web\tforum");
+        let mut u = User::new("alias\twith\ttabs", Some(42));
+        u.facts.push(Fact::new(FactKind::City, "miami"));
+        u.facts.push(Fact::new(FactKind::AliasRef, "other_alias"));
+        u.posts.push(Post::with_topic("line one\nline two", 1_500_000_000, "drugs"));
+        u.posts.push(Post::new("back\\slash and \r carriage", 1_500_000_100));
+        c.users.push(u);
+        c.users.push(User::new("empty_user", None));
+        c
+    }
+
+    #[test]
+    fn round_trip() {
+        let c = sample();
+        let mut buf = Vec::new();
+        write_corpus(&c, &mut buf).unwrap();
+        let back = read_corpus(buf.as_slice()).unwrap();
+        assert_eq!(back, c);
+    }
+
+    #[test]
+    fn escaping_keeps_one_record_per_line() {
+        let c = sample();
+        let mut buf = Vec::new();
+        write_corpus(&c, &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        // 1 header + 2 U + 2 F + 2 P lines.
+        assert_eq!(text.lines().count(), 7);
+        for line in text.lines().skip(1) {
+            assert!(line.starts_with(['U', 'F', 'P']));
+        }
+    }
+
+    #[test]
+    fn bad_header_rejected() {
+        let err = read_corpus("not a header\n".as_bytes()).unwrap_err();
+        assert!(matches!(err, ReadError::BadHeader(_)));
+        let err = read_corpus("".as_bytes()).unwrap_err();
+        assert!(matches!(err, ReadError::BadHeader(_)));
+    }
+
+    #[test]
+    fn orphan_records_rejected() {
+        let data = "#darklight-corpus v1 x\nP\t1\ttopic\ttext\n";
+        let err = read_corpus(data.as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("post before any user"));
+    }
+
+    #[test]
+    fn malformed_fields_rejected() {
+        let data = "#darklight-corpus v1 x\nU\ta\tnot_a_number\n";
+        let err = read_corpus(data.as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("persona"));
+        let data = "#darklight-corpus v1 x\nU\ta\t-\nF\tbogus_kind\tv\n";
+        let err = read_corpus(data.as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("unknown fact kind"));
+        let data = "#darklight-corpus v1 x\nZ\tfoo\n";
+        let err = read_corpus(data.as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("unknown record type"));
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let dir = std::env::temp_dir().join("darklight_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("corpus.tsv");
+        let c = sample();
+        save_corpus(&c, &path).unwrap();
+        let back = load_corpus(&path).unwrap();
+        assert_eq!(back, c);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn empty_lines_tolerated() {
+        let data = "#darklight-corpus v1 x\n\nU\ta\t-\n\n";
+        let c = read_corpus(data.as_bytes()).unwrap();
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn escape_unescape_inverse() {
+        for s in ["plain", "tab\there", "nl\nhere", "back\\slash", "\r", "\\t literal"] {
+            assert_eq!(unescape(&escape(s)), s, "{s:?}");
+        }
+    }
+}

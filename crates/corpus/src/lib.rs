@@ -1,0 +1,32 @@
+//! Corpus layer of the `darklight` pipeline: the forum data model, the
+//! paper's twelve polishing steps (§III-C), dataset refinement and
+//! alter-ego generation (§IV-D), corpus statistics (Fig. 1, Table I), and a
+//! dependency-free TSV serialization for experiment artifacts.
+//!
+//! The paper works with three forums — Reddit, The Majestic Garden, and the
+//! Dream Market — scraped into (alias, posts, timestamps) records. This
+//! crate is agnostic to where a [`model::Corpus`] comes from (the
+//! `darklight-synth` crate generates them; [`io`] loads them from disk) and
+//! provides everything between raw posts and the refined datasets the
+//! attribution stage consumes:
+//!
+//! * [`model`] — forums, users, posts, and the ground-truth metadata
+//!   (persona ids, identity facts) used for evaluation;
+//! * [`polish`] — the twelve cleaning steps with a per-step report;
+//! * [`refine`] — minimum-data filtering, longest-first text budgeting, and
+//!   the alter-ego split that manufactures ground truth;
+//! * [`stats`] — words-per-user CDFs and topic composition;
+//! * [`io`] — TSV round-tripping of corpora.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod io;
+pub mod model;
+pub mod polish;
+pub mod refine;
+pub mod stats;
+
+pub use model::{Corpus, Fact, FactKind, Post, User};
+pub use polish::{PolishConfig, PolishReport, Polisher};
+pub use refine::{AlterEgoConfig, RefineConfig};

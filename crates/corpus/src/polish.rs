@@ -1,0 +1,339 @@
+//! The twelve polishing steps (§III-C of the paper).
+//!
+//! Raw forum data is noisy: bot accounts, crossposted duplicates, spam,
+//! quotes, PGP keys, non-English chatter. The paper cleans it with twelve
+//! steps before any feature extraction; [`Polisher::polish`] applies them
+//! in order and returns both the cleaned corpus and a [`PolishReport`]
+//! counting what each step removed:
+//!
+//!  1. drop accounts whose nickname starts/ends with `bot`;
+//!  2. drop duplicate messages (vendors repost showcases; redditors
+//!     crosspost);
+//!  3. normalize URLs to their hostname;
+//!  4. remove emoji;
+//!  5. drop messages shorter than 10 words;
+//!  6. drop messages whose distinct-word ratio is below 0.5 (spam);
+//!  7. keep only English messages;
+//!  8. remove quoted text (someone else's words);
+//!  9. remove `Edit by <user>` platform tags;
+//! 10. replace e-mail addresses with `_mail_`;
+//! 11. remove PGP key blocks;
+//! 12. drop "words" longer than 34 characters.
+//!
+//! Text transforms (3, 4, 8–12) run before the filters (5–7) so that word
+//! counts and language detection see the text the feature extractor will.
+
+use crate::model::{Corpus, User};
+use darklight_text::langdetect::LanguageDetector;
+use darklight_text::normalize;
+use darklight_text::token::word_count;
+use std::collections::HashSet;
+
+/// Configuration of the polishing pipeline. The defaults are the paper's
+/// settings; each step can be disabled for ablation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PolishConfig {
+    /// Step 1: drop `bot`-named accounts.
+    pub drop_bots: bool,
+    /// Step 2: drop duplicate messages per user.
+    pub dedup: bool,
+    /// Steps 3, 4, 8–12: apply the text transforms.
+    pub transforms: bool,
+    /// Step 5: minimum words per message (paper: 10; 0 disables).
+    pub min_words: usize,
+    /// Step 6: minimum distinct-word ratio (paper: 0.5; 0.0 disables).
+    pub min_diversity: f64,
+    /// Step 7: keep only messages detected as English.
+    pub english_only: bool,
+    /// Drop users left with zero posts after polishing.
+    pub drop_empty_users: bool,
+}
+
+impl Default for PolishConfig {
+    fn default() -> PolishConfig {
+        PolishConfig {
+            drop_bots: true,
+            dedup: true,
+            transforms: true,
+            min_words: 10,
+            min_diversity: 0.5,
+            english_only: true,
+            drop_empty_users: true,
+        }
+    }
+}
+
+impl PolishConfig {
+    /// A no-op configuration (every step disabled) — the "polishing off"
+    /// ablation baseline.
+    pub fn disabled() -> PolishConfig {
+        PolishConfig {
+            drop_bots: false,
+            dedup: false,
+            transforms: false,
+            min_words: 0,
+            min_diversity: 0.0,
+            english_only: false,
+            drop_empty_users: false,
+        }
+    }
+}
+
+/// What each polishing step removed.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PolishReport {
+    /// Accounts dropped by the bot-name rule (step 1).
+    pub bot_accounts: usize,
+    /// Duplicate messages dropped (step 2).
+    pub duplicate_messages: usize,
+    /// Messages dropped for having fewer than `min_words` words (step 5).
+    pub short_messages: usize,
+    /// Messages dropped by the diversity-ratio spam rule (step 6).
+    pub low_diversity_messages: usize,
+    /// Messages dropped as non-English (step 7).
+    pub non_english_messages: usize,
+    /// Users dropped because no posts survived.
+    pub emptied_users: usize,
+    /// Messages surviving all steps.
+    pub kept_messages: usize,
+}
+
+impl PolishReport {
+    /// Total messages dropped by the per-message filters.
+    pub fn dropped_messages(&self) -> usize {
+        self.duplicate_messages
+            + self.short_messages
+            + self.low_diversity_messages
+            + self.non_english_messages
+    }
+}
+
+/// Applies the polishing pipeline. Holds the language detector so repeated
+/// corpora share the profile tables.
+#[derive(Debug)]
+pub struct Polisher {
+    config: PolishConfig,
+    detector: LanguageDetector,
+}
+
+impl Polisher {
+    /// Creates a polisher with the given configuration.
+    pub fn new(config: PolishConfig) -> Polisher {
+        Polisher {
+            config,
+            detector: LanguageDetector::new(),
+        }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &PolishConfig {
+        &self.config
+    }
+
+    /// Returns `true` when `alias` triggers the bot-name rule (step 1).
+    pub fn is_bot_name(alias: &str) -> bool {
+        let lower = alias.to_lowercase();
+        lower.starts_with("bot") || lower.ends_with("bot")
+    }
+
+    /// Applies all twelve steps, returning the cleaned corpus and the
+    /// removal report.
+    pub fn polish(&self, corpus: &Corpus) -> (Corpus, PolishReport) {
+        let mut report = PolishReport::default();
+        let mut out = Corpus::new(corpus.name.clone());
+        for user in &corpus.users {
+            if self.config.drop_bots && Self::is_bot_name(&user.alias) {
+                report.bot_accounts += 1;
+                continue;
+            }
+            let cleaned = self.polish_user(user, &mut report);
+            if self.config.drop_empty_users && cleaned.posts.is_empty() {
+                report.emptied_users += 1;
+                continue;
+            }
+            out.users.push(cleaned);
+        }
+        (out, report)
+    }
+
+    fn polish_user(&self, user: &User, report: &mut PolishReport) -> User {
+        let mut cleaned = User::new(user.alias.clone(), user.persona);
+        cleaned.facts = user.facts.clone();
+        let mut seen: HashSet<String> = HashSet::new();
+        for post in &user.posts {
+            // Step 2: duplicates (on the raw text, as the paper does during
+            // collection).
+            if self.config.dedup {
+                let key = post.text.trim().to_lowercase();
+                if !seen.insert(key) {
+                    report.duplicate_messages += 1;
+                    continue;
+                }
+            }
+            let text = if self.config.transforms {
+                self.transform_text(&post.text)
+            } else {
+                post.text.clone()
+            };
+            // Step 5: length filter.
+            if self.config.min_words > 0 && word_count(&text) < self.config.min_words {
+                report.short_messages += 1;
+                continue;
+            }
+            // Step 6: diversity filter.
+            if self.config.min_diversity > 0.0
+                && normalize::diversity_ratio(&text) < self.config.min_diversity
+            {
+                report.low_diversity_messages += 1;
+                continue;
+            }
+            // Step 7: language filter.
+            if self.config.english_only && !self.detector.is_english(&text) {
+                report.non_english_messages += 1;
+                continue;
+            }
+            report.kept_messages += 1;
+            let mut p = post.clone();
+            p.text = text;
+            cleaned.posts.push(p);
+        }
+        cleaned
+    }
+
+    /// Steps 3, 4, 8–12 in a sensible composition order: structural
+    /// removals first (quotes, PGP, edit tags), then token rewrites (URLs,
+    /// e-mails), then character cleanups (emoji, long words).
+    fn transform_text(&self, text: &str) -> String {
+        let t = normalize::remove_quotes(text);
+        let t = normalize::remove_pgp_blocks(&t);
+        let t = normalize::remove_edit_tags(&t);
+        let t = normalize::normalize_urls_and_emails(&t);
+        let t = normalize::strip_emojis(&t);
+        normalize::drop_long_words(&t)
+    }
+}
+
+impl Default for Polisher {
+    fn default() -> Polisher {
+        Polisher::new(PolishConfig::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::Post;
+
+    const GOOD: &str = "this is a perfectly normal english message with plenty of distinct words in it";
+
+    fn corpus_with(posts: Vec<Post>) -> Corpus {
+        let mut c = Corpus::new("test");
+        let mut u = User::new("normal_user", Some(1));
+        u.posts = posts;
+        c.users.push(u);
+        c
+    }
+
+    #[test]
+    fn bot_accounts_dropped() {
+        let mut c = Corpus::new("test");
+        for name in ["botfarm", "tipBot", "legit_user", "robotics_fan"] {
+            let mut u = User::new(name, None);
+            u.posts.push(Post::new(GOOD, 1));
+            c.users.push(u);
+        }
+        let (out, report) = Polisher::default().polish(&c);
+        assert_eq!(report.bot_accounts, 2); // botfarm, tipBot
+        let names: Vec<&str> = out.users.iter().map(|u| u.alias.as_str()).collect();
+        assert_eq!(names, ["legit_user", "robotics_fan"]);
+    }
+
+    #[test]
+    fn duplicates_dropped() {
+        let c = corpus_with(vec![
+            Post::new(GOOD, 1),
+            Post::new(GOOD, 2),
+            Post::new(format!("{GOOD} "), 3), // trims to the same key
+        ]);
+        let (out, report) = Polisher::default().polish(&c);
+        assert_eq!(report.duplicate_messages, 2);
+        assert_eq!(out.users[0].posts.len(), 1);
+    }
+
+    #[test]
+    fn short_messages_dropped() {
+        let c = corpus_with(vec![Post::new("too short", 1), Post::new(GOOD, 2)]);
+        let (out, report) = Polisher::default().polish(&c);
+        assert_eq!(report.short_messages, 1);
+        assert_eq!(out.users[0].posts.len(), 1);
+    }
+
+    #[test]
+    fn spam_dropped_by_diversity() {
+        let spam = "buy now buy now buy now buy now buy now buy now";
+        let c = corpus_with(vec![Post::new(spam, 1), Post::new(GOOD, 2)]);
+        let (_, report) = Polisher::default().polish(&c);
+        assert_eq!(report.low_diversity_messages, 1);
+    }
+
+    #[test]
+    fn non_english_dropped() {
+        let es = "me gustaría saber si alguien puede ayudarme con este problema porque no encuentro solución";
+        let c = corpus_with(vec![Post::new(es, 1), Post::new(GOOD, 2)]);
+        let (_, report) = Polisher::default().polish(&c);
+        assert_eq!(report.non_english_messages, 1);
+    }
+
+    #[test]
+    fn transforms_applied_to_kept_messages() {
+        let raw = format!("{GOOD} see https://www.example.com/page and mail me at x@y.io 😀");
+        let c = corpus_with(vec![Post::new(raw, 1)]);
+        let (out, _) = Polisher::default().polish(&c);
+        let text = &out.users[0].posts[0].text;
+        assert!(text.contains("example.com"));
+        assert!(!text.contains("https://"));
+        assert!(text.contains("_mail_"));
+        assert!(!text.contains('😀'));
+    }
+
+    #[test]
+    fn emptied_users_dropped() {
+        let c = corpus_with(vec![Post::new("tiny", 1)]);
+        let (out, report) = Polisher::default().polish(&c);
+        assert!(out.is_empty());
+        assert_eq!(report.emptied_users, 1);
+    }
+
+    #[test]
+    fn disabled_config_is_identity() {
+        let mut c = corpus_with(vec![Post::new("x", 1), Post::new("x", 2)]);
+        c.users.push(User::new("spambot", None));
+        let (out, report) = Polisher::new(PolishConfig::disabled()).polish(&c);
+        assert_eq!(out, c);
+        assert_eq!(report.dropped_messages(), 0);
+        assert_eq!(report.bot_accounts, 0);
+    }
+
+    #[test]
+    fn report_totals_consistent() {
+        let c = corpus_with(vec![
+            Post::new(GOOD, 1),
+            Post::new(GOOD, 2),       // dup
+            Post::new("short one", 3), // short
+        ]);
+        let (_, report) = Polisher::default().polish(&c);
+        assert_eq!(report.kept_messages, 1);
+        assert_eq!(report.dropped_messages(), 2);
+    }
+
+    #[test]
+    fn facts_and_persona_preserved() {
+        let mut c = corpus_with(vec![Post::new(GOOD, 1)]);
+        c.users[0]
+            .facts
+            .push(crate::model::Fact::new(crate::model::FactKind::Age, "27"));
+        let (out, _) = Polisher::default().polish(&c);
+        assert_eq!(out.users[0].persona, Some(1));
+        assert_eq!(out.users[0].facts.len(), 1);
+    }
+}

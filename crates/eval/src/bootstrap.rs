@@ -1,0 +1,219 @@
+//! Bootstrap confidence intervals for precision/recall estimates.
+//!
+//! The paper reports point estimates (94% precision at 80% recall) on a
+//! single split; with a few hundred matches, those numbers carry several
+//! points of sampling noise. This module quantifies that: resample the
+//! labeled best-match scores with replacement and report percentile
+//! intervals — useful when deciding whether a measured difference (e.g.
+//! between batched and unbatched modes) is real.
+//!
+//! The resampler is a self-contained SplitMix64, so intervals are
+//! reproducible without a `rand` dependency.
+
+use crate::metrics::{precision_recall_at, LabeledScore};
+
+/// A percentile confidence interval for an estimate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Interval {
+    /// The point estimate on the full sample.
+    pub estimate: f64,
+    /// Lower percentile bound.
+    pub lower: f64,
+    /// Upper percentile bound.
+    pub upper: f64,
+}
+
+impl Interval {
+    /// Interval width.
+    pub fn width(&self) -> f64 {
+        self.upper - self.lower
+    }
+
+    /// `true` when `value` lies inside the interval (inclusive).
+    pub fn contains(&self, value: f64) -> bool {
+        (self.lower..=self.upper).contains(&value)
+    }
+}
+
+/// Bootstrap configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BootstrapConfig {
+    /// Number of resamples (default 1,000).
+    pub resamples: usize,
+    /// Central coverage, e.g. 0.95 for a 95% interval.
+    pub coverage: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for BootstrapConfig {
+    fn default() -> BootstrapConfig {
+        BootstrapConfig {
+            resamples: 1_000,
+            coverage: 0.95,
+            seed: 0xB007,
+        }
+    }
+}
+
+struct SplitMix64(u64);
+
+impl SplitMix64 {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn index(&mut self, n: usize) -> usize {
+        (self.next() % n as u64) as usize
+    }
+}
+
+/// Bootstrap intervals for precision and recall at a fixed threshold.
+///
+/// # Panics
+///
+/// Panics if `labeled` is empty, `resamples` is zero, or `coverage` is not
+/// in `(0, 1)`.
+pub fn precision_recall_interval(
+    labeled: &[LabeledScore],
+    threshold: f64,
+    config: &BootstrapConfig,
+) -> (Interval, Interval) {
+    assert!(!labeled.is_empty(), "bootstrap needs at least one sample");
+    assert!(config.resamples > 0, "resamples must be positive");
+    assert!(
+        config.coverage > 0.0 && config.coverage < 1.0,
+        "coverage must be in (0, 1)"
+    );
+    let (p_est, r_est) = precision_recall_at(labeled, threshold);
+    let mut rng = SplitMix64(config.seed);
+    let mut precisions = Vec::with_capacity(config.resamples);
+    let mut recalls = Vec::with_capacity(config.resamples);
+    let mut resample = Vec::with_capacity(labeled.len());
+    for _ in 0..config.resamples {
+        resample.clear();
+        for _ in 0..labeled.len() {
+            resample.push(labeled[rng.index(labeled.len())]);
+        }
+        let (p, r) = precision_recall_at(&resample, threshold);
+        precisions.push(p);
+        recalls.push(r);
+    }
+    (
+        percentile_interval(p_est, &mut precisions, config.coverage),
+        percentile_interval(r_est, &mut recalls, config.coverage),
+    )
+}
+
+fn percentile_interval(estimate: f64, samples: &mut [f64], coverage: f64) -> Interval {
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite samples"));
+    let alpha = (1.0 - coverage) / 2.0;
+    let lo_idx = ((samples.len() as f64) * alpha).floor() as usize;
+    let hi_idx = (((samples.len() as f64) * (1.0 - alpha)).ceil() as usize)
+        .saturating_sub(1)
+        .min(samples.len() - 1);
+    Interval {
+        estimate,
+        lower: samples[lo_idx],
+        upper: samples[hi_idx],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn l(score: f64, correct: bool) -> LabeledScore {
+        LabeledScore {
+            score,
+            correct,
+            has_truth: true,
+        }
+    }
+
+    fn sample(n: usize, accuracy: f64) -> Vec<LabeledScore> {
+        (0..n)
+            .map(|i| {
+                let correct = (i as f64 / n as f64) < accuracy;
+                l(if correct { 0.8 } else { 0.6 }, correct)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn interval_contains_estimate() {
+        let labeled = sample(200, 0.8);
+        let (p, r) = precision_recall_interval(&labeled, 0.5, &BootstrapConfig::default());
+        assert!(p.contains(p.estimate), "{p:?}");
+        assert!(r.contains(r.estimate), "{r:?}");
+        assert!((p.estimate - 0.8).abs() < 1e-9);
+    }
+
+    #[test]
+    fn more_data_tighter_interval() {
+        let small = sample(50, 0.8);
+        let large = sample(2_000, 0.8);
+        let cfg = BootstrapConfig::default();
+        let (p_small, _) = precision_recall_interval(&small, 0.5, &cfg);
+        let (p_large, _) = precision_recall_interval(&large, 0.5, &cfg);
+        assert!(
+            p_large.width() < p_small.width(),
+            "large {} vs small {}",
+            p_large.width(),
+            p_small.width()
+        );
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let labeled = sample(100, 0.7);
+        let cfg = BootstrapConfig::default();
+        let a = precision_recall_interval(&labeled, 0.5, &cfg);
+        let b = precision_recall_interval(&labeled, 0.5, &cfg);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn perfect_sample_degenerate_interval() {
+        let labeled = sample(100, 1.0);
+        let (p, r) = precision_recall_interval(&labeled, 0.5, &BootstrapConfig::default());
+        assert_eq!((p.lower, p.upper), (1.0, 1.0));
+        assert_eq!((r.lower, r.upper), (1.0, 1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one sample")]
+    fn empty_rejected() {
+        precision_recall_interval(&[], 0.5, &BootstrapConfig::default());
+    }
+
+    #[test]
+    #[should_panic(expected = "coverage")]
+    fn bad_coverage_rejected() {
+        let labeled = sample(10, 0.5);
+        precision_recall_interval(
+            &labeled,
+            0.5,
+            &BootstrapConfig {
+                coverage: 1.5,
+                ..BootstrapConfig::default()
+            },
+        );
+    }
+
+    #[test]
+    fn interval_accessors() {
+        let i = Interval {
+            estimate: 0.5,
+            lower: 0.4,
+            upper: 0.7,
+        };
+        assert!((i.width() - 0.3).abs() < 1e-12);
+        assert!(i.contains(0.4));
+        assert!(!i.contains(0.39));
+    }
+}

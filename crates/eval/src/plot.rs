@@ -1,0 +1,326 @@
+//! Dependency-free SVG rendering of the paper's figure types.
+//!
+//! The `repro` harness prints figure *series* as tables; this module turns
+//! the same series into standalone SVG files so Figs. 1–5 exist as actual
+//! images (`results/*.svg`). The renderer is deliberately small: fixed
+//! layout, multiple line series with markers, axis ticks, a legend — all
+//! hand-emitted SVG with no external crates.
+
+use std::fmt::Write as _;
+
+/// One named line series.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Series {
+    /// Legend label.
+    pub label: String,
+    /// `(x, y)` points in data coordinates.
+    pub points: Vec<(f64, f64)>,
+}
+
+impl Series {
+    /// Creates a series.
+    pub fn new(label: impl Into<String>, points: Vec<(f64, f64)>) -> Series {
+        Series {
+            label: label.into(),
+            points,
+        }
+    }
+}
+
+/// A simple 2-D line chart.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LineChart {
+    /// Chart title.
+    pub title: String,
+    /// X-axis label.
+    pub x_label: String,
+    /// Y-axis label.
+    pub y_label: String,
+    /// The series to draw (≤ 6 get distinct colors).
+    pub series: Vec<Series>,
+    /// Fixed axis ranges; `None` auto-fits with 5% padding.
+    pub x_range: Option<(f64, f64)>,
+    /// Fixed y range.
+    pub y_range: Option<(f64, f64)>,
+}
+
+const WIDTH: f64 = 640.0;
+const HEIGHT: f64 = 420.0;
+const MARGIN_L: f64 = 64.0;
+const MARGIN_R: f64 = 24.0;
+const MARGIN_T: f64 = 40.0;
+const MARGIN_B: f64 = 52.0;
+const COLORS: [&str; 6] = [
+    "#1f77b4", "#d62728", "#2ca02c", "#ff7f0e", "#9467bd", "#8c564b",
+];
+
+impl LineChart {
+    /// Creates an empty chart.
+    pub fn new(
+        title: impl Into<String>,
+        x_label: impl Into<String>,
+        y_label: impl Into<String>,
+    ) -> LineChart {
+        LineChart {
+            title: title.into(),
+            x_label: x_label.into(),
+            y_label: y_label.into(),
+            series: Vec::new(),
+            x_range: None,
+            y_range: None,
+        }
+    }
+
+    /// Adds a series.
+    pub fn with_series(mut self, series: Series) -> LineChart {
+        self.series.push(series);
+        self
+    }
+
+    /// Fixes both axes to `[0, 1]` — the right frame for PR curves.
+    pub fn unit_axes(mut self) -> LineChart {
+        self.x_range = Some((0.0, 1.0));
+        self.y_range = Some((0.0, 1.0));
+        self
+    }
+
+    fn ranges(&self) -> ((f64, f64), (f64, f64)) {
+        let all: Vec<(f64, f64)> = self
+            .series
+            .iter()
+            .flat_map(|s| s.points.iter().copied())
+            .collect();
+        let fit = |sel: fn(&(f64, f64)) -> f64| -> (f64, f64) {
+            let mut min = f64::INFINITY;
+            let mut max = f64::NEG_INFINITY;
+            for p in &all {
+                min = min.min(sel(p));
+                max = max.max(sel(p));
+            }
+            if !min.is_finite() || !max.is_finite() {
+                return (0.0, 1.0);
+            }
+            let pad = ((max - min).abs()).max(1e-9) * 0.05;
+            (min - pad, max + pad)
+        };
+        (
+            self.x_range.unwrap_or_else(|| fit(|p| p.0)),
+            self.y_range.unwrap_or_else(|| fit(|p| p.1)),
+        )
+    }
+
+    /// Renders the chart as a standalone SVG document.
+    pub fn to_svg(&self) -> String {
+        let ((x0, x1), (y0, y1)) = self.ranges();
+        let plot_w = WIDTH - MARGIN_L - MARGIN_R;
+        let plot_h = HEIGHT - MARGIN_T - MARGIN_B;
+        let sx = move |x: f64| MARGIN_L + (x - x0) / (x1 - x0).max(1e-12) * plot_w;
+        let sy = move |y: f64| MARGIN_T + plot_h - (y - y0) / (y1 - y0).max(1e-12) * plot_h;
+
+        let mut svg = String::new();
+        let _ = writeln!(
+            svg,
+            r#"<svg xmlns="http://www.w3.org/2000/svg" width="{WIDTH}" height="{HEIGHT}" viewBox="0 0 {WIDTH} {HEIGHT}" font-family="sans-serif">"#
+        );
+        let _ = writeln!(svg, r#"<rect width="{WIDTH}" height="{HEIGHT}" fill="white"/>"#);
+        // Title and axis labels.
+        let _ = writeln!(
+            svg,
+            r#"<text x="{:.1}" y="24" text-anchor="middle" font-size="15" font-weight="bold">{}</text>"#,
+            WIDTH / 2.0,
+            escape(&self.title)
+        );
+        let _ = writeln!(
+            svg,
+            r#"<text x="{:.1}" y="{:.1}" text-anchor="middle" font-size="12">{}</text>"#,
+            MARGIN_L + plot_w / 2.0,
+            HEIGHT - 12.0,
+            escape(&self.x_label)
+        );
+        let _ = writeln!(
+            svg,
+            r#"<text x="16" y="{:.1}" text-anchor="middle" font-size="12" transform="rotate(-90 16 {:.1})">{}</text>"#,
+            MARGIN_T + plot_h / 2.0,
+            MARGIN_T + plot_h / 2.0,
+            escape(&self.y_label)
+        );
+        // Frame + ticks (5 per axis).
+        let _ = writeln!(
+            svg,
+            r##"<rect x="{MARGIN_L}" y="{MARGIN_T}" width="{plot_w:.1}" height="{plot_h:.1}" fill="none" stroke="#333"/>"##
+        );
+        for i in 0..=5 {
+            let fx = x0 + (x1 - x0) * i as f64 / 5.0;
+            let fy = y0 + (y1 - y0) * i as f64 / 5.0;
+            let px = sx(fx);
+            let py = sy(fy);
+            let _ = writeln!(
+                svg,
+                r##"<line x1="{px:.1}" y1="{:.1}" x2="{px:.1}" y2="{:.1}" stroke="#ccc" stroke-dasharray="3,3"/>"##,
+                MARGIN_T,
+                MARGIN_T + plot_h
+            );
+            let _ = writeln!(
+                svg,
+                r##"<line x1="{:.1}" y1="{py:.1}" x2="{:.1}" y2="{py:.1}" stroke="#ccc" stroke-dasharray="3,3"/>"##,
+                MARGIN_L,
+                MARGIN_L + plot_w
+            );
+            let _ = writeln!(
+                svg,
+                r#"<text x="{px:.1}" y="{:.1}" text-anchor="middle" font-size="10">{}</text>"#,
+                MARGIN_T + plot_h + 16.0,
+                fmt_tick(fx)
+            );
+            let _ = writeln!(
+                svg,
+                r#"<text x="{:.1}" y="{:.1}" text-anchor="end" font-size="10">{}</text>"#,
+                MARGIN_L - 6.0,
+                py + 3.0,
+                fmt_tick(fy)
+            );
+        }
+        // Series.
+        for (si, s) in self.series.iter().enumerate() {
+            let color = COLORS[si % COLORS.len()];
+            if s.points.len() > 1 {
+                let mut d = String::new();
+                for (i, &(x, y)) in s.points.iter().enumerate() {
+                    let _ = write!(
+                        d,
+                        "{}{:.1},{:.1} ",
+                        if i == 0 { "M" } else { "L" },
+                        sx(x),
+                        sy(y)
+                    );
+                }
+                let _ = writeln!(
+                    svg,
+                    r#"<path d="{}" fill="none" stroke="{color}" stroke-width="1.8"/>"#,
+                    d.trim_end()
+                );
+            }
+            for &(x, y) in &s.points {
+                let _ = writeln!(
+                    svg,
+                    r#"<circle cx="{:.1}" cy="{:.1}" r="2.2" fill="{color}"/>"#,
+                    sx(x),
+                    sy(y)
+                );
+            }
+            // Legend entry.
+            let ly = MARGIN_T + 14.0 + si as f64 * 16.0;
+            let lx = MARGIN_L + plot_w - 150.0;
+            let _ = writeln!(
+                svg,
+                r#"<line x1="{lx:.1}" y1="{ly:.1}" x2="{:.1}" y2="{ly:.1}" stroke="{color}" stroke-width="2"/>"#,
+                lx + 20.0
+            );
+            let _ = writeln!(
+                svg,
+                r#"<text x="{:.1}" y="{:.1}" font-size="11">{}</text>"#,
+                lx + 26.0,
+                ly + 3.5,
+                escape(&s.label)
+            );
+        }
+        svg.push_str("</svg>\n");
+        svg
+    }
+}
+
+fn fmt_tick(v: f64) -> String {
+    if v.abs() >= 1000.0 || (v - v.round()).abs() < 1e-9 {
+        format!("{v:.0}")
+    } else {
+        format!("{v:.2}")
+    }
+}
+
+fn escape(s: &str) -> String {
+    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+}
+
+/// Renders a PR curve as a chart-ready series.
+pub fn pr_series(label: impl Into<String>, curve: &crate::curve::PrCurve) -> Series {
+    Series::new(
+        label,
+        curve
+            .points()
+            .iter()
+            .map(|p| (p.recall, p.precision))
+            .collect(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::curve::PrCurve;
+    use crate::metrics::LabeledScore;
+
+    fn chart() -> LineChart {
+        LineChart::new("Test & <chart>", "recall", "precision")
+            .unit_axes()
+            .with_series(Series::new("a", vec![(0.0, 1.0), (0.5, 0.9), (1.0, 0.6)]))
+            .with_series(Series::new("b", vec![(0.0, 0.8), (1.0, 0.2)]))
+    }
+
+    #[test]
+    fn svg_is_well_formed_enough() {
+        let svg = chart().to_svg();
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.trim_end().ends_with("</svg>"));
+        // Balanced: one opening svg, one closing.
+        assert_eq!(svg.matches("<svg").count(), 1);
+        assert_eq!(svg.matches("</svg>").count(), 1);
+        // Both series paths and legends present.
+        assert_eq!(svg.matches("<path").count(), 2);
+        assert!(svg.contains(">a</text>"));
+        assert!(svg.contains(">b</text>"));
+    }
+
+    #[test]
+    fn title_is_escaped() {
+        let svg = chart().to_svg();
+        assert!(svg.contains("Test &amp; &lt;chart&gt;"));
+        assert!(!svg.contains("<chart>"));
+    }
+
+    #[test]
+    fn points_within_canvas() {
+        let svg = chart().to_svg();
+        for cap in svg.split("<circle cx=\"").skip(1) {
+            let x: f64 = cap.split('"').next().unwrap().parse().unwrap();
+            assert!((0.0..=WIDTH).contains(&x), "x {x} out of canvas");
+        }
+    }
+
+    #[test]
+    fn autofit_handles_flat_series() {
+        let c = LineChart::new("flat", "x", "y")
+            .with_series(Series::new("s", vec![(1.0, 5.0), (2.0, 5.0)]));
+        let svg = c.to_svg();
+        assert!(svg.contains("<path"));
+    }
+
+    #[test]
+    fn empty_chart_renders() {
+        let c = LineChart::new("empty", "x", "y");
+        let svg = c.to_svg();
+        assert!(svg.contains("</svg>"));
+        assert_eq!(svg.matches("<path").count(), 0);
+    }
+
+    #[test]
+    fn pr_series_maps_recall_precision() {
+        let labeled = vec![
+            LabeledScore { score: 0.9, correct: true, has_truth: true },
+            LabeledScore { score: 0.5, correct: false, has_truth: true },
+        ];
+        let curve = PrCurve::from_labeled(&labeled);
+        let s = pr_series("pr", &curve);
+        assert_eq!(s.points.len(), curve.points().len());
+        assert_eq!(s.points[0], (0.5, 1.0));
+    }
+}

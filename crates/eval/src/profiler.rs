@@ -1,0 +1,131 @@
+//! Personal-profile aggregation — the "John Doe" analysis of §V-D.
+//!
+//! Once a dark alias is linked to an open alias, the open alias's posting
+//! history yields a detailed personal profile: age, city, devices, habits,
+//! hobbies. [`build_profile`] aggregates the identity facts leaked across
+//! one or more linked aliases into a [`PersonalProfile`]; `render` prints
+//! the dossier.
+
+use darklight_corpus::model::{Fact, FactKind, User};
+use std::collections::BTreeMap;
+
+/// An aggregated dossier on one (de-anonymized) person.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PersonalProfile {
+    /// The aliases contributing to the dossier.
+    pub aliases: Vec<String>,
+    /// kind → distinct values disclosed, in disclosure order.
+    pub attributes: BTreeMap<FactKind, Vec<String>>,
+}
+
+impl PersonalProfile {
+    /// Number of distinct disclosed attribute values.
+    pub fn fact_count(&self) -> usize {
+        self.attributes.values().map(Vec::len).sum()
+    }
+
+    /// The first disclosed value of a kind, if any.
+    pub fn first(&self, kind: FactKind) -> Option<&str> {
+        self.attributes
+            .get(&kind)
+            .and_then(|v| v.first())
+            .map(String::as_str)
+    }
+
+    /// Adds a fact (deduplicating values per kind).
+    pub fn add_fact(&mut self, fact: &Fact) {
+        let values = self.attributes.entry(fact.kind).or_default();
+        if !values.contains(&fact.value) {
+            values.push(fact.value.clone());
+        }
+    }
+
+    /// Renders the dossier as human-readable text.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "Profile built from {} alias(es): {}\n",
+            self.aliases.len(),
+            self.aliases.join(", ")
+        ));
+        for (kind, values) in &self.attributes {
+            out.push_str(&format!("  {:<17} {}\n", format!("{kind}:"), values.join(", ")));
+        }
+        out
+    }
+}
+
+/// Aggregates the leaked facts of one or more linked aliases (typically a
+/// dark alias plus the open alias it was linked to).
+pub fn build_profile<'a, I>(users: I) -> PersonalProfile
+where
+    I: IntoIterator<Item = &'a User>,
+{
+    let mut profile = PersonalProfile::default();
+    for user in users {
+        profile.aliases.push(user.alias.clone());
+        for fact in &user.facts {
+            profile.add_fact(fact);
+        }
+    }
+    profile
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn user(alias: &str, facts: &[(FactKind, &str)]) -> User {
+        let mut u = User::new(alias, Some(1));
+        for (k, v) in facts {
+            u.facts.push(Fact::new(*k, *v));
+        }
+        u
+    }
+
+    #[test]
+    fn aggregates_across_aliases() {
+        let dark = user("acid_wolf", &[(FactKind::Drug, "lsd")]);
+        let open = user(
+            "john_doe_99",
+            &[
+                (FactKind::Age, "27"),
+                (FactKind::City, "edmonton"),
+                (FactKind::Device, "galaxy s4"),
+                (FactKind::Hobby, "gaming"),
+            ],
+        );
+        let p = build_profile([&dark, &open]);
+        assert_eq!(p.aliases, ["acid_wolf", "john_doe_99"]);
+        assert_eq!(p.first(FactKind::Age), Some("27"));
+        assert_eq!(p.first(FactKind::City), Some("edmonton"));
+        assert_eq!(p.fact_count(), 5);
+    }
+
+    #[test]
+    fn duplicate_values_merged() {
+        let a = user("a", &[(FactKind::Drug, "lsd")]);
+        let b = user("b", &[(FactKind::Drug, "lsd"), (FactKind::Drug, "mdma")]);
+        let p = build_profile([&a, &b]);
+        assert_eq!(p.attributes[&FactKind::Drug], ["lsd", "mdma"]);
+    }
+
+    #[test]
+    fn render_contains_everything() {
+        let u = user("target", &[(FactKind::Age, "27"), (FactKind::City, "miami")]);
+        let p = build_profile([&u]);
+        let text = p.render();
+        assert!(text.contains("target"));
+        assert!(text.contains("27"));
+        assert!(text.contains("miami"));
+        assert!(text.contains("age:"));
+    }
+
+    #[test]
+    fn empty_profile() {
+        let p = build_profile(std::iter::empty());
+        assert_eq!(p.fact_count(), 0);
+        assert!(p.first(FactKind::Age).is_none());
+        assert!(p.render().contains("0 alias"));
+    }
+}

@@ -1,0 +1,138 @@
+//! Plain-text table rendering for the experiment harness.
+//!
+//! The `repro` binary regenerates the paper's tables; this module renders
+//! them as aligned monospace/markdown tables so `EXPERIMENTS.md` and the
+//! console output read like the paper's.
+
+use std::fmt::Write as _;
+
+/// A simple column-aligned table with a markdown-compatible layout.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new<I, S>(headers: I) -> Table
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        Table {
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row. Rows shorter than the header are padded; longer rows
+    /// are truncated.
+    pub fn row<I, S>(&mut self, cells: I) -> &mut Table
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let mut row: Vec<String> = cells.into_iter().map(Into::into).collect();
+        row.resize(self.headers.len(), String::new());
+        self.rows.push(row);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// `true` when no rows were added.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders as a markdown table with aligned pipes.
+    pub fn to_markdown(&self) -> String {
+        let widths: Vec<usize> = self
+            .headers
+            .iter()
+            .enumerate()
+            .map(|(i, h)| {
+                self.rows
+                    .iter()
+                    .map(|r| r[i].chars().count())
+                    .chain(std::iter::once(h.chars().count()))
+                    .max()
+                    .unwrap_or(0)
+            })
+            .collect();
+        let mut out = String::new();
+        let render_row = |cells: &[String], out: &mut String| {
+            out.push('|');
+            for (cell, w) in cells.iter().zip(&widths) {
+                let _ = write!(out, " {cell:<w$} |");
+            }
+            out.push('\n');
+        };
+        render_row(&self.headers, &mut out);
+        out.push('|');
+        for w in &widths {
+            let _ = write!(out, "{}|", "-".repeat(w + 2));
+        }
+        out.push('\n');
+        for row in &self.rows {
+            render_row(row, &mut out);
+        }
+        out
+    }
+}
+
+/// Formats a ratio as a percentage with one decimal (`0.937` → `93.7%`).
+pub fn pct(x: f64) -> String {
+    format!("{:.1}%", x * 100.0)
+}
+
+/// Formats a float with the given number of decimals.
+pub fn num(x: f64, decimals: usize) -> String {
+    format!("{x:.decimals$}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_markdown() {
+        let mut t = Table::new(["name", "value"]);
+        t.row(["alpha", "1"]).row(["b", "22222"]);
+        let md = t.to_markdown();
+        let lines: Vec<&str> = md.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("| name "));
+        assert!(lines[1].starts_with("|--"));
+        // All lines have equal width.
+        assert!(lines.iter().all(|l| l.chars().count() == lines[0].chars().count()));
+    }
+
+    #[test]
+    fn rows_padded_and_truncated() {
+        let mut t = Table::new(["a", "b", "c"]);
+        t.row(["1"]);
+        t.row(["1", "2", "3", "4"]);
+        assert_eq!(t.len(), 2);
+        let md = t.to_markdown();
+        assert!(!md.contains('4'));
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(pct(0.937), "93.7%");
+        assert_eq!(pct(1.0), "100.0%");
+        assert_eq!(num(0.41904, 4), "0.4190");
+    }
+
+    #[test]
+    fn empty_table() {
+        let t = Table::new(["x"]);
+        assert!(t.is_empty());
+        assert_eq!(t.to_markdown().lines().count(), 2);
+    }
+}

@@ -1,0 +1,217 @@
+//! ROC curves and the equal error rate.
+//!
+//! The paper evaluates with precision-recall curves; related work it
+//! compares against (Brocardo et al.) reports Equal Error Rate instead.
+//! This module provides the ROC view over the same labeled best-match
+//! scores so results can be compared against the verification literature.
+
+use crate::metrics::LabeledScore;
+
+/// One ROC point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RocPoint {
+    /// The threshold producing this point.
+    pub threshold: f64,
+    /// True-positive rate (recall over correct pairs).
+    pub tpr: f64,
+    /// False-positive rate (accepted wrong pairs over all wrong pairs).
+    pub fpr: f64,
+}
+
+/// A ROC curve over labeled best-match scores: *positive* instances are
+/// correct pairs, *negative* instances are wrong best-matches.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RocCurve {
+    points: Vec<RocPoint>,
+    positives: usize,
+    negatives: usize,
+}
+
+impl RocCurve {
+    /// Builds the curve by sweeping all distinct scores (highest first).
+    pub fn from_labeled(labeled: &[LabeledScore]) -> RocCurve {
+        let positives = labeled.iter().filter(|l| l.correct).count();
+        let negatives = labeled.len() - positives;
+        let mut sorted: Vec<&LabeledScore> = labeled.iter().collect();
+        sorted.sort_by(|a, b| b.score.partial_cmp(&a.score).expect("finite scores"));
+        let mut points = Vec::new();
+        let mut tp = 0usize;
+        let mut fp = 0usize;
+        let mut i = 0;
+        while i < sorted.len() {
+            let t = sorted[i].score;
+            while i < sorted.len() && sorted[i].score == t {
+                if sorted[i].correct {
+                    tp += 1;
+                } else {
+                    fp += 1;
+                }
+                i += 1;
+            }
+            points.push(RocPoint {
+                threshold: t,
+                tpr: ratio(tp, positives),
+                fpr: ratio(fp, negatives),
+            });
+        }
+        RocCurve {
+            points,
+            positives,
+            negatives,
+        }
+    }
+
+    /// The curve points, highest threshold first.
+    pub fn points(&self) -> &[RocPoint] {
+        &self.points
+    }
+
+    /// Number of positive (correct-pair) instances.
+    pub fn positives(&self) -> usize {
+        self.positives
+    }
+
+    /// Number of negative instances.
+    pub fn negatives(&self) -> usize {
+        self.negatives
+    }
+
+    /// Area under the ROC curve via trapezoidal integration. 0.5 is chance
+    /// level; degenerate curves (no positives or no negatives) return 0.
+    pub fn auc(&self) -> f64 {
+        if self.positives == 0 || self.negatives == 0 {
+            return 0.0;
+        }
+        let mut auc = 0.0;
+        let mut prev = RocPoint {
+            threshold: f64::INFINITY,
+            tpr: 0.0,
+            fpr: 0.0,
+        };
+        for p in &self.points {
+            auc += (p.fpr - prev.fpr) * (p.tpr + prev.tpr) / 2.0;
+            prev = *p;
+        }
+        // Close the curve at (1, 1).
+        auc += (1.0 - prev.fpr) * (1.0 + prev.tpr) / 2.0;
+        auc
+    }
+
+    /// The equal error rate: the point where false-positive rate equals
+    /// false-negative rate (1 − TPR). Returns the rate and the threshold
+    /// where the two cross. `None` for degenerate curves.
+    pub fn equal_error_rate(&self) -> Option<(f64, f64)> {
+        if self.positives == 0 || self.negatives == 0 {
+            return None;
+        }
+        let mut best: Option<(f64, f64, f64)> = None; // (gap, eer, threshold)
+        for p in &self.points {
+            let fnr = 1.0 - p.tpr;
+            let gap = (p.fpr - fnr).abs();
+            let eer = (p.fpr + fnr) / 2.0;
+            if best.is_none_or(|(g, _, _)| gap < g) {
+                best = Some((gap, eer, p.threshold));
+            }
+        }
+        best.map(|(_, eer, t)| (eer, t))
+    }
+}
+
+fn ratio(num: usize, den: usize) -> f64 {
+    if den == 0 {
+        0.0
+    } else {
+        num as f64 / den as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn l(score: f64, correct: bool) -> LabeledScore {
+        LabeledScore {
+            score,
+            correct,
+            has_truth: true,
+        }
+    }
+
+    #[test]
+    fn perfect_separation_auc_one() {
+        let labeled = vec![l(0.9, true), l(0.8, true), l(0.2, false), l(0.1, false)];
+        let c = RocCurve::from_labeled(&labeled);
+        assert!((c.auc() - 1.0).abs() < 1e-12, "auc {}", c.auc());
+        let (eer, _) = c.equal_error_rate().unwrap();
+        assert!(eer < 1e-12);
+    }
+
+    #[test]
+    fn reversed_separation_auc_zero() {
+        let labeled = vec![l(0.9, false), l(0.8, false), l(0.2, true), l(0.1, true)];
+        let c = RocCurve::from_labeled(&labeled);
+        assert!(c.auc() < 1e-12, "auc {}", c.auc());
+    }
+
+    #[test]
+    fn random_interleaving_auc_half() {
+        let labeled = vec![
+            l(0.8, true),
+            l(0.7, false),
+            l(0.6, true),
+            l(0.5, false),
+            l(0.4, true),
+            l(0.3, false),
+        ];
+        let c = RocCurve::from_labeled(&labeled);
+        assert!((c.auc() - 0.5).abs() < 0.2, "auc {}", c.auc());
+    }
+
+    #[test]
+    fn tpr_fpr_monotone() {
+        let labeled = vec![
+            l(0.9, true),
+            l(0.7, false),
+            l(0.5, true),
+            l(0.4, false),
+            l(0.2, true),
+        ];
+        let c = RocCurve::from_labeled(&labeled);
+        for w in c.points().windows(2) {
+            assert!(w[0].tpr <= w[1].tpr);
+            assert!(w[0].fpr <= w[1].fpr);
+        }
+        let last = c.points().last().unwrap();
+        assert!((last.tpr - 1.0).abs() < 1e-12);
+        assert!((last.fpr - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn eer_balanced_point() {
+        // Symmetric mix: EER should be around 1/3.
+        let labeled = vec![
+            l(0.9, true),
+            l(0.8, false),
+            l(0.7, true),
+            l(0.6, false),
+            l(0.5, true),
+            l(0.4, false),
+        ];
+        let c = RocCurve::from_labeled(&labeled);
+        let (eer, t) = c.equal_error_rate().unwrap();
+        assert!((0.0..=0.5).contains(&eer), "eer {eer}");
+        assert!(t > 0.3 && t < 1.0);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        let all_pos = vec![l(0.9, true), l(0.3, true)];
+        let c = RocCurve::from_labeled(&all_pos);
+        assert_eq!(c.auc(), 0.0);
+        assert!(c.equal_error_rate().is_none());
+        let empty = RocCurve::from_labeled(&[]);
+        assert_eq!(empty.auc(), 0.0);
+        assert_eq!(empty.positives(), 0);
+        assert_eq!(empty.negatives(), 0);
+    }
+}

@@ -1,0 +1,238 @@
+//! Simulated manual verification (§V-A of the paper).
+//!
+//! The authors judged every emitted pair by reading both aliases' posts:
+//! **True** on clear evidence (declared alias on the other forum, a unique
+//! leaked link, the same distinctive vendor complaint); **Probably True**
+//! on weaker corroboration (same country + same vendor + same drugs);
+//! **Unclear** when nothing usable leaked; **False** on contradictions
+//! (different declared ages, opposite religions or politics, different
+//! countries). The generator records exactly which facts each alias
+//! leaked, so [`judge_pair`] replays this protocol deterministically.
+
+use darklight_corpus::model::{Fact, FactKind};
+use std::fmt;
+
+/// The §V-A verdict classes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Verdict {
+    /// Clear evidence both aliases are the same person.
+    True,
+    /// Corroborating but not conclusive evidence.
+    ProbablyTrue,
+    /// No exploitable evidence either way.
+    Unclear,
+    /// Contradictory disclosures.
+    False,
+}
+
+impl fmt::Display for Verdict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Verdict::True => "True",
+            Verdict::ProbablyTrue => "Probably True",
+            Verdict::Unclear => "Unclear",
+            Verdict::False => "False",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Judges a matched pair from the facts each alias leaked (plus the alias
+/// names, for self-reference checks).
+pub fn judge_pair(
+    a_alias: &str,
+    a_facts: &[Fact],
+    b_alias: &str,
+    b_facts: &[Fact],
+) -> Verdict {
+    // Alias self-reference: one side names the other.
+    let names_other = a_facts
+        .iter()
+        .any(|f| f.kind == FactKind::AliasRef && f.value.eq_ignore_ascii_case(b_alias))
+        || b_facts
+            .iter()
+            .any(|f| f.kind == FactKind::AliasRef && f.value.eq_ignore_ascii_case(a_alias));
+    if names_other {
+        return Verdict::True;
+    }
+    // Shared strong facts: unique links, distinctive vendor complaints.
+    let shared: Vec<&Fact> = a_facts
+        .iter()
+        .filter(|f| b_facts.contains(f))
+        .collect();
+    if shared.iter().any(|f| f.kind.is_strong()) {
+        return Verdict::True;
+    }
+    // Contradictions on exclusive kinds.
+    for fa in a_facts {
+        if !fa.kind.is_exclusive() {
+            continue;
+        }
+        for fb in b_facts {
+            if fb.kind == fa.kind && fb.value != fa.value {
+                return Verdict::False;
+            }
+        }
+    }
+    // Weak corroboration: drug habits alone are "not discriminative
+    // information" (§V-C), so require at least two shared facts with at
+    // least one beyond Drug, or a shared exclusive fact plus another.
+    let non_drug_shared = shared.iter().filter(|f| f.kind != FactKind::Drug).count();
+    if shared.len() >= 2 && non_drug_shared >= 1 {
+        return Verdict::ProbablyTrue;
+    }
+    Verdict::Unclear
+}
+
+/// Tallies verdicts for a set of judged pairs.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct VerdictCounts {
+    /// Pairs judged True.
+    pub true_: usize,
+    /// Pairs judged Probably True.
+    pub probably: usize,
+    /// Pairs judged Unclear.
+    pub unclear: usize,
+    /// Pairs judged False.
+    pub false_: usize,
+}
+
+impl VerdictCounts {
+    /// Adds one verdict.
+    pub fn add(&mut self, v: Verdict) {
+        match v {
+            Verdict::True => self.true_ += 1,
+            Verdict::ProbablyTrue => self.probably += 1,
+            Verdict::Unclear => self.unclear += 1,
+            Verdict::False => self.false_ += 1,
+        }
+    }
+
+    /// Total judged pairs.
+    pub fn total(&self) -> usize {
+        self.true_ + self.probably + self.unclear + self.false_
+    }
+}
+
+impl FromIterator<Verdict> for VerdictCounts {
+    fn from_iter<I: IntoIterator<Item = Verdict>>(iter: I) -> VerdictCounts {
+        let mut c = VerdictCounts::default();
+        for v in iter {
+            c.add(v);
+        }
+        c
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fact(kind: FactKind, value: &str) -> Fact {
+        Fact::new(kind, value)
+    }
+
+    #[test]
+    fn alias_reference_is_true() {
+        let a = vec![fact(FactKind::AliasRef, "DarkWolf")];
+        let b: Vec<Fact> = vec![];
+        assert_eq!(judge_pair("acid_queen", &a, "darkwolf", &b), Verdict::True);
+        // And in the other direction.
+        assert_eq!(judge_pair("darkwolf", &b, "acid_queen", &a), Verdict::True);
+    }
+
+    #[test]
+    fn shared_link_is_true() {
+        let shared = fact(FactKind::Link, "refer.example.com/wolf123");
+        let a = vec![shared.clone()];
+        let b = vec![shared];
+        assert_eq!(judge_pair("x", &a, "y", &b), Verdict::True);
+    }
+
+    #[test]
+    fn shared_vendor_complaint_is_true() {
+        let c = fact(FactKind::VendorComplaint, "whitewizard sold bunk molly");
+        assert_eq!(
+            judge_pair("x", std::slice::from_ref(&c), "y", std::slice::from_ref(&c)),
+            Verdict::True
+        );
+    }
+
+    #[test]
+    fn age_contradiction_is_false() {
+        let a = vec![fact(FactKind::Age, "20")];
+        let b = vec![fact(FactKind::Age, "34")];
+        assert_eq!(judge_pair("x", &a, "y", &b), Verdict::False);
+    }
+
+    #[test]
+    fn religion_and_politics_contradictions() {
+        let a = vec![fact(FactKind::Religion, "christian")];
+        let b = vec![fact(FactKind::Religion, "atheist")];
+        assert_eq!(judge_pair("x", &a, "y", &b), Verdict::False);
+        let a = vec![fact(FactKind::Politics, "right")];
+        let b = vec![fact(FactKind::Politics, "left")];
+        assert_eq!(judge_pair("x", &a, "y", &b), Verdict::False);
+    }
+
+    #[test]
+    fn corroboration_is_probably_true() {
+        let a = vec![
+            fact(FactKind::City, "miami"),
+            fact(FactKind::Drug, "molly"),
+        ];
+        let b = a.clone();
+        assert_eq!(judge_pair("x", &a, "y", &b), Verdict::ProbablyTrue);
+    }
+
+    #[test]
+    fn drugs_alone_are_unclear() {
+        let a = vec![fact(FactKind::Drug, "lsd"), fact(FactKind::Drug, "mdma")];
+        let b = a.clone();
+        assert_eq!(judge_pair("x", &a, "y", &b), Verdict::Unclear);
+    }
+
+    #[test]
+    fn nothing_shared_is_unclear() {
+        let a = vec![fact(FactKind::Hobby, "yoga")];
+        let b = vec![fact(FactKind::Hobby, "chess")];
+        assert_eq!(judge_pair("x", &a, "y", &b), Verdict::Unclear);
+        assert_eq!(judge_pair("x", &[], "y", &[]), Verdict::Unclear);
+    }
+
+    #[test]
+    fn strong_evidence_beats_contradiction_order() {
+        // A self-reference decides True even if other facts disagree (the
+        // disagreement is then noise, e.g. trolling about one's age).
+        let a = vec![
+            fact(FactKind::AliasRef, "other"),
+            fact(FactKind::Age, "20"),
+        ];
+        let b = vec![fact(FactKind::Age, "30")];
+        assert_eq!(judge_pair("me", &a, "other", &b), Verdict::True);
+    }
+
+    #[test]
+    fn counts_tally() {
+        let counts: VerdictCounts = [
+            Verdict::True,
+            Verdict::True,
+            Verdict::Unclear,
+            Verdict::False,
+            Verdict::ProbablyTrue,
+        ]
+        .into_iter()
+        .collect();
+        assert_eq!(counts.true_, 2);
+        assert_eq!(counts.probably, 1);
+        assert_eq!(counts.unclear, 1);
+        assert_eq!(counts.false_, 1);
+        assert_eq!(counts.total(), 5);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(Verdict::True.to_string(), "True");
+        assert_eq!(Verdict::ProbablyTrue.to_string(), "Probably True");
+    }
+}

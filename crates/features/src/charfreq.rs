@@ -1,0 +1,119 @@
+//! Fixed char-class frequency features (Table II).
+//!
+//! The paper tracks the frequency of 11 punctuation marks, 10 digits, and 21
+//! special characters as dense feature slots alongside the n-gram blocks.
+//! Frequencies are occurrences per character of text, so message length
+//! does not dominate the signal.
+
+/// The 11 tracked punctuation marks (Table II lists `.`, `,`, `:` …).
+pub const PUNCTUATION: [char; 11] = ['.', ',', ':', ';', '!', '?', '\'', '"', '(', ')', '-'];
+
+/// The 10 tracked digits.
+pub const DIGITS: [char; 10] = ['0', '1', '2', '3', '4', '5', '6', '7', '8', '9'];
+
+/// The 21 tracked special characters (Table II lists `@`, `#` …).
+pub const SPECIAL: [char; 21] = [
+    '@', '#', '$', '%', '&', '*', '+', '=', '/', '\\', '_', '^', '~', '<', '>', '|', '[', ']',
+    '{', '}', '€',
+];
+
+/// Total number of char-class slots (11 + 10 + 21 = 42).
+pub const NUM_SLOTS: usize = PUNCTUATION.len() + DIGITS.len() + SPECIAL.len();
+
+/// Per-character frequencies of the tracked classes over `text`, in slot
+/// order: punctuation, digits, special. An empty text yields all zeros.
+///
+/// ```
+/// use darklight_features::charfreq::{char_class_frequencies, NUM_SLOTS};
+/// let f = char_class_frequencies("a.b.c");
+/// assert_eq!(f.len(), NUM_SLOTS);
+/// assert!((f[0] - 0.4).abs() < 1e-12); // '.' is 2 of 5 chars
+/// ```
+pub fn char_class_frequencies(text: &str) -> [f64; NUM_SLOTS] {
+    let mut counts = [0u32; NUM_SLOTS];
+    let mut total = 0u64;
+    for c in text.chars() {
+        total += 1;
+        if let Some(slot) = slot_of(c) {
+            counts[slot] += 1;
+        }
+    }
+    let mut out = [0.0; NUM_SLOTS];
+    if total > 0 {
+        for (o, &c) in out.iter_mut().zip(counts.iter()) {
+            *o = c as f64 / total as f64;
+        }
+    }
+    out
+}
+
+/// The slot index of a tracked character, if any.
+pub fn slot_of(c: char) -> Option<usize> {
+    if let Some(p) = PUNCTUATION.iter().position(|&x| x == c) {
+        return Some(p);
+    }
+    if c.is_ascii_digit() {
+        return Some(PUNCTUATION.len() + (c as usize - '0' as usize));
+    }
+    SPECIAL
+        .iter()
+        .position(|&x| x == c)
+        .map(|p| PUNCTUATION.len() + DIGITS.len() + p)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slot_layout_is_disjoint_and_complete() {
+        let mut seen = [false; NUM_SLOTS];
+        for c in PUNCTUATION.iter().chain(&DIGITS).chain(&SPECIAL) {
+            let s = slot_of(*c).expect("tracked char has a slot");
+            assert!(!seen[s], "slot collision for {c:?}");
+            seen[s] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn untracked_chars_have_no_slot() {
+        for c in ['a', 'Z', ' ', '\n', 'é', '☀'] {
+            assert_eq!(slot_of(c), None, "{c:?}");
+        }
+    }
+
+    #[test]
+    fn empty_text_all_zero() {
+        assert_eq!(char_class_frequencies(""), [0.0; NUM_SLOTS]);
+    }
+
+    #[test]
+    fn frequencies_are_per_character() {
+        let f = char_class_frequencies("ab!!");
+        let bang = slot_of('!').unwrap();
+        assert!((f[bang] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn digits_counted_individually() {
+        let f = char_class_frequencies("7777 3");
+        let seven = slot_of('7').unwrap();
+        let three = slot_of('3').unwrap();
+        assert!(f[seven] > f[three]);
+        assert!(f[three] > 0.0);
+    }
+
+    #[test]
+    fn frequencies_sum_at_most_one() {
+        let f = char_class_frequencies(".,:;!?'\"()-@#42");
+        let sum: f64 = f.iter().sum();
+        assert!(sum <= 1.0 + 1e-12);
+        assert!(sum > 0.9); // every char in the sample is tracked
+    }
+
+    #[test]
+    fn counts_match_slot_count() {
+        assert_eq!(NUM_SLOTS, 42);
+    }
+}

@@ -1,0 +1,149 @@
+//! The hashing trick: vocabulary-free vectorization.
+//!
+//! The paper's pipeline materializes explicit top-N vocabularies; at §IV-J
+//! scale that vocabulary itself is a memory cost. Feature hashing maps
+//! every n-gram to `hash(gram) mod dim` with a hash-derived sign, giving a
+//! fixed-dimension embedding with no fitted state whose inner products
+//! approximate the exact ones (Weinberger et al., 2009). Provided as an
+//! alternative reduction-stage vectorizer for memory-constrained batch
+//! processing; the experiment harness can compare it against the exact
+//! pipeline.
+
+use crate::sparse::SparseVector;
+use std::collections::HashMap;
+
+/// A stateless hashing vectorizer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HashingVectorizer {
+    dim: u32,
+    signed: bool,
+}
+
+impl HashingVectorizer {
+    /// Creates a vectorizer with `dim` output dimensions. Signed hashing
+    /// (recommended) cancels collision bias in expectation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dim` is zero.
+    pub fn new(dim: u32, signed: bool) -> HashingVectorizer {
+        assert!(dim > 0, "hashing dimension must be positive");
+        HashingVectorizer { dim, signed }
+    }
+
+    /// Output dimensionality.
+    pub fn dim(&self) -> u32 {
+        self.dim
+    }
+
+    /// Vectorizes term counts into the hashed space (unit L2 norm).
+    pub fn vectorize(&self, counts: &HashMap<String, u32>) -> SparseVector {
+        let pairs = counts.iter().map(|(term, &c)| {
+            let h = fnv1a(term.as_bytes());
+            let idx = (h % self.dim as u64) as u32;
+            let sign = if self.signed && (h >> 63) == 1 { -1.0 } else { 1.0 };
+            (idx, sign * c as f32)
+        });
+        SparseVector::from_pairs(pairs).l2_normalized()
+    }
+
+    /// Vectorizes a raw term iterator.
+    pub fn vectorize_terms<I>(&self, terms: I) -> SparseVector
+    where
+        I: IntoIterator<Item = String>,
+    {
+        self.vectorize(&crate::vocab::count_terms(terms))
+    }
+}
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ngram::char_ngrams_up_to;
+    use crate::vocab::count_terms;
+
+    fn counts(text: &str) -> HashMap<String, u32> {
+        count_terms(char_ngrams_up_to(text, 3))
+    }
+
+    #[test]
+    fn deterministic() {
+        let v = HashingVectorizer::new(1 << 14, true);
+        let a = v.vectorize(&counts("the same text every time"));
+        let b = v.vectorize(&counts("the same text every time"));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn unit_norm() {
+        let v = HashingVectorizer::new(1 << 12, true);
+        let x = v.vectorize(&counts("some arbitrary content here"));
+        assert!((x.norm() - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn indices_within_dim() {
+        let v = HashingVectorizer::new(100, true);
+        let x = v.vectorize(&counts("lots of grams to hash into a tiny space"));
+        for (i, _) in x.iter() {
+            assert!(i < 100);
+        }
+    }
+
+    #[test]
+    fn approximates_exact_similarity_ordering() {
+        // Hashed cosine should rank a near-duplicate above an unrelated
+        // text, like the exact representation does.
+        let v = HashingVectorizer::new(1 << 15, true);
+        let base = v.vectorize(&counts(
+            "the stealth shipping was excellent and arrived early as promised",
+        ));
+        let near = v.vectorize(&counts(
+            "the stealth shipping was excellent and arrived super early as promised",
+        ));
+        let far = v.vectorize(&counts(
+            "kernel panics happen whenever the driver touches unmapped memory",
+        ));
+        assert!(base.cosine(&near) > base.cosine(&far) + 0.2);
+    }
+
+    #[test]
+    fn signed_hashing_allows_negative_values() {
+        let v = HashingVectorizer::new(1 << 10, true);
+        let x = v.vectorize(&counts("many different grams produce both signs eventually"));
+        let has_negative = x.iter().any(|(_, val)| val < 0.0);
+        let has_positive = x.iter().any(|(_, val)| val > 0.0);
+        assert!(has_negative && has_positive);
+    }
+
+    #[test]
+    fn unsigned_hashing_nonnegative() {
+        let v = HashingVectorizer::new(1 << 10, false);
+        let x = v.vectorize(&counts("many different grams all positive"));
+        assert!(x.iter().all(|(_, val)| val >= 0.0));
+    }
+
+    #[test]
+    fn vectorize_terms_matches_vectorize() {
+        let v = HashingVectorizer::new(512, true);
+        let terms: Vec<String> = ["a", "b", "a", "c"].map(String::from).to_vec();
+        let via_counts = v.vectorize(&count_terms(terms.clone()));
+        let via_terms = v.vectorize_terms(terms);
+        assert_eq!(via_counts, via_terms);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension must be positive")]
+    fn zero_dim_rejected() {
+        HashingVectorizer::new(0, true);
+    }
+}

@@ -1,0 +1,159 @@
+//! Word and character n-gram extraction.
+//!
+//! The paper uses word n-grams of length 1–3 over the lemmatized token
+//! stream and character n-grams of length 1–5 over the polished text
+//! (§IV-A). The standard baseline it compares against uses character
+//! *free-space* 4-grams — n-grams computed after removing all whitespace —
+//! which [`char_ngrams_free_space`] provides.
+
+/// Iterates the word `n`-grams of a token sequence, joining tokens with a
+/// single space.
+///
+/// ```
+/// use darklight_features::ngram::word_ngrams;
+/// let tokens = ["the", "dark", "web"].map(String::from);
+/// let grams: Vec<String> = word_ngrams(&tokens, 2).collect();
+/// assert_eq!(grams, ["the dark", "dark web"]);
+/// ```
+pub fn word_ngrams(tokens: &[String], n: usize) -> impl Iterator<Item = String> + '_ {
+    assert!(n >= 1, "n-gram length must be at least 1");
+    tokens.windows(n).map(|w| w.join(" "))
+}
+
+/// Iterates all word n-grams for every length in `1..=max_n`.
+pub fn word_ngrams_up_to(tokens: &[String], max_n: usize) -> impl Iterator<Item = String> + '_ {
+    (1..=max_n).flat_map(move |n| word_ngrams(tokens, n))
+}
+
+/// Iterates the character `n`-grams of `text` (as `char` windows, so
+/// multi-byte characters count as one position). Whitespace runs are
+/// collapsed to a single space so formatting does not leak into the grams.
+///
+/// ```
+/// use darklight_features::ngram::char_ngrams;
+/// let grams: Vec<String> = char_ngrams("ab  cd", 2).collect();
+/// assert_eq!(grams, ["ab", "b ", " c", "cd"]);
+/// ```
+pub fn char_ngrams(text: &str, n: usize) -> impl Iterator<Item = String> {
+    assert!(n >= 1, "n-gram length must be at least 1");
+    let chars = collapse_ws_chars(text);
+    windows_owned(chars, n)
+}
+
+/// Iterates all character n-grams for every length in `1..=max_n`.
+pub fn char_ngrams_up_to(text: &str, max_n: usize) -> impl Iterator<Item = String> {
+    let chars = collapse_ws_chars(text);
+    (1..=max_n).flat_map(move |n| windows_owned(chars.clone(), n))
+}
+
+/// Character n-grams with *all whitespace removed first* — the "char free
+/// space 4-grams" of the paper's standard baseline (Layton et al.).
+///
+/// ```
+/// use darklight_features::ngram::char_ngrams_free_space;
+/// let grams: Vec<String> = char_ngrams_free_space("to do", 4).collect();
+/// assert_eq!(grams, ["todo"]);
+/// ```
+pub fn char_ngrams_free_space(text: &str, n: usize) -> impl Iterator<Item = String> {
+    assert!(n >= 1, "n-gram length must be at least 1");
+    let chars: Vec<char> = text.chars().filter(|c| !c.is_whitespace()).collect();
+    windows_owned(chars, n)
+}
+
+fn collapse_ws_chars(text: &str) -> Vec<char> {
+    let mut out = Vec::with_capacity(text.len());
+    let mut last_ws = true;
+    for c in text.chars() {
+        if c.is_whitespace() {
+            if !last_ws {
+                out.push(' ');
+            }
+            last_ws = true;
+        } else {
+            out.push(c);
+            last_ws = false;
+        }
+    }
+    while out.last() == Some(&' ') {
+        out.pop();
+    }
+    out
+}
+
+fn windows_owned(chars: Vec<char>, n: usize) -> impl Iterator<Item = String> {
+    let count = chars.len().saturating_sub(n.saturating_sub(1));
+    (0..count).map(move |i| chars[i..i + n].iter().collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(words: &[&str]) -> Vec<String> {
+        words.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn unigrams_are_tokens() {
+        let t = toks(&["a", "b", "c"]);
+        let grams: Vec<String> = word_ngrams(&t, 1).collect();
+        assert_eq!(grams, ["a", "b", "c"]);
+    }
+
+    #[test]
+    fn trigrams() {
+        let t = toks(&["i", "love", "dark", "webs"]);
+        let grams: Vec<String> = word_ngrams(&t, 3).collect();
+        assert_eq!(grams, ["i love dark", "love dark webs"]);
+    }
+
+    #[test]
+    fn ngram_longer_than_input_is_empty() {
+        let t = toks(&["only", "two"]);
+        assert_eq!(word_ngrams(&t, 3).count(), 0);
+        assert_eq!(char_ngrams("ab", 5).count(), 0);
+    }
+
+    #[test]
+    fn word_ngrams_up_to_counts() {
+        let t = toks(&["a", "b", "c", "d"]);
+        // 4 unigrams + 3 bigrams + 2 trigrams.
+        assert_eq!(word_ngrams_up_to(&t, 3).count(), 9);
+    }
+
+    #[test]
+    fn char_ngrams_collapse_whitespace() {
+        let grams: Vec<String> = char_ngrams("a\t\nb", 3).collect();
+        assert_eq!(grams, ["a b"]);
+    }
+
+    #[test]
+    fn char_ngrams_handle_unicode() {
+        let grams: Vec<String> = char_ngrams("héé", 2).collect();
+        assert_eq!(grams, ["hé", "éé"]);
+    }
+
+    #[test]
+    fn free_space_removes_all_whitespace() {
+        let grams: Vec<String> = char_ngrams_free_space("a b\tc\nd e", 4).collect();
+        assert_eq!(grams, ["abcd", "bcde"]);
+    }
+
+    #[test]
+    fn char_ngrams_up_to_counts() {
+        // "abc": 3 + 2 + 1 = 6 grams for max_n = 3.
+        assert_eq!(char_ngrams_up_to("abc", 3).count(), 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "n-gram length must be at least 1")]
+    fn zero_length_rejected() {
+        let _ = char_ngrams("abc", 0).count();
+    }
+
+    #[test]
+    fn leading_trailing_ws_trimmed() {
+        let grams: Vec<String> = char_ngrams("  ab  ", 2).collect();
+        assert_eq!(grams, ["ab"]);
+    }
+}

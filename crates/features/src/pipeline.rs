@@ -1,0 +1,539 @@
+//! The end-to-end feature extractor (Table II).
+//!
+//! [`PreparedDoc`] performs the per-user work that does not depend on the
+//! candidate set (tokenize, lemmatize, char-class counts). A
+//! [`FeatureExtractor`] is then *fitted* on a set of documents — ranking
+//! n-grams by corpus frequency, selecting the top N per family, and
+//! computing IDF — producing a [`FeatureSpace`] that vectorizes any
+//! document into the concatenated, L2-normalized feature vector:
+//!
+//! ```text
+//! [ word 1–3-grams | char 1–5-grams | 42 char-class slots | 24-bin activity ]
+//! ```
+//!
+//! The paper's *two-stage* trick (§IV-I) — refitting the space on just the
+//! k surviving candidates, which re-ranks the selected n-grams and changes
+//! the IDF weights — is expressed by simply fitting a second
+//! `FeatureExtractor` on the candidate subset.
+//!
+//! Block weighting: each block is L2-normalized and scaled by a
+//! configurable weight before concatenation, then the whole vector is
+//! normalized. The cosine of two such vectors is the weight-averaged cosine
+//! of the blocks; the defaults favour the text blocks with the activity
+//! profile as the behavioural side-channel, matching the relative boosts
+//! reported in Fig. 4 of the paper.
+
+use crate::charfreq::{char_class_frequencies, NUM_SLOTS};
+use crate::ngram::{char_ngrams_up_to, word_ngrams_up_to};
+use crate::sparse::SparseVector;
+use crate::tfidf::TfIdf;
+use crate::vocab::{count_terms, VocabBuilder, Vocabulary};
+use darklight_activity::profile::{DailyActivityProfile, HOURS};
+use darklight_text::lemma::Lemmatizer;
+use darklight_text::token::{TokenKind, Tokenizer};
+
+/// Configuration of the feature families (Table II).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FeatureConfig {
+    /// Maximum word n-gram length (paper: 3).
+    pub max_word_n: usize,
+    /// Maximum char n-gram length (paper: 5).
+    pub max_char_n: usize,
+    /// Word n-grams kept after corpus-frequency ranking.
+    pub top_word_ngrams: usize,
+    /// Char n-grams kept after corpus-frequency ranking.
+    pub top_char_ngrams: usize,
+    /// Weight of the word n-gram block.
+    pub word_weight: f32,
+    /// Weight of the char n-gram block.
+    pub char_weight: f32,
+    /// Weight of the 42 char-class slots (0 disables the block).
+    pub char_class_weight: f32,
+    /// Weight of the 24-bin activity profile (0 disables the block).
+    pub activity_weight: f32,
+}
+
+impl FeatureConfig {
+    /// The search-space-reduction preset: 60,000 word + 30,000 char n-grams
+    /// (Table II, "Space Reduction" column).
+    pub fn space_reduction() -> FeatureConfig {
+        FeatureConfig {
+            max_word_n: 3,
+            max_char_n: 5,
+            top_word_ngrams: 60_000,
+            top_char_ngrams: 30_000,
+            word_weight: 1.0,
+            char_weight: 1.0,
+            char_class_weight: 0.25,
+            activity_weight: 0.2,
+        }
+    }
+
+    /// The final-classification preset: 50,000 word + 15,000 char n-grams
+    /// (Table II, "Final" column).
+    pub fn final_stage() -> FeatureConfig {
+        FeatureConfig {
+            top_word_ngrams: 50_000,
+            top_char_ngrams: 15_000,
+            ..FeatureConfig::space_reduction()
+        }
+    }
+
+    /// Returns a copy with the activity block disabled — the "text features
+    /// only" configuration of Table III and Fig. 4.
+    pub fn without_activity(mut self) -> FeatureConfig {
+        self.activity_weight = 0.0;
+        self
+    }
+
+    /// Returns a copy with the given activity weight.
+    pub fn with_activity_weight(mut self, w: f32) -> FeatureConfig {
+        self.activity_weight = w;
+        self
+    }
+}
+
+impl Default for FeatureConfig {
+    fn default() -> FeatureConfig {
+        FeatureConfig::space_reduction()
+    }
+}
+
+/// A document after per-user preprocessing: lemmatized word tokens, the
+/// whitespace-normalized character stream, and char-class frequencies.
+#[derive(Debug, Clone)]
+pub struct PreparedDoc {
+    words: Vec<String>,
+    char_text: String,
+    char_class: [f64; NUM_SLOTS],
+}
+
+impl PreparedDoc {
+    /// Prepares a document: tokenizes, lowercases, lemmatizes (when a
+    /// lemmatizer is supplied), and computes char-class frequencies.
+    ///
+    /// ```
+    /// use darklight_features::pipeline::PreparedDoc;
+    /// use darklight_text::lemma::Lemmatizer;
+    /// let l = Lemmatizer::new();
+    /// let d = PreparedDoc::prepare("The wolves were running fast!", Some(&l));
+    /// assert_eq!(d.words(), ["the", "wolf", "be", "run", "fast"]);
+    /// ```
+    pub fn prepare(text: &str, lemmatizer: Option<&Lemmatizer>) -> PreparedDoc {
+        let mut words = Vec::new();
+        for t in Tokenizer::new(text) {
+            match t.kind {
+                TokenKind::Word => {
+                    let lower = t.text.to_lowercase();
+                    let lemma = match lemmatizer {
+                        Some(l) => l.lemma_owned(&lower),
+                        None => lower,
+                    };
+                    words.push(lemma);
+                }
+                TokenKind::Number => words.push(t.text.to_string()),
+                _ => {}
+            }
+        }
+        PreparedDoc {
+            words,
+            char_text: text.to_string(),
+            char_class: char_class_frequencies(text),
+        }
+    }
+
+    /// The lemmatized word/number tokens.
+    pub fn words(&self) -> &[String] {
+        &self.words
+    }
+
+    /// Number of word/number tokens — the paper's "number of words per
+    /// user" knob (Table III).
+    pub fn word_len(&self) -> usize {
+        self.words.len()
+    }
+
+    /// The raw character stream used for char n-grams.
+    pub fn char_text(&self) -> &str {
+        &self.char_text
+    }
+
+    /// Truncates the document to its first `max_words` word tokens, also
+    /// truncating the character stream proportionally. Used by the
+    /// word-budget sweep of Table III.
+    pub fn truncate_words(&self, max_words: usize) -> PreparedDoc {
+        if max_words >= self.words.len() {
+            return self.clone();
+        }
+        let words: Vec<String> = self.words[..max_words].to_vec();
+        let keep_ratio = max_words as f64 / self.words.len() as f64;
+        let keep_chars = (self.char_text.chars().count() as f64 * keep_ratio) as usize;
+        let char_text: String = self.char_text.chars().take(keep_chars).collect();
+        let char_class = char_class_frequencies(&char_text);
+        PreparedDoc {
+            words,
+            char_text,
+            char_class,
+        }
+    }
+}
+
+/// A document with its n-gram counts precomputed at the maximum n-gram
+/// lengths. Counting is the expensive part of vectorization; the two-stage
+/// algorithm refits a feature space per unknown user, so counting once per
+/// document (instead of once per refit) is a large win.
+#[derive(Debug, Clone)]
+pub struct CountedDoc {
+    word_counts: std::collections::HashMap<String, u32>,
+    char_counts: std::collections::HashMap<String, u32>,
+    char_class: [f64; NUM_SLOTS],
+    word_len: usize,
+}
+
+impl CountedDoc {
+    /// Counts a prepared document's n-grams up to the given maxima (use the
+    /// largest `max_word_n`/`max_char_n` of any config you will fit).
+    pub fn from_prepared(doc: &PreparedDoc, max_word_n: usize, max_char_n: usize) -> CountedDoc {
+        CountedDoc {
+            word_counts: count_terms(word_ngrams_up_to(&doc.words, max_word_n)),
+            char_counts: count_terms(char_ngrams_up_to(&doc.char_text, max_char_n)),
+            char_class: doc.char_class,
+            word_len: doc.words.len(),
+        }
+    }
+
+    /// Number of word tokens in the underlying document.
+    pub fn word_len(&self) -> usize {
+        self.word_len
+    }
+
+    /// The word n-gram counts.
+    pub fn word_counts(&self) -> &std::collections::HashMap<String, u32> {
+        &self.word_counts
+    }
+
+    /// The char n-gram counts.
+    pub fn char_counts(&self) -> &std::collections::HashMap<String, u32> {
+        &self.char_counts
+    }
+}
+
+/// A fitted feature space: frozen vocabularies, IDF weights, and the block
+/// layout.
+#[derive(Debug, Clone)]
+pub struct FeatureSpace {
+    config: FeatureConfig,
+    word_vocab: Vocabulary,
+    word_tfidf: TfIdf,
+    char_vocab: Vocabulary,
+    char_tfidf: TfIdf,
+}
+
+/// Fits [`FeatureSpace`]s on document collections.
+#[derive(Debug, Clone, Default)]
+pub struct FeatureExtractor {
+    config: FeatureConfig,
+}
+
+impl FeatureExtractor {
+    /// Creates an extractor with the given configuration.
+    pub fn new(config: FeatureConfig) -> FeatureExtractor {
+        FeatureExtractor { config }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &FeatureConfig {
+        &self.config
+    }
+
+    /// Fits the vocabularies and IDF weights on `docs` (the paper fits on
+    /// the *known* author set, then vectorizes knowns and unknowns in that
+    /// space).
+    pub fn fit<'a, I>(&self, docs: I) -> FeatureSpace
+    where
+        I: IntoIterator<Item = &'a PreparedDoc>,
+    {
+        let mut word_builder = VocabBuilder::new();
+        let mut char_builder = VocabBuilder::new();
+        for doc in docs {
+            word_builder.add_doc_counts(&count_terms(word_ngrams_up_to(
+                &doc.words,
+                self.config.max_word_n,
+            )));
+            char_builder.add_doc_counts(&count_terms(char_ngrams_up_to(
+                &doc.char_text,
+                self.config.max_char_n,
+            )));
+        }
+        let word_vocab = word_builder.select_top(self.config.top_word_ngrams);
+        let char_vocab = char_builder.select_top(self.config.top_char_ngrams);
+        let word_tfidf = TfIdf::fit(&word_vocab);
+        let char_tfidf = TfIdf::fit(&char_vocab);
+        FeatureSpace {
+            config: self.config.clone(),
+            word_vocab,
+            word_tfidf,
+            char_vocab,
+            char_tfidf,
+        }
+    }
+
+    /// Fits from precomputed [`CountedDoc`]s. The counts must have been
+    /// produced with n-gram maxima at least as large as this config's
+    /// (counting at larger maxima only adds longer grams, which simply
+    /// compete in the frequency ranking exactly as the paper's do).
+    pub fn fit_counted<'a, I>(&self, docs: I) -> FeatureSpace
+    where
+        I: IntoIterator<Item = &'a CountedDoc>,
+    {
+        let mut word_builder = VocabBuilder::new();
+        let mut char_builder = VocabBuilder::new();
+        for doc in docs {
+            word_builder.add_doc_counts(&doc.word_counts);
+            char_builder.add_doc_counts(&doc.char_counts);
+        }
+        let word_vocab = word_builder.select_top(self.config.top_word_ngrams);
+        let char_vocab = char_builder.select_top(self.config.top_char_ngrams);
+        let word_tfidf = TfIdf::fit(&word_vocab);
+        let char_tfidf = TfIdf::fit(&char_vocab);
+        FeatureSpace {
+            config: self.config.clone(),
+            word_vocab,
+            word_tfidf,
+            char_vocab,
+            char_tfidf,
+        }
+    }
+}
+
+impl FeatureSpace {
+    /// The configuration the space was fitted with.
+    pub fn config(&self) -> &FeatureConfig {
+        &self.config
+    }
+
+    /// Dense offset of the char n-gram block.
+    fn char_offset(&self) -> u32 {
+        self.word_vocab.len() as u32
+    }
+
+    /// Dense offset of the char-class block.
+    fn class_offset(&self) -> u32 {
+        self.char_offset() + self.char_vocab.len() as u32
+    }
+
+    /// Dense offset of the activity block.
+    fn activity_offset(&self) -> u32 {
+        self.class_offset() + NUM_SLOTS as u32
+    }
+
+    /// Total dimensionality of the space.
+    pub fn dim(&self) -> usize {
+        self.activity_offset() as usize + HOURS
+    }
+
+    /// Number of selected word n-grams.
+    pub fn word_vocab_len(&self) -> usize {
+        self.word_vocab.len()
+    }
+
+    /// Number of selected char n-grams.
+    pub fn char_vocab_len(&self) -> usize {
+        self.char_vocab.len()
+    }
+
+    /// Vectorizes a document (optionally with its activity profile) into
+    /// the unit-norm concatenated feature vector. With
+    /// `activity_weight == 0` or `activity == None` the activity block is
+    /// all zeros.
+    pub fn vectorize(
+        &self,
+        doc: &PreparedDoc,
+        activity: Option<&DailyActivityProfile>,
+    ) -> SparseVector {
+        let counted = CountedDoc::from_prepared(doc, self.config.max_word_n, self.config.max_char_n);
+        self.vectorize_counted(&counted, activity)
+    }
+
+    /// Vectorizes a precounted document; see [`FeatureSpace::vectorize`].
+    pub fn vectorize_counted(
+        &self,
+        doc: &CountedDoc,
+        activity: Option<&DailyActivityProfile>,
+    ) -> SparseVector {
+        let mut v = self.word_tfidf.transform(&self.word_vocab, &doc.word_counts);
+        v = v.l2_normalized();
+        v.scale(self.config.word_weight);
+
+        let mut cv = self.char_tfidf.transform(&self.char_vocab, &doc.char_counts);
+        cv = cv.l2_normalized();
+        cv.scale(self.config.char_weight);
+        v.concat(&cv, self.char_offset());
+
+        if self.config.char_class_weight > 0.0 {
+            let mut ccv = SparseVector::from_pairs(
+                doc.char_class
+                    .iter()
+                    .enumerate()
+                    .filter(|&(_, &f)| f > 0.0)
+                    .map(|(i, &f)| (i as u32, f as f32)),
+            );
+            ccv = ccv.l2_normalized();
+            ccv.scale(self.config.char_class_weight);
+            v.concat(&ccv, self.class_offset());
+        }
+
+        if self.config.activity_weight > 0.0 {
+            if let Some(profile) = activity {
+                let mut av = SparseVector::from_pairs(
+                    profile
+                        .shares()
+                        .iter()
+                        .enumerate()
+                        .filter(|&(_, &s)| s > 0.0)
+                        .map(|(h, &s)| (h as u32, s as f32)),
+                );
+                av = av.l2_normalized();
+                av.scale(self.config.activity_weight);
+                v.concat(&av, self.activity_offset());
+            }
+        }
+        v.l2_normalized()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use darklight_activity::profile::DailyActivityProfile;
+
+    fn prep(text: &str) -> PreparedDoc {
+        let l = Lemmatizer::new();
+        PreparedDoc::prepare(text, Some(&l))
+    }
+
+    fn profile(hour: usize) -> DailyActivityProfile {
+        let mut counts = [0u32; HOURS];
+        counts[hour] = 10;
+        DailyActivityProfile::from_counts(counts).unwrap()
+    }
+
+    #[test]
+    fn prepare_lemmatizes_and_counts_classes() {
+        let d = prep("Wolves were running!! 42 times");
+        assert_eq!(d.words(), ["wolf", "be", "run", "42", "time"]);
+        assert!(d.char_class.iter().any(|&f| f > 0.0)); // '!' and digits
+        assert_eq!(d.word_len(), 5);
+    }
+
+    #[test]
+    fn prepare_without_lemmatizer() {
+        let d = PreparedDoc::prepare("Wolves running", None);
+        assert_eq!(d.words(), ["wolves", "running"]);
+    }
+
+    #[test]
+    fn truncate_words_limits_budget() {
+        let d = prep("one two three four five six seven eight nine ten");
+        let t = d.truncate_words(4);
+        assert_eq!(t.word_len(), 4);
+        assert!(t.char_text().len() < d.char_text().len());
+        // Truncating beyond length is identity.
+        assert_eq!(d.truncate_words(100).word_len(), d.word_len());
+    }
+
+    #[test]
+    fn vectors_are_unit_norm() {
+        let docs = [
+            prep("i always ship with tracking and stealth is great"),
+            prep("never had a problem with this vendor, top quality"),
+        ];
+        let space = FeatureExtractor::new(FeatureConfig::space_reduction()).fit(&docs);
+        let v = space.vectorize(&docs[0], Some(&profile(9)));
+        assert!((v.norm() - 1.0).abs() < 1e-5);
+        assert!(v.nnz() > 0);
+    }
+
+    #[test]
+    fn same_doc_has_cosine_one() {
+        let docs = [prep("repeat the very same words again and again")];
+        let space = FeatureExtractor::new(FeatureConfig::final_stage()).fit(&docs);
+        let a = space.vectorize(&docs[0], Some(&profile(10)));
+        let b = space.vectorize(&docs[0], Some(&profile(10)));
+        assert!((a.cosine(&b) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn similar_docs_score_higher_than_dissimilar() {
+        let docs = [
+            prep("i love psychedelic mushrooms and trip reports from the garden"),
+            prep("i love psychedelic mushrooms and reading trip reports here"),
+            prep("bitcoin fees are insane today the mempool is backed up badly"),
+        ];
+        let space = FeatureExtractor::new(FeatureConfig::space_reduction()).fit(&docs);
+        let v: Vec<SparseVector> = docs.iter().map(|d| space.vectorize(d, None)).collect();
+        assert!(v[0].cosine(&v[1]) > v[0].cosine(&v[2]));
+    }
+
+    #[test]
+    fn activity_block_influences_similarity() {
+        let docs = [
+            prep("completely different words about one topic entirely"),
+            prep("utterly distinct vocabulary concerning another theme"),
+        ];
+        let space = FeatureExtractor::new(FeatureConfig::space_reduction()).fit(&docs);
+        let same_hours = space
+            .vectorize(&docs[0], Some(&profile(9)))
+            .cosine(&space.vectorize(&docs[1], Some(&profile(9))));
+        let diff_hours = space
+            .vectorize(&docs[0], Some(&profile(9)))
+            .cosine(&space.vectorize(&docs[1], Some(&profile(21))));
+        assert!(same_hours > diff_hours);
+    }
+
+    #[test]
+    fn without_activity_ignores_profile() {
+        let docs = [prep("text that stays exactly the same every time here")];
+        let cfg = FeatureConfig::space_reduction().without_activity();
+        let space = FeatureExtractor::new(cfg).fit(&docs);
+        let a = space.vectorize(&docs[0], Some(&profile(3)));
+        let b = space.vectorize(&docs[0], Some(&profile(15)));
+        assert!((a.cosine(&b) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn refit_on_subset_changes_space() {
+        let docs: Vec<PreparedDoc> = [
+            "alpha beta gamma delta epsilon zeta",
+            "alpha beta gamma something else entirely",
+            "unrelated words that share nothing at all",
+        ]
+        .iter()
+        .map(|s| prep(s))
+        .collect();
+        let full = FeatureExtractor::new(FeatureConfig::space_reduction()).fit(&docs);
+        let sub = FeatureExtractor::new(FeatureConfig::final_stage()).fit(&docs[..2]);
+        // The subset space reflects only the two first docs' vocabulary.
+        assert!(sub.word_vocab_len() < full.word_vocab_len());
+    }
+
+    #[test]
+    fn dims_account_for_all_blocks() {
+        let docs = [prep("just a few words to fit on")];
+        let space = FeatureExtractor::new(FeatureConfig::space_reduction()).fit(&docs);
+        assert_eq!(
+            space.dim(),
+            space.word_vocab_len() + space.char_vocab_len() + NUM_SLOTS + HOURS
+        );
+    }
+
+    #[test]
+    fn table_ii_presets() {
+        let sr = FeatureConfig::space_reduction();
+        assert_eq!((sr.top_word_ngrams, sr.top_char_ngrams), (60_000, 30_000));
+        let fin = FeatureConfig::final_stage();
+        assert_eq!((fin.top_word_ngrams, fin.top_char_ngrams), (50_000, 15_000));
+        assert_eq!(fin.max_word_n, 3);
+        assert_eq!(fin.max_char_n, 5);
+    }
+}

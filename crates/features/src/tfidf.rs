@@ -1,0 +1,152 @@
+//! TF-IDF weighting.
+//!
+//! "This measure gives more importance to features that are frequently used
+//! by only one user and less importance to popular features such as
+//! stop-words" (§IV-A). We use the smoothed formulation
+//! `idf(t) = ln((1 + N) / (1 + df(t))) + 1` (as in scikit-learn, which the
+//! authors' Python stack builds on), with raw term counts as TF and L2
+//! normalization applied by the caller.
+
+use crate::sparse::SparseVector;
+use crate::vocab::Vocabulary;
+use std::collections::HashMap;
+
+/// A TF-IDF weigher over a frozen [`Vocabulary`].
+#[derive(Debug, Clone)]
+pub struct TfIdf {
+    idf: Vec<f32>,
+}
+
+impl TfIdf {
+    /// Precomputes IDF weights from the vocabulary's document frequencies.
+    pub fn fit(vocab: &Vocabulary) -> TfIdf {
+        let n = vocab.num_docs() as f64;
+        let idf = (0..vocab.len() as u32)
+            .map(|i| {
+                let df = vocab.doc_freq(i) as f64;
+                (((1.0 + n) / (1.0 + df)).ln() + 1.0) as f32
+            })
+            .collect();
+        TfIdf { idf }
+    }
+
+    /// Number of weighted dimensions.
+    pub fn len(&self) -> usize {
+        self.idf.len()
+    }
+
+    /// `true` when fitted on an empty vocabulary.
+    pub fn is_empty(&self) -> bool {
+        self.idf.is_empty()
+    }
+
+    /// The IDF weight of dense index `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn idf(&self, i: u32) -> f32 {
+        self.idf[i as usize]
+    }
+
+    /// Vectorizes a document's term counts: `tf * idf` per selected term.
+    /// Terms outside the vocabulary are ignored. The result is *not*
+    /// normalized — callers normalize after concatenating feature blocks.
+    ///
+    /// ```
+    /// use darklight_features::tfidf::TfIdf;
+    /// use darklight_features::vocab::{count_terms, VocabBuilder};
+    ///
+    /// let mut b = VocabBuilder::new();
+    /// b.add_doc_terms(["the", "the", "onion"].map(String::from));
+    /// b.add_doc_terms(["the", "market"].map(String::from));
+    /// let vocab = b.select_top(10);
+    /// let tfidf = TfIdf::fit(&vocab);
+    /// let doc = count_terms(["the", "onion", "onion"].map(String::from));
+    /// let v = tfidf.transform(&vocab, &doc);
+    /// // "onion" (rare) outweighs "the" (ubiquitous) despite lower raw tf.
+    /// let onion = vocab.index_of("onion").unwrap();
+    /// let the = vocab.index_of("the").unwrap();
+    /// assert!(v.get(onion) > v.get(the));
+    /// ```
+    pub fn transform(&self, vocab: &Vocabulary, counts: &HashMap<String, u32>) -> SparseVector {
+        let pairs = counts.iter().filter_map(|(term, &tf)| {
+            vocab
+                .index_of(term)
+                .map(|i| (i, tf as f32 * self.idf[i as usize]))
+        });
+        SparseVector::from_pairs(pairs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vocab::{count_terms, VocabBuilder};
+
+    fn fit_corpus(docs: &[&[&str]]) -> (Vocabulary, TfIdf) {
+        let mut b = VocabBuilder::new();
+        for d in docs {
+            b.add_doc_terms(d.iter().map(|s| s.to_string()));
+        }
+        let v = b.select_top(100);
+        let t = TfIdf::fit(&v);
+        (v, t)
+    }
+
+    #[test]
+    fn idf_decreases_with_document_frequency() {
+        let (v, t) = fit_corpus(&[
+            &["common", "rare"],
+            &["common"],
+            &["common"],
+            &["common"],
+        ]);
+        let c = v.index_of("common").unwrap();
+        let r = v.index_of("rare").unwrap();
+        assert!(t.idf(r) > t.idf(c));
+    }
+
+    #[test]
+    fn idf_of_ubiquitous_term_is_one() {
+        let (v, t) = fit_corpus(&[&["x"], &["x"], &["x"]]);
+        // df == N: ln((1+N)/(1+N)) + 1 == 1.
+        assert!((t.idf(v.index_of("x").unwrap()) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn transform_multiplies_tf_and_idf() {
+        let (v, t) = fit_corpus(&[&["a", "b"], &["a"]]);
+        let doc = count_terms(["a", "a", "b"].map(String::from));
+        let vec = t.transform(&v, &doc);
+        let ia = v.index_of("a").unwrap();
+        let ib = v.index_of("b").unwrap();
+        assert!((vec.get(ia) - 2.0 * t.idf(ia)).abs() < 1e-6);
+        assert!((vec.get(ib) - t.idf(ib)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn out_of_vocab_ignored() {
+        let (v, t) = fit_corpus(&[&["known"]]);
+        let doc = count_terms(["unknown", "known"].map(String::from));
+        let vec = t.transform(&v, &doc);
+        assert_eq!(vec.nnz(), 1);
+    }
+
+    #[test]
+    fn empty_doc_empty_vector() {
+        let (v, t) = fit_corpus(&[&["a"]]);
+        let vec = t.transform(&v, &HashMap::new());
+        assert!(vec.is_empty());
+    }
+
+    #[test]
+    fn idf_always_positive() {
+        let (v, t) = fit_corpus(&[&["a", "b", "c"], &["a", "b"], &["a"]]);
+        for i in 0..t.len() as u32 {
+            assert!(t.idf(i) > 0.0);
+        }
+        assert!(!t.is_empty());
+        let _ = v;
+    }
+}

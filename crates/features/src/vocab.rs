@@ -1,0 +1,217 @@
+//! Corpus-frequency counting and top-N vocabulary selection.
+//!
+//! The paper orders the n-grams by their frequency across the dataset
+//! and selects the top N features (§IV-A). [`VocabBuilder`] accumulates
+//! per-document term counts and document frequencies; [`Vocabulary`] is the
+//! frozen term → dense-index map used during vectorization.
+
+use std::collections::HashMap;
+
+/// Accumulates term statistics over a corpus.
+#[derive(Debug, Clone, Default)]
+pub struct VocabBuilder {
+    /// term → (total occurrences, number of documents containing it).
+    stats: HashMap<String, (u64, u32)>,
+    docs: u32,
+}
+
+impl VocabBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> VocabBuilder {
+        VocabBuilder::default()
+    }
+
+    /// Adds one document, given its term counts.
+    pub fn add_doc_counts(&mut self, counts: &HashMap<String, u32>) {
+        self.docs += 1;
+        for (term, &c) in counts {
+            let entry = self.stats.entry(term.clone()).or_insert((0, 0));
+            entry.0 += c as u64;
+            entry.1 += 1;
+        }
+    }
+
+    /// Adds one document from a raw term iterator (counting internally).
+    pub fn add_doc_terms<I: IntoIterator<Item = String>>(&mut self, terms: I) {
+        let mut counts: HashMap<String, u32> = HashMap::new();
+        for t in terms {
+            *counts.entry(t).or_insert(0) += 1;
+        }
+        self.add_doc_counts(&counts);
+    }
+
+    /// Number of documents seen.
+    pub fn num_docs(&self) -> u32 {
+        self.docs
+    }
+
+    /// Number of distinct terms seen.
+    pub fn num_terms(&self) -> usize {
+        self.stats.len()
+    }
+
+    /// Freezes the top `n` terms by total corpus frequency (ties broken
+    /// lexicographically for determinism) into a [`Vocabulary`]. Document
+    /// frequencies are carried along for IDF weighting.
+    pub fn select_top(&self, n: usize) -> Vocabulary {
+        let mut items: Vec<(&String, u64, u32)> = self
+            .stats
+            .iter()
+            .map(|(t, &(total, df))| (t, total, df))
+            .collect();
+        items.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(b.0)));
+        items.truncate(n);
+        let mut index = HashMap::with_capacity(items.len());
+        let mut doc_freq = Vec::with_capacity(items.len());
+        for (i, (term, _, df)) in items.into_iter().enumerate() {
+            index.insert(term.clone(), i as u32);
+            doc_freq.push(df);
+        }
+        Vocabulary {
+            index,
+            doc_freq,
+            num_docs: self.docs,
+        }
+    }
+}
+
+/// A frozen term → dense-index map with document frequencies.
+#[derive(Debug, Clone, Default)]
+pub struct Vocabulary {
+    index: HashMap<String, u32>,
+    doc_freq: Vec<u32>,
+    num_docs: u32,
+}
+
+impl Vocabulary {
+    /// Number of terms in the vocabulary.
+    pub fn len(&self) -> usize {
+        self.index.len()
+    }
+
+    /// `true` when no terms were selected.
+    pub fn is_empty(&self) -> bool {
+        self.index.is_empty()
+    }
+
+    /// The dense index of `term`, if selected.
+    pub fn index_of(&self, term: &str) -> Option<u32> {
+        self.index.get(term).copied()
+    }
+
+    /// Document frequency of the term at dense index `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn doc_freq(&self, i: u32) -> u32 {
+        self.doc_freq[i as usize]
+    }
+
+    /// Number of documents the vocabulary was fitted on.
+    pub fn num_docs(&self) -> u32 {
+        self.num_docs
+    }
+
+    /// Iterates `(term, index)` pairs in arbitrary order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, u32)> + '_ {
+        self.index.iter().map(|(t, &i)| (t.as_str(), i))
+    }
+}
+
+/// Counts terms from an iterator into a map — the per-document first step.
+pub fn count_terms<I: IntoIterator<Item = String>>(terms: I) -> HashMap<String, u32> {
+    let mut counts = HashMap::new();
+    for t in terms {
+        *counts.entry(t).or_insert(0) += 1;
+    }
+    counts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn doc(terms: &[&str]) -> HashMap<String, u32> {
+        count_terms(terms.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn counting() {
+        let c = doc(&["a", "b", "a", "a"]);
+        assert_eq!(c["a"], 3);
+        assert_eq!(c["b"], 1);
+    }
+
+    #[test]
+    fn top_n_by_corpus_frequency() {
+        let mut b = VocabBuilder::new();
+        b.add_doc_counts(&doc(&["x", "x", "y"]));
+        b.add_doc_counts(&doc(&["x", "y", "z"]));
+        assert_eq!(b.num_docs(), 2);
+        assert_eq!(b.num_terms(), 3);
+        let v = b.select_top(2);
+        assert_eq!(v.len(), 2);
+        // x appears 3 times, y twice, z once.
+        assert_eq!(v.index_of("x"), Some(0));
+        assert_eq!(v.index_of("y"), Some(1));
+        assert_eq!(v.index_of("z"), None);
+    }
+
+    #[test]
+    fn ties_broken_lexicographically() {
+        let mut b = VocabBuilder::new();
+        b.add_doc_counts(&doc(&["beta", "alpha"]));
+        let v = b.select_top(2);
+        assert_eq!(v.index_of("alpha"), Some(0));
+        assert_eq!(v.index_of("beta"), Some(1));
+    }
+
+    #[test]
+    fn doc_freq_tracked() {
+        let mut b = VocabBuilder::new();
+        b.add_doc_counts(&doc(&["common", "rare"]));
+        b.add_doc_counts(&doc(&["common"]));
+        b.add_doc_counts(&doc(&["common"]));
+        let v = b.select_top(10);
+        let common = v.index_of("common").unwrap();
+        let rare = v.index_of("rare").unwrap();
+        assert_eq!(v.doc_freq(common), 3);
+        assert_eq!(v.doc_freq(rare), 1);
+        assert_eq!(v.num_docs(), 3);
+    }
+
+    #[test]
+    fn select_more_than_available() {
+        let mut b = VocabBuilder::new();
+        b.add_doc_counts(&doc(&["only"]));
+        let v = b.select_top(100);
+        assert_eq!(v.len(), 1);
+    }
+
+    #[test]
+    fn empty_builder_gives_empty_vocab() {
+        let v = VocabBuilder::new().select_top(5);
+        assert!(v.is_empty());
+        assert_eq!(v.num_docs(), 0);
+    }
+
+    #[test]
+    fn add_doc_terms_counts_internally() {
+        let mut b = VocabBuilder::new();
+        b.add_doc_terms(["a", "a", "b"].map(String::from));
+        let v = b.select_top(2);
+        assert_eq!(v.index_of("a"), Some(0));
+        assert_eq!(v.doc_freq(0), 1);
+    }
+
+    #[test]
+    fn iter_covers_all_terms() {
+        let mut b = VocabBuilder::new();
+        b.add_doc_counts(&doc(&["p", "q", "r"]));
+        let v = b.select_top(3);
+        let mut seen: Vec<&str> = v.iter().map(|(t, _)| t).collect();
+        seen.sort();
+        assert_eq!(seen, ["p", "q", "r"]);
+    }
+}

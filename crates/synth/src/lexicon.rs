@@ -1,0 +1,490 @@
+//! The embedded English lexicon the generator draws from.
+//!
+//! All content words are real English (so the language detector, the
+//! lemmatizer, and the char-n-gram statistics behave as they would on real
+//! forum text). Words are tagged by part of speech; verbs and nouns are
+//! inflected with rules that the `darklight-text` lemmatizer inverts, so
+//! lemmatization genuinely merges the forms the generator emits.
+
+/// General-purpose nouns.
+pub const NOUNS: &[&str] = &[
+    "time", "year", "way", "day", "thing", "world", "life", "hand", "part", "place",
+    "week", "case", "point", "number", "group", "problem", "fact", "house", "room", "area",
+    "money", "story", "month", "book", "eye", "job", "word", "business", "issue", "side",
+    "kind", "head", "service", "friend", "power", "hour", "game", "line", "end", "member",
+    "law", "car", "city", "community", "name", "president", "team", "minute", "idea", "body",
+    "information", "parent", "face", "level", "office", "door", "health", "person", "art", "war",
+    "history", "party", "result", "change", "morning", "reason", "research", "moment", "air",
+    "teacher", "force", "education", "foot", "boy", "age", "policy", "process", "music",
+    "market", "sense", "nation", "plan", "college", "interest", "death", "experience", "effect",
+    "use", "class", "control", "care", "field", "development", "role", "effort", "rate",
+    "heart", "drug", "show", "leader", "light", "voice", "wife", "police", "mind", "price",
+    "report", "decision", "son", "view", "relationship", "town", "road", "arm", "difference",
+    "value", "building", "action", "model", "season", "society", "tax", "director", "position",
+    "player", "record", "paper", "space", "ground", "form", "event", "official", "matter",
+    "center", "couple", "site", "project", "activity", "star", "table", "need", "court",
+    "oil", "situation", "cost", "industry", "figure", "street", "image", "phone", "data",
+    "picture", "practice", "piece", "land", "product", "doctor", "wall", "patient", "worker",
+    "news", "test", "movie", "north", "love", "support", "technology", "step", "baby",
+    "computer", "type", "attention", "film", "tree", "source", "truth", "seat", "state",
+    "weekend", "package", "order", "review", "quality", "vendor", "account", "address",
+    "batch", "sample", "dose", "gram", "shipment", "wallet", "forum", "thread", "post",
+    "message", "profile", "link", "server", "network", "browser", "keyboard", "screen",
+];
+
+/// Verbs in base form; inflection via [`inflect`].
+pub const VERBS: &[&str] = &[
+    "ask", "work", "seem", "feel", "try", "call", "need", "mean", "keep", "let",
+    "begin", "help", "talk", "turn", "start", "show", "hear", "play", "run", "move",
+    "like", "live", "believe", "hold", "bring", "happen", "write", "provide", "sit", "stand",
+    "lose", "pay", "meet", "include", "continue", "set", "learn", "change", "lead", "watch",
+    "follow", "stop", "create", "speak", "read", "allow", "add", "spend", "grow", "open",
+    "walk", "win", "offer", "remember", "love", "consider", "appear", "buy", "wait", "serve",
+    "die", "send", "expect", "build", "stay", "fall", "cut", "reach", "kill", "remain",
+    "suggest", "raise", "pass", "sell", "require", "report", "decide", "pull", "return",
+    "explain", "hope", "develop", "carry", "break", "receive", "agree", "support", "hit",
+    "produce", "eat", "cover", "catch", "draw", "choose", "wish", "drop", "seek", "deal",
+    "ship", "order", "arrive", "pack", "test", "review", "trust", "scam", "refund", "track",
+    "smoke", "trip", "dose", "vape", "roll", "chill", "grind", "stack", "trade", "mine",
+    "post", "lurk", "reply", "upvote", "stream", "download", "install", "click", "scroll",
+    "browse", "share", "search", "save", "check", "wonder", "notice", "enjoy", "avoid",
+];
+
+/// Adjectives.
+pub const ADJS: &[&str] = &[
+    "good", "new", "first", "last", "long", "great", "little", "own", "other", "old",
+    "right", "big", "high", "different", "small", "large", "next", "early", "young",
+    "important", "few", "public", "bad", "same", "able", "free", "sure", "better", "whole",
+    "clear", "certain", "fast", "cheap", "strong", "possible", "late", "general", "easy",
+    "serious", "ready", "simple", "left", "hard", "special", "open", "wrong", "true",
+    "nice", "huge", "popular", "rare", "common", "quick", "slow", "deep", "warm", "cold",
+    "dark", "light", "heavy", "clean", "dirty", "pure", "solid", "weird", "crazy", "calm",
+    "happy", "sad", "angry", "tired", "busy", "lazy", "quiet", "loud", "safe", "risky",
+    "legit", "sketchy", "smooth", "rough", "fresh", "stale", "decent", "awesome", "terrible",
+    "amazing", "horrible", "perfect", "average", "reliable", "stealthy", "generous", "honest",
+    "careful", "careless", "patient", "friendly", "helpful", "useless", "useful", "pricey",
+];
+
+/// Adverbs and discourse markers.
+pub const ADVS: &[&str] = &[
+    "really", "actually", "probably", "definitely", "basically", "honestly", "usually",
+    "always", "never", "often", "sometimes", "rarely", "quickly", "slowly", "easily",
+    "barely", "nearly", "mostly", "totally", "completely", "absolutely", "literally",
+    "seriously", "apparently", "obviously", "clearly", "certainly", "recently", "finally",
+    "eventually", "suddenly", "carefully", "exactly", "directly", "simply", "highly",
+];
+
+/// Internet slang tokens.
+pub const SLANG: &[&str] = &[
+    "lol", "lmao", "tbh", "imo", "imho", "ngl", "fr", "smh", "idk", "irl",
+    "btw", "afaik", "iirc", "fwiw", "tldr", "yolo", "based", "sus", "lowkey", "highkey",
+    "deadass", "bet", "fam", "bruh", "yikes", "oof", "welp", "meh", "nah", "yeah",
+    "kinda", "sorta", "gonna", "wanna", "gotta", "dunno", "ain't", "y'all", "tho", "cuz",
+];
+
+/// Groups of interchangeable spellings; each author settles on one variant
+/// per group (a strong, persistent char-n-gram signal).
+pub const VARIANT_GROUPS: &[&[&str]] = &[
+    &["though", "tho"],
+    &["because", "cause", "cuz", "bc"],
+    &["you", "u"],
+    &["your", "ur"],
+    &["people", "ppl"],
+    &["about", "abt"],
+    &["probably", "prob", "probs"],
+    &["definitely", "def"],
+    &["something", "smth"],
+    &["really", "rly"],
+    &["with", "w"],
+    &["without", "w/o"],
+    &["going to", "gonna"],
+    &["want to", "wanna"],
+    &["got to", "gotta"],
+    &["kind of", "kinda"],
+    &["sort of", "sorta"],
+    &["do not", "don't", "dont"],
+    &["cannot", "can't", "cant"],
+    &["i am", "i'm", "im"],
+    &["it is", "it's", "its"],
+    &["that is", "that's", "thats"],
+    &["what is", "what's", "whats"],
+    &["see you", "cya"],
+    &["thanks", "thx", "ty"],
+    &["please", "pls", "plz"],
+    &["okay", "ok", "k"],
+    &["very", "super", "hella", "pretty"],
+];
+
+/// One topic's name and word stock.
+#[derive(Debug, Clone, Copy)]
+pub struct TopicLexicon {
+    /// Topic label as in Table I.
+    pub name: &'static str,
+    /// Example communities carrying the topic (subreddit-style names for
+    /// Reddit, board names for the dark-web forums).
+    pub communities: &'static [&'static str],
+    /// Topic-specific content words.
+    pub words: &'static [&'static str],
+}
+
+/// The thirteen topic rows of Table I.
+pub const TOPICS: &[TopicLexicon] = &[
+    TopicLexicon {
+        name: "Culture",
+        communities: &["science", "books", "history", "philosophy", "art"],
+        words: &[
+            "study", "theory", "author", "novel", "culture", "museum", "painting", "poem",
+            "ancient", "civilization", "language", "literature", "essay", "scientist",
+            "experiment", "evidence", "journal", "professor", "lecture", "library",
+        ],
+    },
+    TopicLexicon {
+        name: "Cryptocurrencies",
+        communities: &["bitcoin", "cryptocurrency", "monero", "ethtrader", "btc"],
+        words: &[
+            "bitcoin", "monero", "wallet", "blockchain", "exchange", "satoshi", "mining",
+            "ledger", "transaction", "fee", "mempool", "coin", "token", "address", "key",
+            "hodl", "pump", "dump", "fiat", "altcoin", "hash", "node", "confirmation",
+        ],
+    },
+    TopicLexicon {
+        name: "Drugs",
+        communities: &["darknetmarkets", "drugs", "lsd", "mdma", "opiates", "trees", "psychonaut"],
+        words: &[
+            "acid", "molly", "shrooms", "tabs", "dose", "trip", "high", "stash", "bud",
+            "edible", "tolerance", "comedown", "microdose", "blotter", "crystal", "powder",
+            "stealth", "vacuum", "sealed", "reship", "escrow", "finalize", "vendor", "bunk",
+        ],
+    },
+    TopicLexicon {
+        name: "Entertainment",
+        communities: &["pics", "funny", "movies", "television", "music", "videos"],
+        words: &[
+            "movie", "episode", "season", "album", "band", "concert", "trailer", "actor",
+            "scene", "soundtrack", "meme", "clip", "channel", "stream", "playlist", "show",
+            "director", "sequel", "plot", "character",
+        ],
+    },
+    TopicLexicon {
+        name: "Financial",
+        communities: &["personalfinance", "investing", "stocks"],
+        words: &[
+            "budget", "savings", "loan", "credit", "debt", "interest", "mortgage", "salary",
+            "invest", "portfolio", "stock", "dividend", "retirement", "bank", "account",
+            "income", "expense", "insurance",
+        ],
+    },
+    TopicLexicon {
+        name: "Lifestyle/Sports",
+        communities: &["lifeprotips", "fitness", "soccer", "nba", "running", "cooking"],
+        words: &[
+            "workout", "gym", "recipe", "protein", "training", "match", "goal", "league",
+            "coach", "diet", "routine", "stretch", "marathon", "bike", "hike", "yoga",
+            "kitchen", "meal", "season", "score",
+        ],
+    },
+    TopicLexicon {
+        name: "News",
+        communities: &["worldnews", "news", "upliftingnews"],
+        words: &[
+            "government", "minister", "election", "protest", "economy", "crisis", "border",
+            "treaty", "sanction", "investigation", "statement", "journalist", "headline",
+            "breaking", "conference", "summit", "reform",
+        ],
+    },
+    TopicLexicon {
+        name: "Places",
+        communities: &["canada", "europe", "australia", "unitedkingdom", "toronto"],
+        words: &[
+            "province", "downtown", "border", "winter", "summer", "flight", "airport",
+            "tourist", "neighborhood", "rent", "transit", "suburb", "coast", "island",
+            "mountain", "lake", "highway",
+        ],
+    },
+    TopicLexicon {
+        name: "Politics",
+        communities: &["politics", "politicaldiscussion", "libertarian"],
+        words: &[
+            "senate", "congress", "vote", "campaign", "candidate", "policy", "liberal",
+            "conservative", "debate", "scandal", "poll", "supreme", "amendment", "bill",
+            "party", "president", "governor",
+        ],
+    },
+    TopicLexicon {
+        name: "R18+",
+        communities: &["sex", "nsfw", "gonewild"],
+        words: &[
+            "relationship", "partner", "dating", "intimate", "attraction", "consent",
+            "romance", "flirt", "crush", "breakup", "marriage", "divorce",
+        ],
+    },
+    TopicLexicon {
+        name: "Psychological help",
+        communities: &["getmotivated", "depression", "anxiety", "selfimprovement"],
+        words: &[
+            "therapy", "therapist", "anxiety", "depression", "motivation", "mindfulness",
+            "meditation", "habit", "journal", "gratitude", "burnout", "stress", "panic",
+            "healing", "recovery", "selfcare",
+        ],
+    },
+    TopicLexicon {
+        name: "Tech/Tor",
+        communities: &["technology", "tor", "privacy", "linux", "netsec"],
+        words: &[
+            "encryption", "onion", "relay", "circuit", "privacy", "vpn", "firewall",
+            "kernel", "server", "protocol", "exploit", "patch", "password", "hash",
+            "opsec", "metadata", "fingerprint", "bridge", "hidden", "node",
+        ],
+    },
+    TopicLexicon {
+        name: "Videogame",
+        communities: &["gaming", "leagueoflegends", "fallout", "globaloffensive", "wow"],
+        words: &[
+            "quest", "loot", "raid", "server", "lag", "patch", "nerf", "buff", "spawn",
+            "respawn", "ranked", "ladder", "guild", "clan", "skin", "dlc", "console",
+            "controller", "fps", "rpg", "speedrun",
+        ],
+    },
+];
+
+/// Index of the Drugs topic in [`TOPICS`] (the dark-web forums' home
+/// topic).
+pub const DRUGS_TOPIC: usize = 2;
+
+/// Cities for identity facts, with their country.
+pub const CITIES: &[(&str, &str)] = &[
+    ("edmonton", "canada"), ("toronto", "canada"), ("vancouver", "canada"),
+    ("miami", "usa"), ("new york", "usa"), ("seattle", "usa"), ("denver", "usa"),
+    ("portland", "usa"), ("austin", "usa"), ("chicago", "usa"),
+    ("london", "uk"), ("manchester", "uk"), ("bristol", "uk"),
+    ("berlin", "germany"), ("hamburg", "germany"), ("munich", "germany"),
+    ("amsterdam", "netherlands"), ("rotterdam", "netherlands"),
+    ("sydney", "australia"), ("melbourne", "australia"), ("brisbane", "australia"),
+    ("warsaw", "poland"), ("krakow", "poland"), ("dublin", "ireland"),
+    ("stockholm", "sweden"), ("oslo", "norway"), ("helsinki", "finland"),
+    ("paris", "france"), ("lyon", "france"), ("madrid", "spain"),
+];
+
+/// Religions for identity facts.
+pub const RELIGIONS: &[&str] = &["christian", "atheist", "agnostic", "buddhist", "jewish", "muslim"];
+
+/// Political leanings for identity facts.
+pub const POLITICS: &[&str] = &["left", "right", "libertarian", "centrist", "green", "apolitical"];
+
+/// Drugs for identity facts and vendor complaints.
+pub const DRUGS: &[&str] = &[
+    "lsd", "mdma", "molly", "shrooms", "ketamine", "dmt", "mescaline", "weed", "hash",
+    "adderall", "xanax", "oxy", "2cb", "nbome", "speed", "cocaine",
+];
+
+/// Hobbies for identity facts.
+pub const HOBBIES: &[&str] = &[
+    "yoga", "cooking", "hiking", "climbing", "chess", "guitar", "piano", "photography",
+    "gardening", "fishing", "painting", "skateboarding", "snowboarding", "cycling",
+    "gaming", "reading", "writing", "woodworking", "brewing", "astronomy",
+];
+
+/// Devices for identity facts.
+pub const DEVICES: &[&str] = &[
+    "galaxy s4", "galaxy s7", "iphone 6", "iphone 7", "pixel 2", "oneplus 5",
+    "thinkpad x220", "macbook pro", "nexus 5", "xperia z3", "moto g5", "htc one",
+];
+
+/// Jobs for identity facts.
+pub const JOBS: &[&str] = &[
+    "warehouse worker", "bartender", "line cook", "electrician", "nurse", "student",
+    "programmer", "graphic designer", "teacher", "delivery driver", "mechanic",
+    "accountant", "barista", "security guard", "carpenter",
+];
+
+/// Alias-name fragments for generating nicknames.
+pub const ALIAS_HEADS: &[&str] = &[
+    "dark", "acid", "crypto", "ghost", "silent", "midnight", "neon", "frozen", "cosmic",
+    "electric", "mystic", "shadow", "lucid", "velvet", "quantum", "solar", "lunar",
+    "digital", "phantom", "emerald", "crimson", "golden", "silver", "iron", "wild",
+    "happy", "sleepy", "sneaky", "dizzy", "funky", "grumpy", "mellow", "spicy",
+];
+
+/// Alias-name tails.
+pub const ALIAS_TAILS: &[&str] = &[
+    "wizard", "garden", "rider", "panda", "falcon", "wolf", "tiger", "sailor", "monk",
+    "pirate", "baron", "queen", "king", "rabbit", "fox", "owl", "raven", "serpent",
+    "traveler", "dreamer", "walker", "runner", "dealer", "trader", "smith", "hunter",
+    "farmer", "painter", "poet", "prophet", "nomad", "hermit", "jester", "knight",
+];
+
+/// Inflections of a verb or noun that our lemmatizer maps back to the base.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Inflection {
+    /// Unchanged base form.
+    Base,
+    /// Noun plural / verb third person singular (`cat` → `cats`).
+    S,
+    /// Past tense (`stop` → `stopped`, `love` → `loved`).
+    Past,
+    /// Progressive (`run` → `running`, `make` → `making`).
+    Gerund,
+}
+
+fn is_vowel(b: u8) -> bool {
+    matches!(b, b'a' | b'e' | b'i' | b'o' | b'u')
+}
+
+/// True when the base ends consonant-vowel-consonant (final not w/x/y) —
+/// the doubling context (`stop` → `stopped`).
+fn cvc(word: &str) -> bool {
+    let b = word.as_bytes();
+    let n = b.len();
+    n >= 3
+        && !is_vowel(b[n - 3])
+        && is_vowel(b[n - 2])
+        && !is_vowel(b[n - 1])
+        && !matches!(b[n - 1], b'w' | b'x' | b'y')
+}
+
+/// Inflects a base-form word. The rules mirror (and invert under) the
+/// `darklight-text` lemmatizer suffix rules.
+///
+/// ```
+/// use darklight_synth::lexicon::{inflect, Inflection};
+/// assert_eq!(inflect("stop", Inflection::Past), "stopped");
+/// assert_eq!(inflect("love", Inflection::Past), "loved");
+/// assert_eq!(inflect("run", Inflection::Gerund), "running");
+/// assert_eq!(inflect("city", Inflection::S), "cities");
+/// ```
+pub fn inflect(base: &str, inflection: Inflection) -> String {
+    match inflection {
+        Inflection::Base => base.to_string(),
+        Inflection::S => {
+            if let Some(stem) = base.strip_suffix('y') {
+                if stem
+                    .as_bytes()
+                    .last()
+                    .is_some_and(|&b| !is_vowel(b))
+                {
+                    return format!("{stem}ies");
+                }
+            }
+            if base.ends_with('s')
+                || base.ends_with('x')
+                || base.ends_with('z')
+                || base.ends_with("ch")
+                || base.ends_with("sh")
+                || base.ends_with('o')
+            {
+                format!("{base}es")
+            } else {
+                format!("{base}s")
+            }
+        }
+        Inflection::Past => {
+            if base.ends_with('e') {
+                format!("{base}d")
+            } else if let Some(stem) = base.strip_suffix('y') {
+                if stem.as_bytes().last().is_some_and(|&b| !is_vowel(b)) {
+                    format!("{stem}ied")
+                } else {
+                    format!("{base}ed")
+                }
+            } else if cvc(base) {
+                let last = base.chars().last().expect("cvc implies non-empty");
+                format!("{base}{last}ed")
+            } else {
+                format!("{base}ed")
+            }
+        }
+        Inflection::Gerund => {
+            if let Some(stem) = base.strip_suffix('e') {
+                if !stem.is_empty() && !stem.ends_with('e') {
+                    return format!("{stem}ing");
+                }
+            }
+            if cvc(base) {
+                let last = base.chars().last().expect("cvc implies non-empty");
+                format!("{base}{last}ing")
+            } else {
+                format!("{base}ing")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use darklight_text::lemma::Lemmatizer;
+
+    #[test]
+    fn inflection_rules() {
+        assert_eq!(inflect("cat", Inflection::S), "cats");
+        assert_eq!(inflect("city", Inflection::S), "cities");
+        assert_eq!(inflect("box", Inflection::S), "boxes");
+        assert_eq!(inflect("watch", Inflection::S), "watches");
+        assert_eq!(inflect("day", Inflection::S), "days");
+        assert_eq!(inflect("stop", Inflection::Past), "stopped");
+        assert_eq!(inflect("love", Inflection::Past), "loved");
+        assert_eq!(inflect("try", Inflection::Past), "tried");
+        assert_eq!(inflect("play", Inflection::Past), "played");
+        assert_eq!(inflect("run", Inflection::Gerund), "running");
+        assert_eq!(inflect("make", Inflection::Gerund), "making");
+        assert_eq!(inflect("walk", Inflection::Gerund), "walking");
+    }
+
+    #[test]
+    fn word_lists_nonempty_and_lowercase() {
+        for list in [NOUNS, VERBS, ADJS, ADVS, SLANG] {
+            assert!(!list.is_empty());
+            for w in list {
+                assert_eq!(&w.to_lowercase(), w, "{w} not lowercase");
+            }
+        }
+        assert_eq!(TOPICS.len(), 13);
+        assert_eq!(TOPICS[DRUGS_TOPIC].name, "Drugs");
+        for t in TOPICS {
+            assert!(!t.words.is_empty());
+            assert!(!t.communities.is_empty());
+        }
+    }
+
+    #[test]
+    fn variant_groups_have_alternatives() {
+        for g in VARIANT_GROUPS {
+            assert!(g.len() >= 2);
+        }
+    }
+
+    /// Lemmatizing an inflected verb recovers the base for most stock.
+    /// A handful of irregular interactions are tolerated (< 10%).
+    #[test]
+    fn lemmatizer_inverts_most_verb_inflections() {
+        let lem = Lemmatizer::new();
+        let mut total = 0;
+        let mut ok = 0;
+        for v in VERBS {
+            for infl in [Inflection::S, Inflection::Past, Inflection::Gerund] {
+                total += 1;
+                let form = inflect(v, infl);
+                if lem.lemma_owned(&form) == *v {
+                    ok += 1;
+                }
+            }
+        }
+        let rate = ok as f64 / total as f64;
+        assert!(rate > 0.9, "only {ok}/{total} verb inflections invert");
+    }
+
+    /// Noun plurals also invert.
+    #[test]
+    fn lemmatizer_inverts_most_noun_plurals() {
+        let lem = Lemmatizer::new();
+        let mut total = 0;
+        let mut ok = 0;
+        for n in NOUNS {
+            total += 1;
+            if lem.lemma_owned(&inflect(n, Inflection::S)) == *n {
+                ok += 1;
+            }
+        }
+        assert!(ok as f64 / total as f64 > 0.85, "{ok}/{total}");
+    }
+}

@@ -1,0 +1,43 @@
+//! Synthetic forum-corpus generation.
+//!
+//! The paper's datasets — scraped Reddit, The Majestic Garden, and Dream
+//! Market posts — are not publicly available, so this crate simulates them
+//! (DESIGN.md §2 documents the substitution). What matters for reproducing
+//! the paper's experiments is that the simulation exhibits the properties
+//! the method measures:
+//!
+//! * every author has a *persistent, noisy* writing style — favourite
+//!   vocabulary, phrase templates, function-word variants (`though`/`tho`),
+//!   punctuation and contraction habits, typo and slang rates, message
+//!   lengths — that survives (with configurable drift) across forums;
+//! * every author has a *daily activity pattern* — a wrapped-Gaussian
+//!   mixture over the hours of the day — sampled into concrete posting
+//!   timestamps over 2017;
+//! * forums have different shapes: Reddit is multi-topic (the Table I
+//!   mixture) with shorter posts, the dark-web forums are drug-centric with
+//!   longer, more digressive posts (§III-B);
+//! * realistic noise is present so the polishing pipeline has real work:
+//!   bot accounts, repetitive spam, crossposts, quotes, PGP blocks, e-mail
+//!   addresses, emoji, non-English users;
+//! * *identity leaks* (ages, cities, drug habits, vendor complaints, alias
+//!   self-references, reposted links) are planted in messages and recorded
+//!   as ground-truth [`Fact`](darklight_corpus::model::Fact)s so the
+//!   evaluation layer can replay the authors' manual verification (§V-A).
+//!
+//! Entry point: [`scenario::ScenarioBuilder`] produces the three-forum
+//! [`scenario::Scenario`] used by every experiment.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod lexicon;
+pub mod noise;
+pub mod persona;
+pub mod scenario;
+pub mod style;
+pub mod temporal;
+pub mod textgen;
+
+pub use scenario::{Scenario, ScenarioBuilder, ScenarioConfig};
+pub use style::StyleGenome;
+pub use temporal::TemporalGenome;

@@ -1,0 +1,259 @@
+//! Noise generation: the dirty part of real forum data.
+//!
+//! The polishing pipeline (§III-C) exists because scraped forums contain
+//! bot accounts, repetitive spam, crossposts, quotes, PGP armor, e-mail
+//! addresses, and non-English chatter. This module generates all of it so
+//! polishing has real work to do — and so tests can verify each step
+//! removes exactly what it should.
+
+use crate::persona::alias_name;
+use crate::temporal::TemporalGenome;
+use darklight_corpus::model::{Post, User};
+use rand::Rng;
+
+/// Natural phrase stock per non-English language, sampled into messages
+/// that the language detector should reject.
+pub const SPANISH_PHRASES: &[&str] = &[
+    "no estoy seguro de lo que quieres decir con eso",
+    "la semana pasada compré algo parecido y llegó muy rápido",
+    "alguien sabe si el mercado sigue funcionando hoy",
+    "me parece que los precios están subiendo demasiado",
+    "gracias por la información, me ha servido mucho",
+    "el envío tardó casi dos semanas pero llegó bien",
+    "no encuentro ninguna solución para este problema",
+    "creo que deberías esperar un poco antes de pedir",
+];
+
+/// German phrases.
+pub const GERMAN_PHRASES: &[&str] = &[
+    "ich habe gestern etwas ähnliches bestellt und es kam schnell an",
+    "weiß jemand ob der markt heute wieder funktioniert",
+    "die preise sind in letzter zeit wirklich gestiegen",
+    "danke für die information, das hat mir sehr geholfen",
+    "der versand hat fast zwei wochen gedauert aber alles war gut",
+    "ich finde keine lösung für dieses problem",
+    "man sollte vielleicht noch etwas warten bevor man bestellt",
+    "das wetter ist heute wieder ziemlich schlecht hier",
+];
+
+/// French phrases.
+pub const FRENCH_PHRASES: &[&str] = &[
+    "je ne suis pas sûr de ce que tu veux dire par là",
+    "la semaine dernière j'ai commandé quelque chose de similaire",
+    "quelqu'un sait si le marché fonctionne encore aujourd'hui",
+    "les prix ont vraiment augmenté ces derniers temps",
+    "merci pour l'information, cela m'a beaucoup aidé",
+    "la livraison a pris presque deux semaines mais tout va bien",
+    "je ne trouve aucune solution à ce problème",
+    "il faudrait peut-être attendre un peu avant de commander",
+];
+
+/// Languages available for foreign-user generation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ForeignLang {
+    /// Spanish.
+    Spanish,
+    /// German.
+    German,
+    /// French.
+    French,
+}
+
+impl ForeignLang {
+    /// The phrase stock for this language.
+    pub fn phrases(self) -> &'static [&'static str] {
+        match self {
+            ForeignLang::Spanish => SPANISH_PHRASES,
+            ForeignLang::German => GERMAN_PHRASES,
+            ForeignLang::French => FRENCH_PHRASES,
+        }
+    }
+}
+
+/// Generates a bot account: `bot`-marked alias, templated repetitive posts.
+pub fn bot_user(rng: &mut impl Rng, temporal: &TemporalGenome, posts: usize) -> User {
+    let alias = if rng.random::<f64>() < 0.5 {
+        format!("bot{}", alias_name(rng))
+    } else {
+        format!("{}bot", alias_name(rng))
+    };
+    let mut user = User::new(alias, None);
+    let service = ["tip", "mirror", "archive", "remind", "translate"]
+        [rng.random_range(0..5)];
+    for i in 0..posts {
+        let text = format!(
+            "beep boop i am a {service} bot. this action was performed automatically. \
+             request id {i}. contact the operators if you have questions about this service."
+        );
+        user.posts
+            .push(Post::new(text, temporal.sample_timestamp(rng)));
+    }
+    user
+}
+
+/// Generates a spammer: normal-looking alias, low-diversity repeated
+/// pitches that the diversity-ratio filter (step 6) should drop.
+pub fn spam_user(rng: &mut impl Rng, temporal: &TemporalGenome, posts: usize) -> User {
+    let mut user = User::new(alias_name(rng), None);
+    let pitch = ["best deals best deals best deals",
+        "buy now buy now buy now buy now",
+        "cheap cheap cheap quality quality quality"][rng.random_range(0..3)];
+    for _ in 0..posts {
+        let reps = rng.random_range(3..6);
+        let text = std::iter::repeat_n(pitch, reps).collect::<Vec<_>>().join(" ");
+        user.posts
+            .push(Post::new(text, temporal.sample_timestamp(rng)));
+    }
+    user
+}
+
+/// Generates a non-English user whose messages the language filter (step
+/// 7) should drop.
+pub fn foreign_user(
+    rng: &mut impl Rng,
+    temporal: &TemporalGenome,
+    lang: ForeignLang,
+    posts: usize,
+) -> User {
+    let mut user = User::new(alias_name(rng), None);
+    let phrases = lang.phrases();
+    for _ in 0..posts {
+        let n = rng.random_range(2..5);
+        let text: Vec<&str> = (0..n)
+            .map(|_| phrases[rng.random_range(0..phrases.len())])
+            .collect();
+        user.posts
+            .push(Post::new(text.join(". "), temporal.sample_timestamp(rng)));
+    }
+    user
+}
+
+/// With probability `rate` each, decorates a clean message with the
+/// artifacts the polishing transforms must strip: a quoted line, an e-mail
+/// address, a URL, a PGP block, an edit tag.
+pub fn pollute(rng: &mut impl Rng, text: &str, rate: f64) -> String {
+    let mut out = String::new();
+    if rng.random::<f64>() < rate {
+        out.push_str("> what the previous poster said about this\n");
+    }
+    out.push_str(text);
+    if rng.random::<f64>() < rate {
+        out.push_str(&format!(
+            " reach me at {}@{}.com",
+            alias_name(rng),
+            ["proton", "tuta", "mail"][rng.random_range(0..3)]
+        ));
+    }
+    if rng.random::<f64>() < rate {
+        out.push_str(&format!(
+            " see https://www.{}.{}/thread/{}",
+            ["forum", "pastebin", "imgur"][rng.random_range(0..3)],
+            ["com", "org", "onion"][rng.random_range(0..3)],
+            rng.random_range(100..99_999)
+        ));
+    }
+    if rng.random::<f64>() < rate {
+        out.push_str(&format!("\nEdit by {}: fixed a typo", alias_name(rng)));
+    }
+    if rng.random::<f64>() < rate * 0.5 {
+        out.push_str(
+            "\n-----BEGIN PGP PUBLIC KEY BLOCK-----\nmQENBFfakekeymaterial0123456789abcdef\n-----END PGP PUBLIC KEY BLOCK-----",
+        );
+    }
+    out
+}
+
+/// Duplicates a random subset of a user's posts (crossposting, step 2's
+/// target), appending them with fresh timestamps.
+pub fn crosspost(rng: &mut impl Rng, user: &mut User, fraction: f64) {
+    let n = ((user.posts.len() as f64) * fraction) as usize;
+    for _ in 0..n {
+        let idx = rng.random_range(0..user.posts.len());
+        let mut dup = user.posts[idx].clone();
+        dup.timestamp += rng.random_range(600..86_400);
+        user.posts.push(dup);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use darklight_corpus::polish::Polisher;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> StdRng {
+        StdRng::seed_from_u64(seed)
+    }
+
+    fn temporal(seed: u64) -> TemporalGenome {
+        TemporalGenome::sample(&mut rng(seed))
+    }
+
+    #[test]
+    fn bot_users_are_caught_by_polishing() {
+        let t = temporal(1);
+        let bot = bot_user(&mut rng(2), &t, 20);
+        assert!(Polisher::is_bot_name(&bot.alias), "{}", bot.alias);
+        assert_eq!(bot.posts.len(), 20);
+    }
+
+    #[test]
+    fn spam_users_have_low_diversity() {
+        let t = temporal(3);
+        let spam = spam_user(&mut rng(4), &t, 10);
+        for p in &spam.posts {
+            assert!(darklight_text::normalize::diversity_ratio(&p.text) < 0.5);
+        }
+    }
+
+    #[test]
+    fn foreign_users_fail_language_filter() {
+        let det = darklight_text::langdetect::LanguageDetector::new();
+        let t = temporal(5);
+        for lang in [ForeignLang::Spanish, ForeignLang::German, ForeignLang::French] {
+            let u = foreign_user(&mut rng(6), &t, lang, 5);
+            let non_english = u
+                .posts
+                .iter()
+                .filter(|p| !det.is_english(&p.text))
+                .count();
+            assert!(
+                non_english * 2 > u.posts.len(),
+                "{lang:?}: only {non_english}/{} rejected",
+                u.posts.len()
+            );
+        }
+    }
+
+    #[test]
+    fn pollute_adds_removable_artifacts() {
+        let clean = "a perfectly ordinary message with plenty of distinct words inside";
+        let dirty = pollute(&mut rng(7), clean, 1.0);
+        assert!(dirty.contains('>'));
+        assert!(dirty.contains('@'));
+        assert!(dirty.contains("https://"));
+        assert!(dirty.contains("Edit by"));
+        // Polishing transforms recover something containing the original.
+        let t = darklight_text::normalize::remove_quotes(&dirty);
+        let t = darklight_text::normalize::remove_pgp_blocks(&t);
+        let t = darklight_text::normalize::remove_edit_tags(&t);
+        assert!(t.contains("ordinary message"));
+        assert!(!t.contains("Edit by"));
+    }
+
+    #[test]
+    fn pollute_rate_zero_is_identity() {
+        let clean = "untouched text";
+        assert_eq!(pollute(&mut rng(8), clean, 0.0), clean);
+    }
+
+    #[test]
+    fn crosspost_duplicates() {
+        let t = temporal(9);
+        let mut u = spam_user(&mut rng(10), &t, 10);
+        let before = u.posts.len();
+        crosspost(&mut rng(11), &mut u, 0.5);
+        assert_eq!(u.posts.len(), before + 5);
+    }
+}

@@ -1,0 +1,234 @@
+//! Personas: the people behind the aliases.
+//!
+//! A [`Persona`] bundles a style genome, a temporal genome, and a *fact
+//! sheet* — the identity attributes (age, city, drug habits, hobbies, …)
+//! this person could leak in their posts. Every alias generated from the
+//! persona shares all three; which facts actually leak on which alias is
+//! decided at generation time and recorded per-alias, which is exactly the
+//! information asymmetry the paper's manual verification worked with.
+
+use crate::lexicon::{
+    ALIAS_HEADS, ALIAS_TAILS, CITIES, DEVICES, DRUGS, HOBBIES, JOBS, POLITICS, RELIGIONS,
+};
+use crate::style::StyleGenome;
+use crate::temporal::TemporalGenome;
+use darklight_corpus::model::{Fact, FactKind};
+use rand::Rng;
+
+/// One synthetic person.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Persona {
+    /// Stable id; aliases carrying the same id are ground-truth matches.
+    pub id: u64,
+    /// How this person writes.
+    pub style: StyleGenome,
+    /// When this person posts.
+    pub temporal: TemporalGenome,
+    /// Everything this person could reveal about themselves.
+    pub facts: Vec<Fact>,
+}
+
+impl Persona {
+    /// Samples a persona with a full fact sheet.
+    pub fn sample(rng: &mut impl Rng, id: u64, style_strength: f64) -> Persona {
+        let mut facts = Vec::new();
+        let (city, country) = CITIES[rng.random_range(0..CITIES.len())];
+        facts.push(Fact::new(FactKind::Age, rng.random_range(18..46).to_string()));
+        facts.push(Fact::new(FactKind::City, city));
+        facts.push(Fact::new(FactKind::Country, country));
+        facts.push(Fact::new(
+            FactKind::Religion,
+            RELIGIONS[rng.random_range(0..RELIGIONS.len())],
+        ));
+        facts.push(Fact::new(
+            FactKind::Politics,
+            POLITICS[rng.random_range(0..POLITICS.len())],
+        ));
+        for _ in 0..rng.random_range(1..=3) {
+            facts.push(Fact::new(FactKind::Drug, DRUGS[rng.random_range(0..DRUGS.len())]));
+        }
+        for _ in 0..rng.random_range(1..=3) {
+            facts.push(Fact::new(
+                FactKind::Hobby,
+                HOBBIES[rng.random_range(0..HOBBIES.len())],
+            ));
+        }
+        facts.push(Fact::new(
+            FactKind::Device,
+            DEVICES[rng.random_range(0..DEVICES.len())],
+        ));
+        facts.push(Fact::new(FactKind::Job, JOBS[rng.random_range(0..JOBS.len())]));
+        // A distinctive vendor complaint (strong evidence when shared).
+        let vendor = alias_name(rng);
+        let drug = DRUGS[rng.random_range(0..DRUGS.len())];
+        facts.push(Fact::new(
+            FactKind::VendorComplaint,
+            format!("{vendor} sold bunk {drug}"),
+        ));
+        // A personal referral link (strong evidence).
+        facts.push(Fact::new(
+            FactKind::Link,
+            format!("refer.example.com/{}{}", vendor, rng.random_range(100..999)),
+        ));
+        facts.dedup();
+        Persona {
+            id,
+            style: StyleGenome::sample(rng, style_strength),
+            temporal: TemporalGenome::sample(rng),
+            facts,
+        }
+    }
+
+    /// A random subset of facts for one alias to leak, always including the
+    /// alias-reference fact when `other_alias` is given (vendors "use their
+    /// name as a brand", §V-C).
+    pub fn facts_for_alias(
+        &self,
+        rng: &mut impl Rng,
+        leak_fraction: f64,
+        other_alias: Option<&str>,
+    ) -> Vec<Fact> {
+        let mut out: Vec<Fact> = self
+            .facts
+            .iter()
+            .filter(|_| rng.random::<f64>() < leak_fraction)
+            .cloned()
+            .collect();
+        if let Some(alias) = other_alias {
+            out.push(Fact::new(FactKind::AliasRef, alias));
+        }
+        out
+    }
+}
+
+/// Generates a forum nickname (`head` + `tail` [+ digits]).
+pub fn alias_name(rng: &mut impl Rng) -> String {
+    let head = ALIAS_HEADS[rng.random_range(0..ALIAS_HEADS.len())];
+    let tail = ALIAS_TAILS[rng.random_range(0..ALIAS_TAILS.len())];
+    match rng.random_range(0..4) {
+        0 => format!("{head}_{tail}"),
+        1 => format!("{head}{tail}{}", rng.random_range(1..100)),
+        2 => format!("{head}{tail}"),
+        _ => format!("{head}_{tail}_{}", rng.random_range(1..1000)),
+    }
+}
+
+/// Renders a leak sentence for one fact, in a style-neutral phrasing (the
+/// identifying signal is the *fact content*, as in the paper's examples).
+pub fn leak_sentence(rng: &mut impl Rng, fact: &Fact) -> String {
+    let v = &fact.value;
+    match fact.kind {
+        FactKind::Age => match rng.random_range(0..3) {
+            0 => format!("im {v} years old btw."),
+            1 => format!("speaking as a {v} year old here."),
+            _ => format!("turned {v} this year."),
+        },
+        FactKind::City => match rng.random_range(0..3) {
+            0 => format!("here in {v} things are pretty quiet."),
+            1 => format!("greetings from {v}."),
+            _ => format!("anyone else from {v} around here?"),
+        },
+        FactKind::Country => format!("shipping to {v} has always worked for me."),
+        FactKind::Religion => format!("as a {v} i try not to judge anyone."),
+        FactKind::Politics => format!("politically i lean {v} if that matters."),
+        FactKind::Drug => match rng.random_range(0..3) {
+            0 => format!("{v} is my thing lately."),
+            1 => format!("tried {v} again last weekend."),
+            _ => format!("nothing beats good {v} honestly."),
+        },
+        FactKind::VendorComplaint => format!("heads up : {v} , total waste of money."),
+        FactKind::Hobby => match rng.random_range(0..2) {
+            0 => format!("been really into {v} these days."),
+            _ => format!("when im not here im usually doing {v}."),
+        },
+        FactKind::Device => format!("typing this from my {v} so excuse typos."),
+        FactKind::AliasRef => match rng.random_range(0..3) {
+            0 => format!("i also post as {v} on the other forum."),
+            1 => format!("you might know me as {v} elsewhere."),
+            _ => format!("same person as {v} btw, building my brand."),
+        },
+        FactKind::Link => format!("check www.{v} if you want the referral."),
+        FactKind::Job => format!("my shift as a {v} just ended."),
+        FactKind::Language => format!("my first language is {v} so bear with me."),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> StdRng {
+        StdRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn persona_has_full_fact_sheet() {
+        let p = Persona::sample(&mut rng(1), 42, 1.0);
+        assert_eq!(p.id, 42);
+        let kinds: std::collections::HashSet<FactKind> =
+            p.facts.iter().map(|f| f.kind).collect();
+        for required in [
+            FactKind::Age,
+            FactKind::City,
+            FactKind::Country,
+            FactKind::Religion,
+            FactKind::Politics,
+            FactKind::Drug,
+            FactKind::Hobby,
+            FactKind::Device,
+            FactKind::Job,
+            FactKind::VendorComplaint,
+            FactKind::Link,
+        ] {
+            assert!(kinds.contains(&required), "missing {required:?}");
+        }
+    }
+
+    #[test]
+    fn personas_deterministic() {
+        assert_eq!(
+            Persona::sample(&mut rng(2), 1, 1.0),
+            Persona::sample(&mut rng(2), 1, 1.0)
+        );
+    }
+
+    #[test]
+    fn facts_for_alias_subsets() {
+        let p = Persona::sample(&mut rng(3), 1, 1.0);
+        let leaked = p.facts_for_alias(&mut rng(4), 0.5, None);
+        assert!(leaked.len() <= p.facts.len());
+        for f in &leaked {
+            assert!(p.facts.contains(f));
+        }
+        let with_ref = p.facts_for_alias(&mut rng(5), 0.0, Some("other_name"));
+        assert_eq!(with_ref.len(), 1);
+        assert_eq!(with_ref[0].kind, FactKind::AliasRef);
+        assert_eq!(with_ref[0].value, "other_name");
+    }
+
+    #[test]
+    fn alias_names_plausible() {
+        let mut r = rng(6);
+        for _ in 0..50 {
+            let a = alias_name(&mut r);
+            assert!(a.len() >= 5);
+            assert!(a.chars().all(|c| c.is_ascii_alphanumeric() || c == '_'));
+        }
+    }
+
+    #[test]
+    fn leak_sentences_contain_the_value() {
+        let mut r = rng(7);
+        let p = Persona::sample(&mut r, 1, 1.0);
+        for fact in &p.facts {
+            let s = leak_sentence(&mut r, fact);
+            assert!(
+                s.contains(fact.value.as_str()),
+                "{s:?} missing {:?}",
+                fact.value
+            );
+        }
+    }
+}

@@ -1,0 +1,340 @@
+//! Author style genomes.
+//!
+//! A [`StyleGenome`] is everything persistent about how one person writes:
+//! favourite content words, preferred sentence templates, which spelling
+//! variant they use for each variant group (`though` vs `tho`), punctuation
+//! and casing habits, typo/slang/emoji rates, and message-length
+//! disposition, plus their topic mixture. The same genome drives all the
+//! person's aliases; crossing a domain boundary applies bounded *drift*
+//! ([`StyleGenome::drifted`]) — the paper's observation that "people might
+//! behave differently and use different writing styles when in the standard
+//! Web".
+
+use crate::lexicon::{ADJS, ADVS, NOUNS, SLANG, TOPICS, VARIANT_GROUPS, VERBS};
+use rand::Rng;
+
+/// How a sentence ends; authors weight these differently.
+pub const TERMINALS: [&str; 5] = [".", "!", "!!", "...", ""];
+
+/// Punctuation and casing habits.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PunctHabits {
+    /// Weights over [`TERMINALS`].
+    pub terminal_weights: [f64; 5],
+    /// Probability of inserting a comma at an eligible position.
+    pub comma_rate: f64,
+    /// Probability the author writes `i` lowercase.
+    pub lowercase_i: bool,
+    /// Probability the author capitalizes sentence starts.
+    pub sentence_case: bool,
+}
+
+/// A persistent per-author writing style.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StyleGenome {
+    /// Indices of favourite words per class (noun, verb, adj, adv).
+    pub fav_nouns: Vec<u16>,
+    /// Favourite verbs.
+    pub fav_verbs: Vec<u16>,
+    /// Favourite adjectives.
+    pub fav_adjs: Vec<u16>,
+    /// Favourite adverbs.
+    pub fav_advs: Vec<u16>,
+    /// Probability a content slot draws from the favourites instead of the
+    /// global stock — the main stylometric signal dial.
+    pub favorite_bias: f64,
+    /// Chosen variant per [`VARIANT_GROUPS`] entry.
+    pub variant_choice: Vec<u8>,
+    /// Probability an occurrence actually uses the chosen variant (people
+    /// are not perfectly consistent spellers).
+    pub variant_consistency: f64,
+    /// Unnormalized weights over the sentence templates.
+    pub template_weights: Vec<f64>,
+    /// Punctuation/casing habits.
+    pub punct: PunctHabits,
+    /// Per-word typo probability.
+    pub typo_rate: f64,
+    /// Per-sentence slang-token probability.
+    pub slang_rate: f64,
+    /// Favourite slang tokens (indices into [`SLANG`]).
+    pub fav_slang: Vec<u16>,
+    /// Per-message emoji probability (before polishing strips them).
+    pub emoji_rate: f64,
+    /// Mean sentences per message (log-space mean).
+    pub sentences_mu: f64,
+    /// Log-space standard deviation of sentences per message.
+    pub sentences_sigma: f64,
+    /// Unnormalized weights over the 13 topics of Table I.
+    pub topic_weights: Vec<f64>,
+}
+
+fn pick_distinct(rng: &mut impl Rng, n: usize, limit: usize) -> Vec<u16> {
+    let n = n.min(limit);
+    let mut chosen = std::collections::HashSet::new();
+    while chosen.len() < n {
+        chosen.insert(rng.random_range(0..limit) as u16);
+    }
+    let mut v: Vec<u16> = chosen.into_iter().collect();
+    v.sort_unstable();
+    v
+}
+
+/// Samples a log-normal-ish positive value via `exp(mu + sigma * z)`.
+pub(crate) fn log_normal(rng: &mut impl Rng, mu: f64, sigma: f64) -> f64 {
+    (mu + sigma * gaussian(rng)).exp()
+}
+
+/// Standard normal via Box–Muller.
+pub(crate) fn gaussian(rng: &mut impl Rng) -> f64 {
+    let u1: f64 = rng.random::<f64>().max(1e-12);
+    let u2: f64 = rng.random::<f64>();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+impl StyleGenome {
+    /// Samples a fresh genome. `strength` in `(0, 2]` scales how
+    /// identifying the style is: 1.0 is the calibrated default; lower
+    /// values make authors blend together (harder attribution), higher
+    /// values separate them.
+    pub fn sample(rng: &mut impl Rng, strength: f64) -> StyleGenome {
+        let strength = strength.clamp(0.05, 2.0);
+        let n_fav = |base: usize| ((base as f64) * (0.5 + strength)) as usize;
+        let template_count = crate::textgen::TEMPLATES.len();
+        // Template preferences: log-normal weights concentrate each author
+        // on a handful of constructions.
+        let template_weights: Vec<f64> = (0..template_count)
+            .map(|_| log_normal(rng, 0.0, 0.45 * strength))
+            .collect();
+        let mut terminal_weights = [0.0; 5];
+        for w in &mut terminal_weights {
+            *w = log_normal(rng, 0.0, 0.6);
+        }
+        // Topic mixture: everyone in these datasets touches drugs (they
+        // are DarkNetMarkets users); 2–4 side interests.
+        let mut topic_weights = vec![0.0; TOPICS.len()];
+        topic_weights[crate::lexicon::DRUGS_TOPIC] = 1.0 + rng.random::<f64>() * 3.0;
+        let side_interests = rng.random_range(2..=4);
+        for _ in 0..side_interests {
+            let t = rng.random_range(0..TOPICS.len());
+            topic_weights[t] += 0.3 + rng.random::<f64>() * 1.5;
+        }
+        StyleGenome {
+            fav_nouns: pick_distinct(rng, n_fav(28), NOUNS.len()),
+            fav_verbs: pick_distinct(rng, n_fav(20), VERBS.len()),
+            fav_adjs: pick_distinct(rng, n_fav(16), ADJS.len()),
+            fav_advs: pick_distinct(rng, n_fav(8), ADVS.len()),
+            favorite_bias: (0.14 * strength).min(0.8),
+            variant_choice: VARIANT_GROUPS
+                .iter()
+                .map(|g| rng.random_range(0..g.len()) as u8)
+                .collect(),
+            variant_consistency: 0.5 + rng.random::<f64>() * 0.35,
+            template_weights,
+            punct: PunctHabits {
+                terminal_weights,
+                comma_rate: rng.random::<f64>() * 0.6,
+                lowercase_i: rng.random::<f64>() < 0.55,
+                sentence_case: rng.random::<f64>() < 0.45,
+            },
+            typo_rate: rng.random::<f64>() * 0.015,
+            slang_rate: rng.random::<f64>() * 0.22,
+            fav_slang: pick_distinct(rng, 6, SLANG.len()),
+            emoji_rate: rng.random::<f64>() * 0.15,
+            sentences_mu: 0.9 + rng.random::<f64>() * 0.8,
+            sentences_sigma: 0.3 + rng.random::<f64>() * 0.3,
+            topic_weights,
+        }
+    }
+
+    /// Applies bounded drift for a different domain: habits wobble, some
+    /// favourites churn, but the core of the style persists. `drift` = 0
+    /// returns a clone; `drift` = 1 is a heavily changed (but still
+    /// correlated) style.
+    pub fn drifted(&self, rng: &mut impl Rng, drift: f64) -> StyleGenome {
+        let drift = drift.clamp(0.0, 1.0);
+        let mut out = self.clone();
+        // Replace a drift-proportional fraction of favourites.
+        churn(rng, &mut out.fav_nouns, NOUNS.len(), drift);
+        churn(rng, &mut out.fav_verbs, VERBS.len(), drift);
+        churn(rng, &mut out.fav_adjs, ADJS.len(), drift);
+        churn(rng, &mut out.fav_advs, ADVS.len(), drift);
+        // Flip some variant choices.
+        for (choice, group) in out.variant_choice.iter_mut().zip(VARIANT_GROUPS) {
+            if rng.random::<f64>() < drift * 0.25 {
+                *choice = rng.random_range(0..group.len()) as u8;
+            }
+        }
+        // Jitter continuous habits multiplicatively.
+        for w in &mut out.template_weights {
+            *w = jitter(rng, *w, drift, 1e-3, 1e3);
+        }
+        for w in &mut out.punct.terminal_weights {
+            *w = jitter(rng, *w, drift, 1e-3, 1e3);
+        }
+        out.punct.comma_rate = jitter(rng, self.punct.comma_rate.max(0.02), drift, 0.0, 0.9);
+        out.typo_rate = jitter(rng, self.typo_rate.max(0.002), drift, 0.0, 0.1);
+        out.slang_rate = jitter(rng, self.slang_rate.max(0.01), drift, 0.0, 0.6);
+        out.emoji_rate = jitter(rng, self.emoji_rate.max(0.005), drift, 0.0, 0.4);
+        out.favorite_bias = jitter(rng, self.favorite_bias, drift, 0.05, 0.85);
+        out.variant_consistency =
+            jitter(rng, self.variant_consistency, drift, 0.3, 0.95);
+        if rng.random::<f64>() < drift * 0.2 {
+            out.punct.lowercase_i = !out.punct.lowercase_i;
+        }
+        if rng.random::<f64>() < drift * 0.2 {
+            out.punct.sentence_case = !out.punct.sentence_case;
+        }
+        // Topic interests shift more readily than style.
+        for w in &mut out.topic_weights {
+            if *w > 0.0 {
+                *w = jitter(rng, *w, drift, 0.0, 10.0);
+            } else if rng.random::<f64>() < drift * 0.3 {
+                *w = rng.random::<f64>();
+            }
+        }
+        out
+    }
+
+    /// Samples a number of sentences for one message.
+    pub fn sample_sentence_count(&self, rng: &mut impl Rng) -> usize {
+        (log_normal(rng, self.sentences_mu, self.sentences_sigma).round() as usize).clamp(1, 30)
+    }
+}
+
+/// Replaces each favourite with probability `drift * 0.35`.
+fn churn(rng: &mut impl Rng, favs: &mut Vec<u16>, limit: usize, drift: f64) {
+    for slot in favs.iter_mut() {
+        if rng.random::<f64>() < drift * 0.35 {
+            *slot = rng.random_range(0..limit) as u16;
+        }
+    }
+    favs.sort_unstable();
+    favs.dedup();
+}
+
+/// Multiplies `v` by a drift-scaled log-normal factor, clamped.
+fn jitter(rng: &mut impl Rng, v: f64, drift: f64, floor: f64, cap: f64) -> f64 {
+    (v * log_normal(rng, 0.0, 0.4 * drift)).clamp(floor, cap)
+}
+
+/// Weighted index sampling over an unnormalized weight slice.
+///
+/// # Panics
+///
+/// Panics if `weights` is empty or sums to zero.
+pub fn weighted_index(rng: &mut impl Rng, weights: &[f64]) -> usize {
+    let total: f64 = weights.iter().sum();
+    assert!(total > 0.0, "weighted_index needs positive total weight");
+    let mut x = rng.random::<f64>() * total;
+    for (i, &w) in weights.iter().enumerate() {
+        x -= w;
+        if x <= 0.0 {
+            return i;
+        }
+    }
+    weights.len() - 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> StdRng {
+        StdRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn sample_is_deterministic_per_seed() {
+        let a = StyleGenome::sample(&mut rng(7), 1.0);
+        let b = StyleGenome::sample(&mut rng(7), 1.0);
+        assert_eq!(a, b);
+        let c = StyleGenome::sample(&mut rng(8), 1.0);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn genome_fields_in_range() {
+        for seed in 0..20 {
+            let g = StyleGenome::sample(&mut rng(seed), 1.0);
+            assert!(!g.fav_nouns.is_empty());
+            assert!((0.0..=0.85).contains(&g.favorite_bias));
+            assert_eq!(g.variant_choice.len(), VARIANT_GROUPS.len());
+            for (c, grp) in g.variant_choice.iter().zip(VARIANT_GROUPS) {
+                assert!((*c as usize) < grp.len());
+            }
+            assert!(g.topic_weights[crate::lexicon::DRUGS_TOPIC] > 0.0);
+            assert!(g.typo_rate <= 0.05);
+        }
+    }
+
+    #[test]
+    fn zero_drift_is_identity() {
+        let g = StyleGenome::sample(&mut rng(3), 1.0);
+        let d = g.drifted(&mut rng(4), 0.0);
+        assert_eq!(g, d);
+    }
+
+    #[test]
+    fn drift_changes_but_preserves_most_favorites() {
+        let g = StyleGenome::sample(&mut rng(5), 1.0);
+        let d = g.drifted(&mut rng(6), 0.5);
+        assert_ne!(g, d);
+        let overlap = g
+            .fav_nouns
+            .iter()
+            .filter(|n| d.fav_nouns.contains(n))
+            .count();
+        assert!(overlap as f64 >= 0.5 * g.fav_nouns.len() as f64);
+    }
+
+    #[test]
+    fn strength_scales_favorites() {
+        let weak = StyleGenome::sample(&mut rng(9), 0.3);
+        let strong = StyleGenome::sample(&mut rng(9), 1.8);
+        assert!(strong.fav_nouns.len() > weak.fav_nouns.len());
+        assert!(strong.favorite_bias > weak.favorite_bias);
+    }
+
+    #[test]
+    fn sentence_counts_positive_and_bounded() {
+        let g = StyleGenome::sample(&mut rng(11), 1.0);
+        let mut r = rng(12);
+        for _ in 0..200 {
+            let n = g.sample_sentence_count(&mut r);
+            assert!((1..=30).contains(&n));
+        }
+    }
+
+    #[test]
+    fn weighted_index_respects_weights() {
+        let mut r = rng(13);
+        let weights = [0.0, 10.0, 0.0];
+        for _ in 0..50 {
+            assert_eq!(weighted_index(&mut r, &weights), 1);
+        }
+        let mut counts = [0usize; 2];
+        for _ in 0..2000 {
+            counts[weighted_index(&mut r, &[1.0, 3.0])] += 1;
+        }
+        assert!(counts[1] > counts[0] * 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive total weight")]
+    fn weighted_index_rejects_zero_total() {
+        weighted_index(&mut rng(1), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn gaussian_moments_sane() {
+        let mut r = rng(17);
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| gaussian(&mut r)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.1, "var {var}");
+    }
+}

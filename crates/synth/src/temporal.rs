@@ -1,0 +1,213 @@
+//! Temporal genomes: when an author posts.
+//!
+//! Each person has a daily rhythm modelled as a mixture of one to three
+//! wrapped Gaussians over the 24-hour day (e.g. a lunch-break peak and an
+//! evening peak), anchored to their home timezone. Sampling produces unix
+//! timestamps across an active period in 2017, weekdays and weekends alike
+//! (the profile builder later discards weekend/holiday posts, as in the
+//! paper). The same genome drives all of a person's aliases, which is
+//! exactly the signal the daily-activity-profile feature exploits.
+
+use crate::style::gaussian;
+use darklight_activity::civil::{CivilDate, SECS_PER_DAY};
+use rand::Rng;
+
+/// One activity peak: a wrapped Gaussian over the day.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ActivityPeak {
+    /// Peak center in local hours `[0, 24)`.
+    pub center_hour: f64,
+    /// Standard deviation in hours.
+    pub std_hours: f64,
+    /// Relative weight of this peak.
+    pub weight: f64,
+}
+
+/// A persistent per-person posting rhythm.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TemporalGenome {
+    /// The activity peaks (1–3).
+    pub peaks: Vec<ActivityPeak>,
+    /// The person's UTC offset in hours (their timezone), applied when
+    /// converting local rhythm to UTC timestamps.
+    pub utc_offset_hours: i32,
+    /// First active day (days from unix epoch).
+    pub active_from_day: i64,
+    /// Last active day (inclusive).
+    pub active_to_day: i64,
+}
+
+impl TemporalGenome {
+    /// Samples a genome active through 2017 (the paper's data year).
+    pub fn sample(rng: &mut impl Rng) -> TemporalGenome {
+        let n_peaks = match rng.random_range(0..10) {
+            0..=2 => 1,
+            3..=7 => 2,
+            _ => 3,
+        };
+        let peaks = (0..n_peaks)
+            .map(|_| ActivityPeak {
+                center_hour: rng.random::<f64>() * 24.0,
+                std_hours: 1.5 + rng.random::<f64>() * 2.8,
+                weight: 0.3 + rng.random::<f64>(),
+            })
+            .collect();
+        let jan1 = CivilDate::new(2017, 1, 1).expect("valid date").days_from_epoch();
+        let dec31 = CivilDate::new(2017, 12, 31).expect("valid date").days_from_epoch();
+        // Active window: at least ~7 months within 2017 so 30+ weekday
+        // posts are plausible.
+        let start = jan1 + rng.random_range(0..60);
+        let end = dec31 - rng.random_range(0..60);
+        TemporalGenome {
+            peaks,
+            utc_offset_hours: rng.random_range(-8..=9),
+            active_from_day: start,
+            active_to_day: end.max(start + 30),
+        }
+    }
+
+    /// A drifted copy for another alias: peaks wobble by up to ±1.5h ×
+    /// `drift`, weights jitter, but the rhythm stays recognizably the same
+    /// person. The timezone never changes (people rarely move).
+    pub fn drifted(&self, rng: &mut impl Rng, drift: f64) -> TemporalGenome {
+        let drift = drift.clamp(0.0, 1.0);
+        let mut out = self.clone();
+        for p in &mut out.peaks {
+            p.center_hour =
+                (p.center_hour + gaussian(rng) * 1.5 * drift).rem_euclid(24.0);
+            p.std_hours = (p.std_hours * (1.0 + gaussian(rng) * 0.3 * drift)).clamp(0.5, 5.0);
+            p.weight = (p.weight * (1.0 + gaussian(rng) * 0.3 * drift)).clamp(0.05, 3.0);
+        }
+        out
+    }
+
+    /// Samples one posting timestamp (unix seconds, UTC).
+    pub fn sample_timestamp(&self, rng: &mut impl Rng) -> i64 {
+        let day = rng.random_range(self.active_from_day..=self.active_to_day);
+        let total_w: f64 = self.peaks.iter().map(|p| p.weight).sum();
+        let mut x = rng.random::<f64>() * total_w;
+        let mut chosen = &self.peaks[0];
+        for p in &self.peaks {
+            x -= p.weight;
+            if x <= 0.0 {
+                chosen = p;
+                break;
+            }
+        }
+        let local_hour = (chosen.center_hour + gaussian(rng) * chosen.std_hours).rem_euclid(24.0);
+        let utc_hour_frac = local_hour - self.utc_offset_hours as f64;
+        let secs = (utc_hour_frac * 3600.0).round() as i64;
+        day * SECS_PER_DAY + secs.rem_euclid(SECS_PER_DAY)
+            + rng.random_range(0..60) // second-level noise
+    }
+
+    /// Samples `n` timestamps, sorted ascending.
+    pub fn sample_timestamps(&self, rng: &mut impl Rng, n: usize) -> Vec<i64> {
+        let mut ts: Vec<i64> = (0..n).map(|_| self.sample_timestamp(rng)).collect();
+        ts.sort_unstable();
+        ts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use darklight_activity::civil::CivilDateTime;
+    use darklight_activity::profile::{ProfileBuilder, ProfilePolicy};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> StdRng {
+        StdRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn sample_deterministic() {
+        let a = TemporalGenome::sample(&mut rng(1));
+        let b = TemporalGenome::sample(&mut rng(1));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn timestamps_within_active_window_year() {
+        let g = TemporalGenome::sample(&mut rng(2));
+        let mut r = rng(3);
+        for _ in 0..300 {
+            let ts = g.sample_timestamp(&mut r);
+            let dt = CivilDateTime::from_unix(ts);
+            // Offset wrap can spill one day over the window edges.
+            assert!((2016..=2018).contains(&dt.date().year()));
+        }
+    }
+
+    #[test]
+    fn profiles_of_same_genome_are_similar() {
+        let g = TemporalGenome::sample(&mut rng(4));
+        let mut r = rng(5);
+        let builder = ProfileBuilder::new(ProfilePolicy::default().with_min_timestamps(5));
+        let p1 = builder.build(&g.sample_timestamps(&mut r, 300)).unwrap();
+        let p2 = builder.build(&g.sample_timestamps(&mut r, 300)).unwrap();
+        assert!(p1.cosine(&p2) > 0.8, "cosine {}", p1.cosine(&p2));
+    }
+
+    #[test]
+    fn different_genomes_usually_differ() {
+        // Average cross-similarity should be clearly below self-similarity.
+        let mut r = rng(6);
+        let builder = ProfileBuilder::new(ProfilePolicy::default().with_min_timestamps(5));
+        let mut self_sims = Vec::new();
+        let mut cross_sims = Vec::new();
+        let genomes: Vec<TemporalGenome> =
+            (0..8).map(|_| TemporalGenome::sample(&mut r)).collect();
+        let profiles: Vec<_> = genomes
+            .iter()
+            .map(|g| {
+                (
+                    builder.build(&g.sample_timestamps(&mut r, 200)).unwrap(),
+                    builder.build(&g.sample_timestamps(&mut r, 200)).unwrap(),
+                )
+            })
+            .collect();
+        for (i, (a1, a2)) in profiles.iter().enumerate() {
+            self_sims.push(a1.cosine(a2));
+            for (b1, _) in profiles.iter().skip(i + 1) {
+                cross_sims.push(a1.cosine(b1));
+            }
+        }
+        let avg = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+        assert!(
+            avg(&self_sims) > avg(&cross_sims) + 0.15,
+            "self {} cross {}",
+            avg(&self_sims),
+            avg(&cross_sims)
+        );
+    }
+
+    #[test]
+    fn drift_zero_keeps_genome() {
+        let g = TemporalGenome::sample(&mut rng(7));
+        assert_eq!(g.drifted(&mut rng(8), 0.0), g);
+    }
+
+    #[test]
+    fn drifted_profiles_still_match() {
+        let g = TemporalGenome::sample(&mut rng(9));
+        let d = g.drifted(&mut rng(10), 0.5);
+        assert_eq!(d.utc_offset_hours, g.utc_offset_hours);
+        let mut r = rng(11);
+        let builder = ProfileBuilder::new(ProfilePolicy::default().with_min_timestamps(5));
+        let p1 = builder.build(&g.sample_timestamps(&mut r, 300)).unwrap();
+        let p2 = builder.build(&d.sample_timestamps(&mut r, 300)).unwrap();
+        assert!(p1.cosine(&p2) > 0.5, "cosine {}", p1.cosine(&p2));
+    }
+
+    #[test]
+    fn sorted_timestamps() {
+        let g = TemporalGenome::sample(&mut rng(12));
+        let ts = g.sample_timestamps(&mut rng(13), 100);
+        for w in ts.windows(2) {
+            assert!(w[0] <= w[1]);
+        }
+        assert_eq!(ts.len(), 100);
+    }
+}

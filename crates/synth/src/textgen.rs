@@ -1,0 +1,463 @@
+//! Sentence and message generation.
+//!
+//! Sentences are built from a stock of templates — function-word skeletons
+//! with typed content slots — filled from the author's biased vocabulary,
+//! then passed through the author's habit filters: spelling-variant
+//! substitution, slang insertion, typos, commas, casing, terminal
+//! punctuation. Every one of those filters feeds a feature family the
+//! pipeline measures (word n-grams, char n-grams, char-class frequencies),
+//! which is what makes the synthetic corpus a faithful testbed for the
+//! paper's method.
+
+use crate::lexicon::{
+    inflect, Inflection, ADJS, ADVS, NOUNS, SLANG, TOPICS, VARIANT_GROUPS, VERBS,
+};
+use crate::style::{weighted_index, StyleGenome};
+use rand::Rng;
+use std::sync::OnceLock;
+
+/// The sentence templates. Uppercase tokens are slots: `N` noun, `Np`
+/// plural noun, `V` base verb, `Vd` past, `Vg` gerund, `Vs` 3rd-person,
+/// `A` adjective, `Dv` adverb, `T` topic word, `Num` number. Lowercase
+/// tokens (and `,`) are literals; variant groups are written in canonical
+/// (first-variant) spelling and substituted per author afterwards.
+pub const TEMPLATES: &[&str] = &[
+    "i Vd the A N and it was A",
+    "the N was really A because the N Vd",
+    "anyone know if the T N is A",
+    "just Vd my N , feels A",
+    "i am Vg the T right now and it Vs A",
+    "you should V the N before it Vs",
+    "honestly the A N Vd better than i Vd",
+    "been Vg Np all week because of the T",
+    "my N Vd again so i Vd a new one",
+    "do not V the N if the T looks A",
+    "this T N is the most A thing i have Vd",
+    "Dv Vd the N , would V again",
+    "what is the best N for Vg the T",
+    "i think the N Vs A when you V it Dv",
+    "that is a Dv A take on the T",
+    "Vd Num Np last week and they were all A",
+    "the A truth is that Np V because people V",
+    "never V a N from a A N , trust me",
+    "it Vs like the T is getting A these days",
+    "my A N says the N is A but i am not sure",
+    "big thanks to the N who Vd my N so Dv",
+    "not sure why Np keep Vg about the T",
+    "the N arrived in Num days , Dv A service",
+    "i have been Vg this N for Num years",
+    "if you V the T you will Dv V the N",
+    "nothing Vs better than a A N in the morning",
+    "Dv speaking , the N was A but the N was not",
+    "can someone V me with the A T N please",
+    "Vg the N Vd my whole N , Dv recommend",
+    "the T community Vs too much about Np",
+    "first time Vg this , any A Np to V",
+    "i used to V Np but the T changed everything",
+    "we Vd the T together and it was Dv A",
+    "somehow the N always Vs when i V the N",
+    "the price of the T N Vd Num percent",
+    "hot take : the A N is Dv overrated",
+    "long story short , i Vd the N and the N Vd",
+    "update : the N finally Vd , it looks A",
+    "pro tip : V your N before you V the T",
+    "am i the only one who Vs the A T N",
+];
+
+fn cumulative_zipf(n: usize) -> Vec<f64> {
+    let mut cum = Vec::with_capacity(n);
+    let mut total = 0.0;
+    for i in 0..n {
+        total += 1.0 / (i as f64 + 1.0);
+        cum.push(total);
+    }
+    cum
+}
+
+fn zipf_tables() -> &'static [Vec<f64>; 4] {
+    static TABLES: OnceLock<[Vec<f64>; 4]> = OnceLock::new();
+    TABLES.get_or_init(|| {
+        [
+            cumulative_zipf(NOUNS.len()),
+            cumulative_zipf(VERBS.len()),
+            cumulative_zipf(ADJS.len()),
+            cumulative_zipf(ADVS.len()),
+        ]
+    })
+}
+
+fn zipf_index(rng: &mut impl Rng, table: &[f64]) -> usize {
+    let total = *table.last().expect("table non-empty");
+    let x = rng.random::<f64>() * total;
+    table.partition_point(|&c| c < x).min(table.len() - 1)
+}
+
+/// Probability a noun/adjective slot draws a topic word instead of a
+/// general one.
+const TOPIC_AFFINITY: f64 = 0.3;
+
+fn pick_word(
+    rng: &mut impl Rng,
+    genome: &StyleGenome,
+    class: usize, // 0 noun, 1 verb, 2 adj, 3 adv
+    topic: usize,
+) -> String {
+    let (stock, favs): (&[&str], &[u16]) = match class {
+        0 => (NOUNS, &genome.fav_nouns),
+        1 => (VERBS, &genome.fav_verbs),
+        2 => (ADJS, &genome.fav_adjs),
+        _ => (ADVS, &genome.fav_advs),
+    };
+    // Topic words can stand in for nouns and adjectives.
+    if class == 0 && rng.random::<f64>() < TOPIC_AFFINITY {
+        let words = TOPICS[topic].words;
+        return words[rng.random_range(0..words.len())].to_string();
+    }
+    if !favs.is_empty() && rng.random::<f64>() < genome.favorite_bias {
+        let idx = favs[rng.random_range(0..favs.len())] as usize;
+        return stock[idx.min(stock.len() - 1)].to_string();
+    }
+    let table = &zipf_tables()[class];
+    stock[zipf_index(rng, table)].to_string()
+}
+
+fn fill_slot(rng: &mut impl Rng, genome: &StyleGenome, slot: &str, topic: usize) -> Option<String> {
+    Some(match slot {
+        "N" => pick_word(rng, genome, 0, topic),
+        "Np" => inflect(&pick_word(rng, genome, 0, topic), Inflection::S),
+        "V" => pick_word(rng, genome, 1, topic),
+        "Vd" => inflect(&pick_word(rng, genome, 1, topic), Inflection::Past),
+        "Vg" => inflect(&pick_word(rng, genome, 1, topic), Inflection::Gerund),
+        "Vs" => inflect(&pick_word(rng, genome, 1, topic), Inflection::S),
+        "A" => pick_word(rng, genome, 2, topic),
+        "Dv" => pick_word(rng, genome, 3, topic),
+        "T" => {
+            let words = TOPICS[topic].words;
+            words[rng.random_range(0..words.len())].to_string()
+        }
+        "Num" => match rng.random_range(0..4) {
+            0 => rng.random_range(2..10).to_string(),
+            1 => rng.random_range(10..100).to_string(),
+            2 => format!("{}.{}", rng.random_range(1..20), rng.random_range(1..10)),
+            _ => format!("{}0", rng.random_range(1..10)),
+        },
+        _ => return None,
+    })
+}
+
+/// Applies the author's spelling-variant choices to a token sequence.
+/// Each occurrence uses the chosen variant with probability
+/// `variant_consistency` (people are not perfectly consistent spellers);
+/// otherwise the canonical spelling stays. Multi-word canonicals
+/// (`going to`) are matched as token bigrams.
+fn apply_variants(rng: &mut impl Rng, tokens: &mut Vec<String>, genome: &StyleGenome) {
+    for (gi, group) in VARIANT_GROUPS.iter().enumerate() {
+        let chosen = group[genome.variant_choice[gi] as usize % group.len()];
+        let canonical: Vec<&str> = group[0].split(' ').collect();
+        if chosen == group[0] {
+            continue;
+        }
+        if canonical.len() == 1 {
+            for t in tokens.iter_mut() {
+                if t == canonical[0] && rng.random::<f64>() < genome.variant_consistency {
+                    *t = chosen.to_string();
+                }
+            }
+        } else {
+            // Bigram canonical: scan and splice.
+            let mut i = 0;
+            while i + 1 < tokens.len() {
+                if tokens[i] == canonical[0]
+                    && tokens[i + 1] == canonical[1]
+                    && rng.random::<f64>() < genome.variant_consistency
+                {
+                    let replacement: Vec<String> =
+                        chosen.split(' ').map(|s| s.to_string()).collect();
+                    tokens.splice(i..i + 2, replacement.clone());
+                    i += replacement.len();
+                } else {
+                    i += 1;
+                }
+            }
+        }
+    }
+}
+
+fn apply_typo(rng: &mut impl Rng, word: &mut String) {
+    let chars: Vec<char> = word.chars().collect();
+    if chars.len() < 4 || !word.is_ascii() {
+        return;
+    }
+    let mut c = chars;
+    if rng.random::<f64>() < 0.5 {
+        // Swap two adjacent interior letters.
+        let i = rng.random_range(1..c.len() - 1);
+        c.swap(i, i - 1);
+    } else {
+        // Drop one interior letter.
+        let i = rng.random_range(1..c.len() - 1);
+        c.remove(i);
+    }
+    *word = c.into_iter().collect();
+}
+
+const EMOJI: [&str; 8] = ["😀", "😂", "🔥", "👍", "🙏", "😅", "🤔", "✨"];
+
+/// Generates one sentence (without terminal punctuation) as tokens.
+fn sentence_tokens(rng: &mut impl Rng, genome: &StyleGenome, topic: usize) -> Vec<String> {
+    let t = weighted_index(rng, &genome.template_weights);
+    let template = TEMPLATES[t % TEMPLATES.len()];
+    let mut tokens: Vec<String> = Vec::new();
+    for tok in template.split_whitespace() {
+        match fill_slot(rng, genome, tok, topic) {
+            Some(filled) => {
+                // Filled slots may be multi-word (e.g. "galaxy s4").
+                tokens.extend(filled.split(' ').map(|s| s.to_string()));
+            }
+            None => tokens.push(tok.to_string()),
+        }
+    }
+    // Slang insertion.
+    if rng.random::<f64>() < genome.slang_rate && !genome.fav_slang.is_empty() {
+        let s = SLANG
+            [genome.fav_slang[rng.random_range(0..genome.fav_slang.len())] as usize % SLANG.len()];
+        if rng.random::<f64>() < 0.5 {
+            tokens.insert(0, s.to_string());
+        } else {
+            tokens.push(s.to_string());
+        }
+    }
+    apply_variants(rng, &mut tokens, genome);
+    // Typos.
+    for t in tokens.iter_mut() {
+        if rng.random::<f64>() < genome.typo_rate {
+            apply_typo(rng, t);
+        }
+    }
+    tokens
+}
+
+/// Renders tokens into a sentence string with the author's punctuation and
+/// casing habits.
+fn render_sentence(rng: &mut impl Rng, genome: &StyleGenome, mut tokens: Vec<String>) -> String {
+    // Casing.
+    if !genome.punct.lowercase_i {
+        for t in tokens.iter_mut() {
+            if t == "i" {
+                *t = "I".to_string();
+            } else if t == "i'm" {
+                *t = "I'm".to_string();
+            }
+        }
+    }
+    if genome.punct.sentence_case {
+        if let Some(first) = tokens.first_mut() {
+            let mut chars = first.chars();
+            if let Some(c) = chars.next() {
+                *first = c.to_uppercase().chain(chars).collect();
+            }
+        }
+    }
+    let mut out = String::new();
+    for (i, t) in tokens.iter().enumerate() {
+        if i > 0 && t != "," && t != ":" {
+            out.push(' ');
+        }
+        out.push_str(t);
+        // Optional comma after conjunctions/discourse markers.
+        if i + 1 < tokens.len()
+            && matches!(t.as_str(), "honestly" | "and" | "so" | "short")
+            && rng.random::<f64>() < genome.punct.comma_rate
+            && !out.ends_with(',')
+        {
+            out.push(',');
+        }
+    }
+    let terminal = crate::style::TERMINALS
+        [weighted_index(rng, &genome.punct.terminal_weights)];
+    out.push_str(terminal);
+    out
+}
+
+/// Generates one message: a sequence of sentences in the author's style,
+/// possibly ending with an emoji. `topic` indexes [`TOPICS`].
+///
+/// ```
+/// use darklight_synth::style::StyleGenome;
+/// use darklight_synth::textgen::generate_message;
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let mut rng = StdRng::seed_from_u64(1);
+/// let genome = StyleGenome::sample(&mut rng, 1.0);
+/// let msg = generate_message(&mut rng, &genome, 2);
+/// assert!(!msg.is_empty());
+/// ```
+pub fn generate_message(rng: &mut impl Rng, genome: &StyleGenome, topic: usize) -> String {
+    let n = genome.sample_sentence_count(rng);
+    let mut out = String::new();
+    for i in 0..n {
+        if i > 0 {
+            out.push(' ');
+        }
+        let tokens = sentence_tokens(rng, genome, topic);
+        out.push_str(&render_sentence(rng, genome, tokens));
+    }
+    if rng.random::<f64>() < genome.emoji_rate {
+        out.push(' ');
+        out.push_str(EMOJI[rng.random_range(0..EMOJI.len())]);
+    }
+    out
+}
+
+/// Generates a message with at least `min_words` words by concatenating
+/// messages (vendors' showcase posts, TMG's "longer than average and more
+/// digressive" messages).
+pub fn generate_long_message(
+    rng: &mut impl Rng,
+    genome: &StyleGenome,
+    topic: usize,
+    min_words: usize,
+) -> String {
+    let mut out = generate_message(rng, genome, topic);
+    while darklight_text::token::word_count(&out) < min_words {
+        out.push(' ');
+        out.push_str(&generate_message(rng, genome, topic));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> StdRng {
+        StdRng::seed_from_u64(seed)
+    }
+
+    fn genome(seed: u64) -> StyleGenome {
+        StyleGenome::sample(&mut rng(seed), 1.0)
+    }
+
+    #[test]
+    fn messages_nonempty_and_deterministic() {
+        let g = genome(1);
+        let a = generate_message(&mut rng(2), &g, 0);
+        let b = generate_message(&mut rng(2), &g, 0);
+        assert_eq!(a, b);
+        assert!(!a.is_empty());
+    }
+
+    #[test]
+    fn long_messages_meet_budget() {
+        let g = genome(3);
+        let m = generate_long_message(&mut rng(4), &g, 2, 120);
+        assert!(darklight_text::token::word_count(&m) >= 120);
+    }
+
+    #[test]
+    fn topic_words_show_up() {
+        let g = genome(5);
+        let mut all = String::new();
+        let mut r = rng(6);
+        for _ in 0..50 {
+            all.push_str(&generate_message(&mut r, &g, 1)); // Cryptocurrencies
+            all.push(' ');
+        }
+        let hits = TOPICS[1]
+            .words
+            .iter()
+            .filter(|w| all.contains(*w))
+            .count();
+        assert!(hits > 3, "only {hits} crypto words in output");
+    }
+
+    #[test]
+    fn same_genome_same_style_statistics() {
+        // Two samples from one author should share more vocabulary than
+        // samples from two different authors.
+        let ga = genome(7);
+        let gb = genome(8);
+        let mut r = rng(9);
+        let wordset = |g: &StyleGenome, r: &mut StdRng| {
+            let mut s = std::collections::HashSet::new();
+            for _ in 0..40 {
+                for w in darklight_text::token::words(&generate_message(r, g, 2)) {
+                    s.insert(w);
+                }
+            }
+            s
+        };
+        let a1 = wordset(&ga, &mut r);
+        let a2 = wordset(&ga, &mut r);
+        let b1 = wordset(&gb, &mut r);
+        let jac = |x: &std::collections::HashSet<String>, y: &std::collections::HashSet<String>| {
+            x.intersection(y).count() as f64 / x.union(y).count() as f64
+        };
+        assert!(
+            jac(&a1, &a2) > jac(&a1, &b1),
+            "self {} cross {}",
+            jac(&a1, &a2),
+            jac(&a1, &b1)
+        );
+    }
+
+    #[test]
+    fn variant_substitution_applies() {
+        // Force an author who writes "u" for "you".
+        let mut g = genome(10);
+        let you_group = VARIANT_GROUPS
+            .iter()
+            .position(|grp| grp[0] == "you")
+            .unwrap();
+        g.variant_choice[you_group] = 1; // "u"
+        g.variant_consistency = 1.0;
+        let mut r = rng(11);
+        let mut all = String::new();
+        for _ in 0..80 {
+            all.push_str(&generate_message(&mut r, &g, 0));
+            all.push(' ');
+        }
+        let words: Vec<String> = darklight_text::token::words(&all);
+        assert!(!words.iter().any(|w| w == "you"), "canonical 'you' leaked");
+        assert!(words.iter().any(|w| w == "u"), "variant 'u' never used");
+    }
+
+    #[test]
+    fn typo_rate_zero_means_clean_words() {
+        let mut g = genome(12);
+        g.typo_rate = 0.0;
+        g.slang_rate = 0.0;
+        g.emoji_rate = 0.0;
+        let m = generate_message(&mut rng(13), &g, 0);
+        assert!(!m.is_empty());
+    }
+
+    #[test]
+    fn sentence_case_capitalizes() {
+        let mut g = genome(14);
+        g.punct.sentence_case = true;
+        g.typo_rate = 0.0;
+        let m = generate_message(&mut rng(15), &g, 0);
+        let first = m.chars().next().unwrap();
+        assert!(first.is_uppercase() || !first.is_alphabetic(), "{m}");
+    }
+
+    #[test]
+    fn templates_parse_cleanly() {
+        // Every slot code in every template is fillable.
+        let g = genome(16);
+        let mut r = rng(17);
+        for tpl in TEMPLATES {
+            for tok in tpl.split_whitespace() {
+                if tok.chars().next().unwrap().is_uppercase() {
+                    assert!(
+                        fill_slot(&mut r, &g, tok, 0).is_some(),
+                        "unknown slot {tok} in {tpl:?}"
+                    );
+                }
+            }
+        }
+    }
+}

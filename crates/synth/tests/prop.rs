@@ -1,0 +1,103 @@
+//! Property-based tests for the corpus generator.
+
+use darklight_synth::lexicon::{inflect, Inflection};
+use darklight_synth::persona::{alias_name, leak_sentence, Persona};
+use darklight_synth::style::{weighted_index, StyleGenome};
+use darklight_synth::temporal::TemporalGenome;
+use darklight_synth::textgen::{generate_long_message, generate_message};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Message generation is total and deterministic per (seed, topic).
+    #[test]
+    fn messages_deterministic(seed in any::<u64>(), topic in 0usize..13) {
+        let genome = StyleGenome::sample(&mut StdRng::seed_from_u64(seed), 1.0);
+        let a = generate_message(&mut StdRng::seed_from_u64(seed ^ 1), &genome, topic);
+        let b = generate_message(&mut StdRng::seed_from_u64(seed ^ 1), &genome, topic);
+        prop_assert_eq!(&a, &b);
+        prop_assert!(!a.is_empty());
+    }
+
+    /// Long messages always reach the requested word budget.
+    #[test]
+    fn long_messages_meet_budget(seed in any::<u64>(), min_words in 10usize..150) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let genome = StyleGenome::sample(&mut rng, 1.0);
+        let m = generate_long_message(&mut rng, &genome, 2, min_words);
+        prop_assert!(darklight_text::token::word_count(&m) >= min_words);
+    }
+
+    /// Drift keeps genomes valid at any drift level.
+    #[test]
+    fn drift_preserves_invariants(seed in any::<u64>(), drift in 0.0f64..1.0) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = StyleGenome::sample(&mut rng, 1.0);
+        let d = g.drifted(&mut rng, drift);
+        prop_assert!((0.0..=0.95).contains(&d.favorite_bias));
+        prop_assert!((0.0..=1.0).contains(&d.variant_consistency));
+        prop_assert!(d.typo_rate <= 0.1 + 1e-12);
+        prop_assert_eq!(d.variant_choice.len(), g.variant_choice.len());
+        prop_assert!(!d.fav_nouns.is_empty());
+        // Favourite lists stay sorted and deduplicated.
+        for favs in [&d.fav_nouns, &d.fav_verbs, &d.fav_adjs, &d.fav_advs] {
+            for w in favs.windows(2) {
+                prop_assert!(w[0] < w[1]);
+            }
+        }
+    }
+
+    /// Temporal genomes always produce timestamps inside (or within a day
+    /// of) their active window.
+    #[test]
+    fn timestamps_in_window(seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = TemporalGenome::sample(&mut rng);
+        for _ in 0..50 {
+            let ts = g.sample_timestamp(&mut rng);
+            let day = ts.div_euclid(86_400);
+            prop_assert!(day >= g.active_from_day - 1 && day <= g.active_to_day + 1);
+        }
+    }
+
+    /// Inflection always grows the word and never panics.
+    #[test]
+    fn inflection_total(word in "[a-z]{2,12}") {
+        for infl in [Inflection::Base, Inflection::S, Inflection::Past, Inflection::Gerund] {
+            let out = inflect(&word, infl);
+            prop_assert!(!out.is_empty());
+            prop_assert!(out.len() >= word.len().saturating_sub(1));
+        }
+    }
+
+    /// Weighted index always lands on a positive-weight slot.
+    #[test]
+    fn weighted_index_valid(seed in any::<u64>(), weights in proptest::collection::vec(0.0f64..5.0, 1..20)) {
+        prop_assume!(weights.iter().sum::<f64>() > 0.0);
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..20 {
+            let i = weighted_index(&mut rng, &weights);
+            prop_assert!(i < weights.len());
+        }
+    }
+
+    /// Personas carry consistent fact sheets and alias names are sane.
+    #[test]
+    fn persona_invariants(seed in any::<u64>(), id in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let p = Persona::sample(&mut rng, id, 1.0);
+        prop_assert_eq!(p.id, id);
+        prop_assert!(p.facts.len() >= 8);
+        for f in &p.facts {
+            prop_assert!(!f.value.is_empty());
+            prop_assert_eq!(f.value.clone(), f.value.to_lowercase());
+            let s = leak_sentence(&mut rng, f);
+            prop_assert!(s.contains(f.value.as_str()));
+        }
+        let name = alias_name(&mut rng);
+        prop_assert!(name.len() >= 5);
+    }
+}

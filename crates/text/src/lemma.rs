@@ -1,0 +1,341 @@
+//! A rule-based English lemmatizer.
+//!
+//! Reduces inflected forms to their lemma (`am`, `are`, `is` → `be`;
+//! `wolves` → `wolf`; `running` → `run`), as the paper does before feature
+//! extraction so that "words with different inflections" count "as a single
+//! item" (§IV-A). The implementation is a lookup in irregular-form tables
+//! followed by Porter-style suffix rules (plural, past, progressive) with
+//! consonant-doubling undo and silent-`e` restoration.
+//!
+//! This is a *lemmatizer of stemmer strength*: like all dictionary-free
+//! systems it occasionally under- or over-strips (e.g. `danced` → `danc`),
+//! but it is deterministic and — crucially for the pipeline — maps all
+//! inflections produced by the corpus generator's morphology back to the
+//! same base form.
+
+use std::borrow::Cow;
+use std::collections::HashMap;
+
+/// Irregular verb forms: inflected → base.
+const IRREGULAR_VERBS: &[(&str, &str)] = &[
+    ("am", "be"), ("is", "be"), ("are", "be"), ("was", "be"), ("were", "be"),
+    ("been", "be"), ("being", "be"),
+    ("has", "have"), ("had", "have"), ("having", "have"),
+    ("does", "do"), ("did", "do"), ("done", "do"), ("doing", "do"),
+    ("goes", "go"), ("went", "go"), ("gone", "go"), ("going", "go"),
+    ("said", "say"), ("says", "say"),
+    ("got", "get"), ("gotten", "get"),
+    ("made", "make"), ("knew", "know"), ("known", "know"),
+    ("thought", "think"), ("took", "take"), ("taken", "take"),
+    ("came", "come"), ("saw", "see"), ("seen", "see"),
+    ("ran", "run"), ("gave", "give"), ("given", "give"),
+    ("found", "find"), ("told", "tell"), ("felt", "feel"),
+    ("left", "leave"), ("kept", "keep"), ("began", "begin"), ("begun", "begin"),
+    ("brought", "bring"), ("bought", "buy"), ("wrote", "write"), ("written", "write"),
+    ("stood", "stand"), ("heard", "hear"), ("meant", "mean"), ("met", "meet"),
+    ("paid", "pay"), ("sat", "sit"), ("spoke", "speak"), ("spoken", "speak"),
+    ("lost", "lose"), ("sent", "send"), ("built", "build"),
+    ("understood", "understand"), ("drew", "draw"), ("drawn", "draw"),
+    ("broke", "break"), ("broken", "break"), ("spent", "spend"),
+    ("grew", "grow"), ("grown", "grow"), ("fell", "fall"), ("fallen", "fall"),
+    ("sold", "sell"), ("sought", "seek"), ("threw", "throw"), ("thrown", "throw"),
+    ("caught", "catch"), ("dealt", "deal"), ("won", "win"),
+    ("forgot", "forget"), ("forgotten", "forget"), ("slept", "sleep"),
+    ("chose", "choose"), ("chosen", "choose"), ("drank", "drink"), ("drunk", "drink"),
+    ("drove", "drive"), ("driven", "drive"), ("ate", "eat"), ("eaten", "eat"),
+    ("flew", "fly"), ("flown", "fly"), ("led", "lead"), ("rode", "ride"),
+    ("ridden", "ride"), ("rose", "rise"), ("risen", "rise"), ("sang", "sing"),
+    ("sung", "sing"), ("swam", "swim"), ("swum", "swim"), ("wore", "wear"),
+    ("worn", "wear"), ("woke", "wake"), ("woken", "wake"), ("shook", "shake"),
+    ("shaken", "shake"), ("held", "hold"), ("became", "become"),
+    ("showed", "show"), ("shown", "show"), ("bit", "bite"), ("bitten", "bite"),
+    ("hid", "hide"), ("hidden", "hide"), ("stole", "steal"), ("stolen", "steal"),
+    ("struck", "strike"), ("swore", "swear"), ("sworn", "swear"),
+    ("tore", "tear"), ("torn", "tear"), ("froze", "freeze"), ("frozen", "freeze"),
+];
+
+/// Irregular noun plurals: plural → singular.
+const IRREGULAR_NOUNS: &[(&str, &str)] = &[
+    ("men", "man"), ("women", "woman"), ("children", "child"),
+    ("teeth", "tooth"), ("feet", "foot"), ("mice", "mouse"), ("geese", "goose"),
+    ("lives", "life"), ("knives", "knife"), ("wives", "wife"), ("wolves", "wolf"),
+    ("leaves", "leaf"), ("shelves", "shelf"), ("thieves", "thief"),
+    ("loaves", "loaf"), ("halves", "half"), ("selves", "self"), ("calves", "calf"),
+    ("scarves", "scarf"), ("elves", "elf"), ("oxen", "ox"), ("dice", "die"),
+];
+
+/// Forms that look inflected but are not (protected from suffix rules).
+const PROTECTED: &[&str] = &[
+    "this", "his", "hers", "its", "thus", "yes", "less", "unless", "during",
+    "nothing", "something", "anything", "everything", "morning", "evening",
+    "spring", "string", "thing", "king", "ring", "sing", "bring", "wing",
+    "always", "perhaps", "besides", "whereas", "news", "series", "species",
+    "analysis", "basis", "crisis", "bus", "gas", "plus", "status", "virus",
+    "bonus", "focus", "census", "versus", "christmas", "bed", "red", "need",
+    "feed", "seed", "speed", "indeed", "used", "based",
+];
+
+fn is_vowel(b: u8) -> bool {
+    matches!(b, b'a' | b'e' | b'i' | b'o' | b'u')
+}
+
+/// Porter-style CVC test on the stem end: consonant-vowel-consonant where
+/// the final consonant is not `w`, `x`, or `y`. Words ending like this
+/// usually dropped a silent `e` before `-ed`/`-ing` (`mak(e)`, `lov(e)`).
+fn ends_cvc(stem: &[u8]) -> bool {
+    let n = stem.len();
+    if n < 3 {
+        return false;
+    }
+    let (c1, v, c2) = (stem[n - 3], stem[n - 2], stem[n - 1]);
+    !is_vowel(c1) && is_vowel(v) && !is_vowel(c2) && !matches!(c2, b'w' | b'x' | b'y')
+}
+
+/// Returns `true` when the stem ends in a doubled consonant we undo
+/// (`stopp` → `stop`). `l`, `s`, `z` doublings are kept (`fell`, `miss`).
+fn ends_undoable_double(stem: &[u8]) -> bool {
+    let n = stem.len();
+    n >= 2
+        && stem[n - 1] == stem[n - 2]
+        && !is_vowel(stem[n - 1])
+        && !matches!(stem[n - 1], b'l' | b's' | b'z')
+}
+
+/// Fix up a stem after removing `-ed`/`-ing`: undo consonant doubling or
+/// restore a silent `e`.
+fn fix_stem(mut stem: String) -> String {
+    if ends_undoable_double(stem.as_bytes()) {
+        stem.pop();
+    } else if ends_cvc(stem.as_bytes()) {
+        stem.push('e');
+    }
+    stem
+}
+
+/// A rule-based English lemmatizer. Construction builds the irregular-form
+/// tables once; [`lemma`](Lemmatizer::lemma) is then allocation-free for
+/// words that are already base forms.
+#[derive(Debug, Clone)]
+pub struct Lemmatizer {
+    irregular: HashMap<&'static str, &'static str>,
+    protected: HashMap<&'static str, ()>,
+}
+
+impl Lemmatizer {
+    /// Builds the lemmatizer tables.
+    pub fn new() -> Lemmatizer {
+        let mut irregular = HashMap::with_capacity(IRREGULAR_VERBS.len() + IRREGULAR_NOUNS.len());
+        for &(from, to) in IRREGULAR_VERBS.iter().chain(IRREGULAR_NOUNS) {
+            irregular.insert(from, to);
+        }
+        let protected = PROTECTED.iter().map(|&w| (w, ())).collect();
+        Lemmatizer {
+            irregular,
+            protected,
+        }
+    }
+
+    /// Lemmatizes a single lowercase word. Uppercase input is lowercased
+    /// first (allocating). Words that are already lemmas are returned
+    /// borrowed.
+    ///
+    /// ```
+    /// use darklight_text::lemma::Lemmatizer;
+    /// let l = Lemmatizer::new();
+    /// assert_eq!(l.lemma("cities"), "city");
+    /// assert_eq!(l.lemma("stopped"), "stop");
+    /// assert_eq!(l.lemma("making"), "make");
+    /// assert_eq!(l.lemma("table"), "table"); // unchanged, no allocation
+    /// ```
+    pub fn lemma<'a>(&self, word: &'a str) -> Cow<'a, str> {
+        if word.chars().any(|c| c.is_uppercase()) {
+            return Cow::Owned(self.lemma_owned(&word.to_lowercase()));
+        }
+        if let Some(&base) = self.irregular.get(word) {
+            return Cow::Borrowed(base);
+        }
+        if self.protected.contains_key(word) || !word.is_ascii() || word.len() < 4 {
+            return Cow::Borrowed(word);
+        }
+        match self.strip_suffix(word) {
+            Some(owned) => Cow::Owned(owned),
+            None => Cow::Borrowed(word),
+        }
+    }
+
+    /// Like [`lemma`](Lemmatizer::lemma) but always returns an owned string.
+    pub fn lemma_owned(&self, word: &str) -> String {
+        self.lemma(word).into_owned()
+    }
+
+    /// Applies the suffix rules; `None` means the word is unchanged.
+    fn strip_suffix(&self, w: &str) -> Option<String> {
+        let n = w.len();
+        // Plural rules.
+        if let Some(stem) = w.strip_suffix("ies") {
+            if n > 4 {
+                return Some(format!("{stem}y"));
+            }
+        }
+        if w.ends_with("sses") {
+            return Some(w[..n - 2].to_string());
+        }
+        for es in ["xes", "ches", "shes", "zes", "oes"] {
+            if w.ends_with(es) && n > es.len() + 1 {
+                return Some(w[..n - 2].to_string());
+            }
+        }
+        if w.ends_with('s')
+            && !w.ends_with("ss")
+            && !w.ends_with("us")
+            && !w.ends_with("is")
+            && n > 3
+        {
+            return Some(w[..n - 1].to_string());
+        }
+        // Past tense.
+        if let Some(stem) = w.strip_suffix("ied") {
+            if n > 4 {
+                return Some(format!("{stem}y"));
+            }
+        }
+        if let Some(stem) = w.strip_suffix("ed") {
+            if stem.len() >= 3 && stem.bytes().any(is_vowel) {
+                return Some(fix_stem(stem.to_string()));
+            }
+        }
+        // Progressive.
+        if let Some(stem) = w.strip_suffix("ing") {
+            if stem.len() >= 3 && stem.bytes().any(is_vowel) {
+                return Some(fix_stem(stem.to_string()));
+            }
+        }
+        None
+    }
+}
+
+impl Default for Lemmatizer {
+    fn default() -> Lemmatizer {
+        Lemmatizer::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn l() -> Lemmatizer {
+        Lemmatizer::new()
+    }
+
+    #[test]
+    fn irregular_verbs() {
+        let lem = l();
+        for (inflected, base) in [
+            ("am", "be"), ("were", "be"), ("went", "go"), ("thought", "think"),
+            ("bought", "buy"), ("written", "write"), ("frozen", "freeze"),
+        ] {
+            assert_eq!(lem.lemma(inflected), base, "{inflected}");
+        }
+    }
+
+    #[test]
+    fn irregular_nouns() {
+        let lem = l();
+        assert_eq!(lem.lemma("children"), "child");
+        assert_eq!(lem.lemma("wolves"), "wolf");
+        assert_eq!(lem.lemma("mice"), "mouse");
+        assert_eq!(lem.lemma("knives"), "knife");
+    }
+
+    #[test]
+    fn regular_plurals() {
+        let lem = l();
+        assert_eq!(lem.lemma("cats"), "cat");
+        assert_eq!(lem.lemma("cities"), "city");
+        assert_eq!(lem.lemma("boxes"), "box");
+        assert_eq!(lem.lemma("watches"), "watch");
+        assert_eq!(lem.lemma("classes"), "class");
+        assert_eq!(lem.lemma("heroes"), "hero");
+        assert_eq!(lem.lemma("dishes"), "dish");
+    }
+
+    #[test]
+    fn plural_guards() {
+        let lem = l();
+        // -ss, -us, -is endings are not plurals.
+        assert_eq!(lem.lemma("glass"), "glass");
+        assert_eq!(lem.lemma("status"), "status");
+        assert_eq!(lem.lemma("analysis"), "analysis");
+        // Three-letter words are left alone.
+        assert_eq!(lem.lemma("gas"), "gas");
+        assert_eq!(lem.lemma("its"), "its");
+    }
+
+    #[test]
+    fn past_tense_rules() {
+        let lem = l();
+        assert_eq!(lem.lemma("jumped"), "jump");
+        assert_eq!(lem.lemma("stopped"), "stop");
+        assert_eq!(lem.lemma("loved"), "love");
+        assert_eq!(lem.lemma("tried"), "try");
+        assert_eq!(lem.lemma("hoped"), "hope");
+    }
+
+    #[test]
+    fn progressive_rules() {
+        let lem = l();
+        assert_eq!(lem.lemma("running"), "run");
+        assert_eq!(lem.lemma("making"), "make");
+        assert_eq!(lem.lemma("jumping"), "jump");
+        assert_eq!(lem.lemma("selling"), "sell"); // 'll' doubling kept
+        assert_eq!(lem.lemma("missing"), "miss"); // 'ss' kept
+    }
+
+    #[test]
+    fn protected_words_untouched() {
+        let lem = l();
+        for w in ["this", "during", "thing", "morning", "news", "species", "always", "need"] {
+            assert_eq!(lem.lemma(w), w, "{w}");
+        }
+    }
+
+    #[test]
+    fn uppercase_input_lowercased() {
+        let lem = l();
+        assert_eq!(lem.lemma("Wolves"), "wolf");
+        assert_eq!(lem.lemma("RUNNING"), "run");
+    }
+
+    #[test]
+    fn non_ascii_left_alone() {
+        let lem = l();
+        assert_eq!(lem.lemma("café"), "café");
+        assert_eq!(lem.lemma("straße"), "straße");
+    }
+
+    #[test]
+    fn base_forms_are_borrowed() {
+        let lem = l();
+        assert!(matches!(lem.lemma("table"), Cow::Borrowed(_)));
+        assert!(matches!(lem.lemma("cats"), Cow::Owned(_)));
+    }
+
+    #[test]
+    fn words_without_vowels_untouched() {
+        let lem = l();
+        // ASCII-art junk: no vowel before the suffix means no stripping.
+        assert_eq!(lem.lemma("grrred"), "grrred");
+        assert_eq!(lem.lemma("xyzzed"), "xyzzed");
+    }
+
+    #[test]
+    fn idempotent_on_own_output() {
+        let lem = l();
+        for w in ["cats", "running", "cities", "stopped", "wolves", "went", "boxes"] {
+            let once = lem.lemma_owned(w);
+            let twice = lem.lemma_owned(&once);
+            assert_eq!(once, twice, "{w}: {once} vs {twice}");
+        }
+    }
+}

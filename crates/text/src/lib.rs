@@ -1,0 +1,49 @@
+//! Text-processing substrate for the `darklight` alias-linking pipeline.
+//!
+//! The paper's stylometric features are computed over *polished, tokenized,
+//! lemmatized* forum text. This crate provides that entire layer from
+//! scratch:
+//!
+//! * [`token`] — a forum-aware tokenizer that classifies words, numbers,
+//!   punctuation, symbols, emoji, URLs, and e-mail addresses while keeping
+//!   byte offsets into the source;
+//! * [`lemma`] — a rule-based English lemmatizer (irregular-form tables plus
+//!   suffix rules with consonant-doubling and silent-`e` restoration),
+//!   standing in for the paper's NLTK-style lemmatization;
+//! * [`normalize`] — the text-level cleaning primitives behind the paper's
+//!   twelve polishing steps (§III-C): URL→hostname reduction, e-mail
+//!   masking, emoji stripping, quote and edit-tag removal, PGP-block
+//!   removal, over-long-word removal, and the vocabulary-diversity spam
+//!   ratio;
+//! * [`langdetect`] — a Cavnar–Trenkle character-n-gram language detector
+//!   with embedded profiles for eight languages, standing in for the Python
+//!   `langdetect` library used by the authors.
+//!
+//! # Example
+//!
+//! ```
+//! use darklight_text::token::{Tokenizer, TokenKind};
+//! use darklight_text::lemma::Lemmatizer;
+//!
+//! let tokens: Vec<_> = Tokenizer::new("The wolves were running!").collect();
+//! assert_eq!(tokens.iter().filter(|t| t.kind == TokenKind::Word).count(), 4);
+//!
+//! let lemmatizer = Lemmatizer::new();
+//! assert_eq!(lemmatizer.lemma("wolves"), "wolf");
+//! assert_eq!(lemmatizer.lemma("were"), "be");
+//! assert_eq!(lemmatizer.lemma("running"), "run");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod langdetect;
+pub mod obfuscate;
+pub mod lemma;
+pub mod normalize;
+pub mod token;
+
+pub use langdetect::{Lang, LanguageDetector};
+pub use obfuscate::{ObfuscateConfig, Obfuscator};
+pub use lemma::Lemmatizer;
+pub use token::{Token, TokenKind, Tokenizer};

@@ -1,0 +1,352 @@
+//! Text-level cleaning primitives behind the paper's polishing steps
+//! (§III-C).
+//!
+//! Each function implements one of the transformations the authors apply to
+//! raw forum posts before feature extraction: URL reduction to hostnames,
+//! e-mail masking, emoji stripping, quote and edit-tag removal, PGP-armor
+//! removal, over-long-word removal, and the vocabulary-diversity ratio used
+//! to drop spam. The full twelve-step pipeline (which also involves
+//! per-account and per-dataset rules) lives in `darklight-corpus`; this
+//! module holds the reusable string transforms.
+
+use crate::token::{is_emoji, Token, TokenKind, Tokenizer};
+
+/// The paper's replacement tag for e-mail addresses (step 10).
+pub const MAIL_TAG: &str = "_mail_";
+
+/// The paper's maximum meaningful word length (step 12): longer "words" are
+/// jokes, ASCII art, or stray PGP material.
+pub const MAX_WORD_LEN: usize = 34;
+
+/// Extracts the hostname from a URL, dropping scheme, path, query, fragment,
+/// port, and a leading `www.` — the paper keeps `reddit` -style hostnames
+/// (step 3 normalizes `www.reddit.com` to `reddit`... we keep the registrable
+/// host minus `www.`, e.g. `reddit.com`, which preserves strictly more
+/// signal while staying user-agnostic).
+///
+/// ```
+/// use darklight_text::normalize::url_hostname;
+/// assert_eq!(url_hostname("https://www.reddit.com/r/rust?x=1"), "reddit.com");
+/// assert_eq!(url_hostname("www.example.org"), "example.org");
+/// ```
+pub fn url_hostname(url: &str) -> String {
+    let mut rest = url;
+    for scheme in ["http://", "https://", "ftp://"] {
+        if let Some(head) = rest.get(..scheme.len()) {
+            if head.eq_ignore_ascii_case(scheme) {
+                rest = &rest[scheme.len()..];
+                break;
+            }
+        }
+    }
+    let end = rest
+        .find(['/', '?', '#', ':'])
+        .unwrap_or(rest.len());
+    let mut host = &rest[..end];
+    if let Some(head) = host.get(..4) {
+        if head.eq_ignore_ascii_case("www.") {
+            host = &host[4..];
+        }
+    }
+    host.to_lowercase()
+}
+
+/// Rewrites every URL token in `text` to its hostname (polishing step 3) and
+/// every e-mail token to [`MAIL_TAG`] (step 10), leaving everything else
+/// untouched.
+pub fn normalize_urls_and_emails(text: &str) -> String {
+    rebuild(text, |t| match t.kind {
+        TokenKind::Url => Some(url_hostname(t.text)),
+        TokenKind::Email => Some(MAIL_TAG.to_string()),
+        _ => None,
+    })
+}
+
+/// Removes emoji characters (polishing step 4), collapsing any whitespace
+/// runs they leave behind.
+///
+/// ```
+/// use darklight_text::normalize::strip_emojis;
+/// assert_eq!(strip_emojis("good 😀 stuff"), "good stuff");
+/// ```
+pub fn strip_emojis(text: &str) -> String {
+    let cleaned: String = text.chars().filter(|&c| !is_emoji(c)).collect();
+    collapse_spaces(&cleaned)
+}
+
+/// Removes quoted lines (polishing step 8). On Reddit a quote is a line
+/// starting with `>`; classic forum quotes wrap text in
+/// `[quote]…[/quote]` blocks. Both forms are removed so we never attribute
+/// someone else's words to the poster.
+pub fn remove_quotes(text: &str) -> String {
+    let mut out = String::with_capacity(text.len());
+    let mut in_block_quote = false;
+    for line in text.lines() {
+        let trimmed = line.trim_start();
+        if trimmed.starts_with('>') {
+            continue;
+        }
+        let lower = trimmed.to_lowercase();
+        if lower.contains("[quote") {
+            in_block_quote = true;
+        }
+        let closes = lower.contains("[/quote]");
+        if !in_block_quote {
+            out.push_str(line);
+            out.push('\n');
+        }
+        if closes {
+            in_block_quote = false;
+        }
+    }
+    let result = out.trim_end_matches('\n');
+    result.to_string()
+}
+
+/// Removes platform edit tags (polishing step 9): everything from an
+/// `Edit by <user>` / `EDIT:` / `edit:` marker to the end of its line —
+/// these strings embed the username and would leak label information.
+pub fn remove_edit_tags(text: &str) -> String {
+    let mut out = String::with_capacity(text.len());
+    for (i, line) in text.lines().enumerate() {
+        if i > 0 {
+            out.push('\n');
+        }
+        out.push_str(strip_edit_tag(line));
+    }
+    out
+}
+
+fn strip_edit_tag(line: &str) -> &str {
+    let lower = line.to_lowercase();
+    let markers = ["edit by ", "edited by ", "edit:", "edit :", "last edit"];
+    let mut cut = line.len();
+    for m in markers {
+        let mut search_from = 0;
+        while let Some(pos) = lower[search_from..].find(m) {
+            let abs = search_from + pos;
+            // Only treat it as a tag at a word boundary.
+            let at_boundary = abs == 0
+                || !lower.as_bytes()[abs - 1].is_ascii_alphanumeric();
+            if at_boundary && abs < cut {
+                cut = abs;
+            }
+            search_from = abs + m.len();
+        }
+    }
+    line[..cut].trim_end()
+}
+
+/// Removes PGP armor blocks (polishing step 11): anything between
+/// `-----BEGIN PGP` and the matching `-----END PGP …-----` line, inclusive.
+/// An unterminated block is removed to the end of the text.
+pub fn remove_pgp_blocks(text: &str) -> String {
+    let mut out = String::with_capacity(text.len());
+    let mut in_block = false;
+    for line in text.lines() {
+        let upper = line.to_uppercase();
+        if upper.contains("-----BEGIN PGP") {
+            in_block = true;
+            continue;
+        }
+        if in_block {
+            if upper.contains("-----END PGP") {
+                in_block = false;
+            }
+            continue;
+        }
+        out.push_str(line);
+        out.push('\n');
+    }
+    out.trim_end_matches('\n').to_string()
+}
+
+/// Removes "words" longer than [`MAX_WORD_LEN`] characters (polishing step
+/// 12) — ASCII art, key material, and keyboard mashing.
+pub fn drop_long_words(text: &str) -> String {
+    let kept: Vec<&str> = text
+        .split_whitespace()
+        .filter(|w| w.chars().count() <= MAX_WORD_LEN)
+        .collect();
+    kept.join(" ")
+}
+
+/// The ratio of distinct words to total words (polishing step 6). Spam
+/// messages repeating one sentence have a low ratio; the paper drops
+/// messages below 0.5. Returns 0 for wordless text.
+///
+/// ```
+/// use darklight_text::normalize::diversity_ratio;
+/// assert!(diversity_ratio("buy now buy now buy now") < 0.5);
+/// assert_eq!(diversity_ratio("all completely distinct words here"), 1.0);
+/// ```
+pub fn diversity_ratio(text: &str) -> f64 {
+    let words = crate::token::words(text);
+    if words.is_empty() {
+        return 0.0;
+    }
+    let distinct: std::collections::HashSet<&String> = words.iter().collect();
+    distinct.len() as f64 / words.len() as f64
+}
+
+/// Collapses runs of spaces/tabs into single spaces and trims line ends
+/// (newlines are preserved).
+pub fn collapse_spaces(text: &str) -> String {
+    let mut out = String::with_capacity(text.len());
+    for (i, line) in text.lines().enumerate() {
+        if i > 0 {
+            out.push('\n');
+        }
+        let mut last_space = true; // trims leading spaces
+        for c in line.chars() {
+            if c == ' ' || c == '\t' {
+                if !last_space {
+                    out.push(' ');
+                }
+                last_space = true;
+            } else {
+                out.push(c);
+                last_space = false;
+            }
+        }
+        while out.ends_with(' ') {
+            out.pop();
+        }
+    }
+    out
+}
+
+/// Rewrites `text` token-by-token: `f` returns `Some(replacement)` for
+/// tokens to rewrite and `None` to copy the original. Inter-token source
+/// text (whitespace, unrecognized characters) is preserved verbatim.
+fn rebuild(text: &str, f: impl Fn(&Token<'_>) -> Option<String>) -> String {
+    let mut out = String::with_capacity(text.len());
+    let mut cursor = 0;
+    for token in Tokenizer::new(text) {
+        out.push_str(&text[cursor..token.start]);
+        match f(&token) {
+            Some(replacement) => out.push_str(&replacement),
+            None => out.push_str(token.text),
+        }
+        cursor = token.end();
+    }
+    out.push_str(&text[cursor..]);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hostname_extraction() {
+        assert_eq!(url_hostname("https://www.reddit.com/r/x"), "reddit.com");
+        assert_eq!(url_hostname("HTTP://EXAMPLE.COM/PATH"), "example.com");
+        assert_eq!(url_hostname("www.foo.bar"), "foo.bar");
+        assert_eq!(url_hostname("https://host.onion:8080/x"), "host.onion");
+        assert_eq!(url_hostname("https://a.b?q=1"), "a.b");
+        assert_eq!(url_hostname("https://a.b#frag"), "a.b");
+    }
+
+    #[test]
+    fn urls_and_emails_normalized_in_context() {
+        let s = "see https://www.reddit.com/r/rust and mail me@example.com ok";
+        assert_eq!(
+            normalize_urls_and_emails(s),
+            "see reddit.com and mail _mail_ ok"
+        );
+    }
+
+    #[test]
+    fn non_url_text_untouched() {
+        let s = "no links here, just words & symbols #5";
+        assert_eq!(normalize_urls_and_emails(s), s);
+    }
+
+    #[test]
+    fn emoji_stripping() {
+        assert_eq!(strip_emojis("a 😀😀 b"), "a b");
+        assert_eq!(strip_emojis("😀"), "");
+        assert_eq!(strip_emojis("plain"), "plain");
+    }
+
+    #[test]
+    fn reddit_quotes_removed() {
+        let s = "I agree.\n> someone else said this\n> and this\nMy reply.";
+        assert_eq!(remove_quotes(s), "I agree.\nMy reply.");
+    }
+
+    #[test]
+    fn bbcode_quotes_removed() {
+        let s = "intro\n[quote=alice]their words\nmore of their words[/quote]\nmy words";
+        assert_eq!(remove_quotes(s), "intro\nmy words");
+    }
+
+    #[test]
+    fn unterminated_bbcode_quote_drops_rest() {
+        let s = "mine\n[quote]theirs\ntheirs too";
+        assert_eq!(remove_quotes(s), "mine");
+    }
+
+    #[test]
+    fn edit_tags_removed() {
+        assert_eq!(
+            remove_edit_tags("Great deal! Edit by dark_vendor: fixed typo"),
+            "Great deal!"
+        );
+        assert_eq!(remove_edit_tags("nice EDIT: added link"), "nice");
+        assert_eq!(remove_edit_tags("first line\nsecond Edit by x"), "first line\nsecond");
+    }
+
+    #[test]
+    fn edit_marker_inside_word_kept() {
+        assert_eq!(remove_edit_tags("I reedit: my posts"), "I reedit: my posts");
+        // "credit:" contains "edit:" but not at a word boundary.
+        assert_eq!(remove_edit_tags("photo credit: alice"), "photo credit: alice");
+    }
+
+    #[test]
+    fn pgp_blocks_removed() {
+        let s = "my key:\n-----BEGIN PGP PUBLIC KEY BLOCK-----\nmQENBF\nxyz\n-----END PGP PUBLIC KEY BLOCK-----\nthanks";
+        assert_eq!(remove_pgp_blocks(s), "my key:\nthanks");
+    }
+
+    #[test]
+    fn unterminated_pgp_block_removed_to_end() {
+        let s = "hello\n-----BEGIN PGP MESSAGE-----\ngarbage";
+        assert_eq!(remove_pgp_blocks(s), "hello");
+    }
+
+    #[test]
+    fn long_words_dropped() {
+        let long = "x".repeat(35);
+        let ok = "y".repeat(34);
+        let s = format!("keep {long} this {ok}");
+        assert_eq!(drop_long_words(&s), format!("keep this {ok}"));
+    }
+
+    #[test]
+    fn diversity_ratio_values() {
+        assert_eq!(diversity_ratio(""), 0.0);
+        assert_eq!(diversity_ratio("..."), 0.0);
+        assert_eq!(diversity_ratio("word"), 1.0);
+        let r = diversity_ratio("spam spam spam spam");
+        assert!((r - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn collapse_spaces_behaviour() {
+        assert_eq!(collapse_spaces("a   b\t\tc"), "a b c");
+        assert_eq!(collapse_spaces("  lead and trail  "), "lead and trail");
+        assert_eq!(collapse_spaces("line1  x\nline2"), "line1 x\nline2");
+    }
+
+    #[test]
+    fn pipeline_composition() {
+        let raw = "> quoted junk\nBuy at https://www.shop.onion/item 😀 contact me@x.io\n-----BEGIN PGP SIGNATURE-----\nabc\n-----END PGP SIGNATURE-----\ndone Edit by seller99";
+        let cleaned = remove_edit_tags(&remove_pgp_blocks(&remove_quotes(
+            &normalize_urls_and_emails(&strip_emojis(raw)),
+        )));
+        assert_eq!(cleaned, "Buy at shop.onion contact _mail_\ndone");
+    }
+}

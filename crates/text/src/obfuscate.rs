@@ -1,0 +1,359 @@
+//! Adversarial stylometry: writing-style obfuscation.
+//!
+//! The paper's defence discussion (§VI) notes that evading the attack
+//! requires "adversarial stylometry tools … constant effort on behalf of
+//! the user", citing Anonymouth, and its conclusion calls for "more work on
+//! software that is able to anonymize writing patterns". This module is
+//! that tool for the feature families the pipeline measures: it
+//! canonicalizes exactly the idiosyncrasies the features key on —
+//! spelling variants, contractions, slang, casing, punctuation habits,
+//! emoji, digits — pushing every author toward one neutral register.
+//!
+//! Obfuscation is *lossy on style, conservative on content*: words are
+//! only ever replaced by standard-register equivalents of the same
+//! meaning, never dropped or paraphrased.
+
+use crate::token::{is_emoji, Token, TokenKind, Tokenizer};
+use std::collections::HashMap;
+
+/// Which style channels to scrub.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ObfuscateConfig {
+    /// Lowercase everything (kills casing habits).
+    pub normalize_case: bool,
+    /// Expand contractions and normalize spelling variants
+    /// (`don't`/`dont` → `do not`, `u` → `you`, `tho` → `though`).
+    pub normalize_variants: bool,
+    /// Replace slang tokens with standard equivalents (`lol` → removed,
+    /// `gonna` → `going to`).
+    pub normalize_slang: bool,
+    /// Flatten punctuation: every sentence ends with a single `.`, runs of
+    /// `!`/`?`/`.` collapse, commas survive (kills terminal-punct habits).
+    pub normalize_punctuation: bool,
+    /// Replace digit runs with `0` (kills digit-frequency fingerprints).
+    pub normalize_numbers: bool,
+    /// Strip emoji.
+    pub strip_emoji: bool,
+}
+
+impl Default for ObfuscateConfig {
+    fn default() -> ObfuscateConfig {
+        ObfuscateConfig {
+            normalize_case: true,
+            normalize_variants: true,
+            normalize_slang: true,
+            normalize_punctuation: true,
+            normalize_numbers: false,
+            strip_emoji: true,
+        }
+    }
+}
+
+impl ObfuscateConfig {
+    /// Everything on — maximum scrubbing.
+    pub fn aggressive() -> ObfuscateConfig {
+        ObfuscateConfig {
+            normalize_numbers: true,
+            ..ObfuscateConfig::default()
+        }
+    }
+}
+
+/// Variant/contraction/slang → canonical replacement (possibly multi-word,
+/// possibly empty for pure fillers).
+const CANONICAL: &[(&str, &str)] = &[
+    // Contractions.
+    ("don't", "do not"), ("dont", "do not"),
+    ("can't", "cannot"), ("cant", "cannot"),
+    ("won't", "will not"), ("wont", "will not"),
+    ("i'm", "i am"), ("im", "i am"),
+    ("it's", "it is"), ("that's", "that is"), ("thats", "that is"),
+    ("what's", "what is"), ("whats", "what is"),
+    ("isn't", "is not"), ("isnt", "is not"),
+    ("didn't", "did not"), ("didnt", "did not"),
+    ("doesn't", "does not"), ("doesnt", "does not"),
+    ("i've", "i have"), ("ive", "i have"),
+    ("i'll", "i will"), ("you're", "you are"), ("youre", "you are"),
+    ("they're", "they are"), ("we're", "we are"),
+    ("ain't", "is not"),
+    // Shorthand spellings.
+    ("u", "you"), ("ur", "your"), ("ppl", "people"), ("abt", "about"),
+    ("tho", "though"), ("cuz", "because"), ("bc", "because"),
+    ("prob", "probably"), ("probs", "probably"), ("rly", "really"),
+    ("def", "definitely"), ("smth", "something"), ("w/o", "without"),
+    ("thx", "thanks"), ("ty", "thanks"), ("pls", "please"), ("plz", "please"),
+    ("ok", "okay"), ("k", "okay"), ("cya", "see you"),
+    // Casual verb forms.
+    ("gonna", "going to"), ("wanna", "want to"), ("gotta", "got to"),
+    ("kinda", "kind of"), ("sorta", "sort of"), ("dunno", "do not know"),
+    ("y'all", "you all"), ("yall", "you all"),
+    // Pure filler slang: removed entirely.
+    ("lol", ""), ("lmao", ""), ("smh", ""), ("ngl", ""), ("fr", ""),
+    ("tbh", ""), ("imo", ""), ("imho", ""), ("idk", ""), ("btw", ""),
+    ("afaik", ""), ("iirc", ""), ("fwiw", ""), ("bruh", ""), ("fam", ""),
+    ("deadass", ""), ("lowkey", ""), ("highkey", ""), ("welp", ""),
+    ("oof", ""), ("yikes", ""), ("bet", ""), ("based", ""), ("sus", ""),
+    ("meh", ""), ("nah", "no"), ("yeah", "yes"), ("yep", "yes"),
+    ("hella", "very"), ("super", "very"),
+];
+
+/// A writing-style scrubber. Construction builds the replacement table;
+/// [`apply`](Obfuscator::apply) is then reusable across messages.
+#[derive(Debug, Clone)]
+pub struct Obfuscator {
+    config: ObfuscateConfig,
+    table: HashMap<&'static str, &'static str>,
+}
+
+impl Obfuscator {
+    /// Creates an obfuscator.
+    pub fn new(config: ObfuscateConfig) -> Obfuscator {
+        Obfuscator {
+            config,
+            table: CANONICAL.iter().copied().collect(),
+        }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &ObfuscateConfig {
+        &self.config
+    }
+
+    /// Scrubs one message.
+    ///
+    /// ```
+    /// use darklight_text::obfuscate::{ObfuscateConfig, Obfuscator};
+    /// let o = Obfuscator::new(ObfuscateConfig::default());
+    /// assert_eq!(
+    ///     o.apply("NGL u gotta try this!!! it's hella good 😀"),
+    ///     "you got to try this. it is very good"
+    /// );
+    /// ```
+    pub fn apply(&self, text: &str) -> String {
+        let mut out = String::with_capacity(text.len());
+        let mut pending_terminal = false;
+        let mut emitted_anything = false;
+        for token in Tokenizer::new(text) {
+            match token.kind {
+                TokenKind::Word => {
+                    let word = self.normalize_word(&token);
+                    if word.is_empty() {
+                        continue;
+                    }
+                    self.flush_terminal(&mut out, &mut pending_terminal);
+                    if emitted_anything {
+                        out.push(' ');
+                    }
+                    out.push_str(&word);
+                    emitted_anything = true;
+                }
+                TokenKind::Number => {
+                    self.flush_terminal(&mut out, &mut pending_terminal);
+                    if emitted_anything {
+                        out.push(' ');
+                    }
+                    if self.config.normalize_numbers {
+                        out.push('0');
+                    } else {
+                        out.push_str(token.text);
+                    }
+                    emitted_anything = true;
+                }
+                TokenKind::Url | TokenKind::Email => {
+                    self.flush_terminal(&mut out, &mut pending_terminal);
+                    if emitted_anything {
+                        out.push(' ');
+                    }
+                    out.push_str(token.text);
+                    emitted_anything = true;
+                }
+                TokenKind::Punct => {
+                    if self.config.normalize_punctuation {
+                        match token.text {
+                            "." | "!" | "?" | "…" => pending_terminal = true,
+                            "," | ";" | ":"
+                                if emitted_anything
+                                    && !out.ends_with(',')
+                                    && !pending_terminal =>
+                            {
+                                out.push(',');
+                            }
+                            _ => {} // quotes, parens, dashes: dropped
+                        }
+                    } else {
+                        out.push_str(token.text);
+                    }
+                }
+                TokenKind::Symbol => {
+                    if !self.config.normalize_punctuation {
+                        out.push_str(token.text);
+                    }
+                }
+                TokenKind::Emoji => {
+                    if !self.config.strip_emoji && !is_emoji(' ') {
+                        out.push_str(token.text);
+                    }
+                }
+            }
+        }
+        if pending_terminal && emitted_anything && self.config.normalize_punctuation {
+            out.push('.');
+        }
+        out
+    }
+
+    fn flush_terminal(&self, out: &mut String, pending: &mut bool) {
+        if *pending {
+            if self.config.normalize_punctuation && !out.is_empty() {
+                out.push('.');
+            }
+            *pending = false;
+        }
+    }
+
+    fn normalize_word(&self, token: &Token<'_>) -> String {
+        let lower = if self.config.normalize_case || self.config.normalize_variants {
+            token.text.to_lowercase()
+        } else {
+            token.text.to_string()
+        };
+        if self.config.normalize_variants || self.config.normalize_slang {
+            if let Some(&canon) = self.table.get(lower.as_str()) {
+                return canon.to_string();
+            }
+        }
+        if self.config.normalize_case {
+            lower
+        } else {
+            token.text.to_string()
+        }
+    }
+}
+
+impl Default for Obfuscator {
+    fn default() -> Obfuscator {
+        Obfuscator::new(ObfuscateConfig::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::normalize::diversity_ratio;
+
+    fn o() -> Obfuscator {
+        Obfuscator::default()
+    }
+
+    #[test]
+    fn contractions_expanded() {
+        assert_eq!(o().apply("i'm sure it's fine, don't worry"), "i am sure it is fine, do not worry");
+    }
+
+    #[test]
+    fn shorthand_normalized() {
+        assert_eq!(o().apply("u should rly read abt it tho"), "you should really read about it though");
+    }
+
+    #[test]
+    fn filler_slang_removed() {
+        assert_eq!(o().apply("lol tbh the idea works imo"), "the idea works");
+    }
+
+    #[test]
+    fn punctuation_flattened() {
+        assert_eq!(o().apply("wow!!! really??? yes..."), "wow. really. yes.");
+        assert_eq!(o().apply("one. two! three?"), "one. two. three.");
+    }
+
+    #[test]
+    fn commas_survive_once() {
+        assert_eq!(o().apply("first,, second , third"), "first, second, third");
+    }
+
+    #[test]
+    fn case_flattened() {
+        assert_eq!(o().apply("This IS Mixed Case"), "this is mixed case");
+    }
+
+    #[test]
+    fn emoji_stripped() {
+        assert_eq!(o().apply("good stuff 😀🔥"), "good stuff");
+    }
+
+    #[test]
+    fn urls_and_emails_kept() {
+        let s = o().apply("see https://example.com and mail a@b.io now");
+        assert!(s.contains("https://example.com"));
+        assert!(s.contains("a@b.io"));
+    }
+
+    #[test]
+    fn numbers_kept_by_default_normalized_when_aggressive() {
+        assert_eq!(o().apply("paid 42 dollars"), "paid 42 dollars");
+        let aggr = Obfuscator::new(ObfuscateConfig::aggressive());
+        assert_eq!(aggr.apply("paid 42 dollars"), "paid 0 dollars");
+    }
+
+    #[test]
+    fn idempotent() {
+        let obf = o();
+        for s in [
+            "NGL u gotta try this!!! it's hella good",
+            "plain text already",
+            "lol... ok then, fine!",
+        ] {
+            let once = obf.apply(s);
+            assert_eq!(obf.apply(&once), once, "{s:?}");
+        }
+    }
+
+    #[test]
+    fn content_words_preserved() {
+        let original = "the quick brown fox jumps over the lazy dog";
+        assert_eq!(o().apply(original), original);
+        // Diversity is not destroyed.
+        assert!(diversity_ratio(&o().apply(original)) > 0.8);
+    }
+
+    #[test]
+    fn empty_input() {
+        assert_eq!(o().apply(""), "");
+        assert_eq!(o().apply("!!!"), "");
+    }
+
+    #[test]
+    fn disabled_channels_pass_through() {
+        let cfg = ObfuscateConfig {
+            normalize_case: false,
+            normalize_variants: false,
+            normalize_slang: false,
+            normalize_punctuation: false,
+            normalize_numbers: false,
+            strip_emoji: false,
+        };
+        let obf = Obfuscator::new(cfg);
+        let s = "Mixed CASE, don't!!!";
+        let out = obf.apply(s);
+        assert!(out.contains("CASE"));
+        assert!(out.contains("don't"));
+        assert!(out.contains("!!!"));
+    }
+
+    #[test]
+    fn different_styles_converge() {
+        // Two authors writing the same content differently end up with
+        // near-identical scrubbed text — that's the point.
+        let a = "NGL u gotta check the market tho!!! it's hella cheap";
+        let b = "You gotta check the market, though. It is very cheap.";
+        let obf = o();
+        let (ca, cb) = (obf.apply(a), obf.apply(b));
+        let wa = crate::token::words(&ca);
+        let wb = crate::token::words(&cb);
+        let set_a: std::collections::HashSet<_> = wa.iter().collect();
+        let set_b: std::collections::HashSet<_> = wb.iter().collect();
+        let jaccard =
+            set_a.intersection(&set_b).count() as f64 / set_a.union(&set_b).count() as f64;
+        assert!(jaccard > 0.7, "jaccard {jaccard}: {ca:?} vs {cb:?}");
+    }
+}

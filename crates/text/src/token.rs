@@ -1,0 +1,478 @@
+//! A forum-aware tokenizer.
+//!
+//! Web forum text is messy: URLs, e-mail addresses, emoji, ASCII art, and
+//! creative punctuation all appear mid-sentence. The paper's feature
+//! extraction needs to (a) split text into linguistic units and (b) know the
+//! *class* of each unit, because several polishing steps and the char-class
+//! frequency features (Table II) are class-driven. The tokenizer is a single
+//! left-to-right pass with longest-match recognition of URLs and e-mails,
+//! emitting borrowed slices with byte offsets.
+
+use std::fmt;
+
+/// The lexical class of a token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TokenKind {
+    /// An alphabetic word, possibly with internal apostrophes or hyphens
+    /// (`don't`, `state-of-the-art`).
+    Word,
+    /// A run of digits, possibly with internal `.`/`,` separators (`3.14`).
+    Number,
+    /// A single punctuation character (`.`, `,`, `!`, `?`, …).
+    Punct,
+    /// A single non-punctuation symbol (`@`, `#`, `$`, `+`, …).
+    Symbol,
+    /// A single emoji or pictographic character.
+    Emoji,
+    /// A URL (`http://…`, `https://…`, or `www.…`).
+    Url,
+    /// An e-mail address (`user@host.tld`).
+    Email,
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            TokenKind::Word => "word",
+            TokenKind::Number => "number",
+            TokenKind::Punct => "punct",
+            TokenKind::Symbol => "symbol",
+            TokenKind::Emoji => "emoji",
+            TokenKind::Url => "url",
+            TokenKind::Email => "email",
+        };
+        f.write_str(name)
+    }
+}
+
+/// A token: a classified slice of the source text.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Token<'a> {
+    /// The token text, borrowed from the source.
+    pub text: &'a str,
+    /// The lexical class.
+    pub kind: TokenKind,
+    /// Byte offset of the token start in the source.
+    pub start: usize,
+}
+
+impl<'a> Token<'a> {
+    /// Byte offset one past the token end.
+    pub fn end(&self) -> usize {
+        self.start + self.text.len()
+    }
+}
+
+/// Returns `true` for characters we classify as emoji/pictographs.
+pub fn is_emoji(c: char) -> bool {
+    matches!(u32::from(c),
+        0x1F300..=0x1F5FF   // symbols & pictographs
+        | 0x1F600..=0x1F64F // emoticons
+        | 0x1F680..=0x1F6FF // transport & map
+        | 0x1F900..=0x1F9FF // supplemental symbols
+        | 0x1FA70..=0x1FAFF // extended-A
+        | 0x2600..=0x26FF   // miscellaneous symbols
+        | 0x2700..=0x27BF   // dingbats
+        | 0x1F1E6..=0x1F1FF // regional indicators
+        | 0xFE0F..=0xFE0F   // variation selector-16
+        | 0x200D..=0x200D   // zero-width joiner
+    )
+}
+
+/// Returns `true` for sentence/phrase punctuation characters.
+pub fn is_punct(c: char) -> bool {
+    matches!(
+        c,
+        '.' | ',' | ';' | ':' | '!' | '?' | '\'' | '"' | '(' | ')' | '[' | ']' | '{' | '}'
+            | '-' | '…' | '‘' | '’' | '“' | '”' | '«' | '»'
+    )
+}
+
+/// An iterator over the tokens of a string. Whitespace and control
+/// characters separate tokens and are never emitted.
+///
+/// ```
+/// use darklight_text::token::{Tokenizer, TokenKind};
+/// let kinds: Vec<_> = Tokenizer::new("email me at bob@example.com!")
+///     .map(|t| t.kind)
+///     .collect();
+/// assert_eq!(
+///     kinds,
+///     [TokenKind::Word, TokenKind::Word, TokenKind::Word, TokenKind::Email, TokenKind::Punct]
+/// );
+/// ```
+#[derive(Debug, Clone)]
+pub struct Tokenizer<'a> {
+    src: &'a str,
+    pos: usize,
+}
+
+impl<'a> Tokenizer<'a> {
+    /// Creates a tokenizer over `src`.
+    pub fn new(src: &'a str) -> Tokenizer<'a> {
+        Tokenizer { src, pos: 0 }
+    }
+
+    fn rest(&self) -> &'a str {
+        &self.src[self.pos..]
+    }
+
+    /// Tries to recognize a URL at the current position; returns its byte
+    /// length if present.
+    fn match_url(&self) -> Option<usize> {
+        let rest = self.rest();
+        let lower_starts = ["http://", "https://", "www."];
+        let prefix_len = lower_starts.iter().find_map(|p| {
+            match rest.get(..p.len()) {
+                Some(head) if head.eq_ignore_ascii_case(p) => Some(p.len()),
+                _ => None,
+            }
+        })?;
+        let mut len = prefix_len;
+        for c in rest[prefix_len..].chars() {
+            if c.is_whitespace() || c == '<' || c == '>' || c == '"' || c == ')' || c == ']' {
+                break;
+            }
+            len += c.len_utf8();
+        }
+        // Trim trailing sentence punctuation off the URL.
+        while let Some(last) = rest[..len].chars().last() {
+            if matches!(last, '.' | ',' | '!' | '?' | ';' | ':' | '\'') {
+                len -= last.len_utf8();
+            } else {
+                break;
+            }
+        }
+        // Require something after the prefix ("www." alone is not a URL).
+        if len > prefix_len {
+            Some(len)
+        } else {
+            None
+        }
+    }
+
+    /// Tries to recognize an e-mail address starting at the current
+    /// position. The local part must begin exactly here.
+    fn match_email(&self) -> Option<usize> {
+        let rest = self.rest();
+        let is_local = |c: char| c.is_ascii_alphanumeric() || matches!(c, '.' | '_' | '-' | '+');
+        let is_domain = |c: char| c.is_ascii_alphanumeric() || matches!(c, '.' | '-');
+        let mut chars = rest.char_indices().peekable();
+        let mut local_end = 0;
+        while let Some(&(i, c)) = chars.peek() {
+            if is_local(c) {
+                local_end = i + c.len_utf8();
+                chars.next();
+            } else {
+                break;
+            }
+        }
+        if local_end == 0 {
+            return None;
+        }
+        match chars.peek() {
+            Some(&(_, '@')) => {
+                chars.next();
+            }
+            _ => return None,
+        }
+        let domain_start = local_end + 1;
+        let mut domain_end = domain_start;
+        while let Some(&(i, c)) = chars.peek() {
+            if is_domain(c) {
+                domain_end = i + c.len_utf8();
+                chars.next();
+            } else {
+                break;
+            }
+        }
+        let domain = &rest[domain_start..domain_end];
+        // Require a dot with a 2+ letter TLD.
+        let tld = domain.rsplit('.').next()?;
+        if domain.contains('.') && tld.len() >= 2 && tld.chars().all(|c| c.is_ascii_alphabetic())
+        {
+            Some(domain_end)
+        } else {
+            None
+        }
+    }
+
+    /// Consumes a word: letters with internal `'` or `-` joining letters.
+    fn match_word(&self) -> usize {
+        let rest = self.rest();
+        let mut len = 0;
+        let mut chars = rest.char_indices().peekable();
+        while let Some(&(i, c)) = chars.peek() {
+            if c.is_alphabetic() {
+                len = i + c.len_utf8();
+                chars.next();
+            } else if (c == '\'' || c == '-' || c == '’') && len > 0 {
+                // Join only if a letter follows.
+                let mut ahead = chars.clone();
+                ahead.next();
+                match ahead.peek() {
+                    Some(&(_, n)) if n.is_alphabetic() => {
+                        len = i + c.len_utf8();
+                        chars.next();
+                    }
+                    _ => break,
+                }
+            } else {
+                break;
+            }
+        }
+        len
+    }
+
+    /// Consumes a number: digits with internal `.`/`,` joining digits.
+    fn match_number(&self) -> usize {
+        let rest = self.rest();
+        let mut len = 0;
+        let mut chars = rest.char_indices().peekable();
+        while let Some(&(i, c)) = chars.peek() {
+            if c.is_ascii_digit() {
+                len = i + c.len_utf8();
+                chars.next();
+            } else if (c == '.' || c == ',') && len > 0 {
+                let mut ahead = chars.clone();
+                ahead.next();
+                match ahead.peek() {
+                    Some(&(_, n)) if n.is_ascii_digit() => {
+                        len = i + c.len_utf8();
+                        chars.next();
+                    }
+                    _ => break,
+                }
+            } else {
+                break;
+            }
+        }
+        len
+    }
+}
+
+impl<'a> Iterator for Tokenizer<'a> {
+    type Item = Token<'a>;
+
+    fn next(&mut self) -> Option<Token<'a>> {
+        // Skip whitespace/control.
+        loop {
+            let c = self.rest().chars().next()?;
+            if c.is_whitespace() || c.is_control() {
+                self.pos += c.len_utf8();
+            } else {
+                break;
+            }
+        }
+        let start = self.pos;
+        let c = self.rest().chars().next()?;
+
+        // Longest-match special forms first.
+        if let Some(len) = self.match_url() {
+            self.pos += len;
+            return Some(Token {
+                text: &self.src[start..start + len],
+                kind: TokenKind::Url,
+                start,
+            });
+        }
+        if c.is_ascii_alphanumeric() {
+            if let Some(len) = self.match_email() {
+                self.pos += len;
+                return Some(Token {
+                    text: &self.src[start..start + len],
+                    kind: TokenKind::Email,
+                    start,
+                });
+            }
+        }
+        if c.is_alphabetic() {
+            let len = self.match_word();
+            self.pos += len;
+            return Some(Token {
+                text: &self.src[start..start + len],
+                kind: TokenKind::Word,
+                start,
+            });
+        }
+        if c.is_ascii_digit() {
+            let len = self.match_number();
+            self.pos += len;
+            return Some(Token {
+                text: &self.src[start..start + len],
+                kind: TokenKind::Number,
+                start,
+            });
+        }
+        // Single-character tokens.
+        let len = c.len_utf8();
+        self.pos += len;
+        let kind = if is_emoji(c) {
+            TokenKind::Emoji
+        } else if is_punct(c) {
+            TokenKind::Punct
+        } else {
+            TokenKind::Symbol
+        };
+        Some(Token {
+            text: &self.src[start..start + len],
+            kind,
+            start,
+        })
+    }
+}
+
+/// Convenience: the lowercased word tokens of `text`, in order.
+///
+/// ```
+/// use darklight_text::token::words;
+/// assert_eq!(words("Hello, WORLD 42!"), ["hello", "world"]);
+/// ```
+pub fn words(text: &str) -> Vec<String> {
+    Tokenizer::new(text)
+        .filter(|t| t.kind == TokenKind::Word)
+        .map(|t| t.text.to_lowercase())
+        .collect()
+}
+
+/// Convenience: number of word tokens in `text`.
+pub fn word_count(text: &str) -> usize {
+    Tokenizer::new(text)
+        .filter(|t| t.kind == TokenKind::Word)
+        .count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(s: &str) -> Vec<TokenKind> {
+        Tokenizer::new(s).map(|t| t.kind).collect()
+    }
+
+    fn texts(s: &str) -> Vec<&str> {
+        Tokenizer::new(s).map(|t| t.text).collect()
+    }
+
+    #[test]
+    fn empty_and_whitespace() {
+        assert!(Tokenizer::new("").next().is_none());
+        assert!(Tokenizer::new("  \t\n ").next().is_none());
+    }
+
+    #[test]
+    fn words_with_apostrophes_and_hyphens() {
+        assert_eq!(texts("don't well-known rock'n'roll"), ["don't", "well-known", "rock'n'roll"]);
+        // Trailing apostrophe is punctuation, not part of the word.
+        assert_eq!(
+            kinds("cats'"),
+            [TokenKind::Word, TokenKind::Punct]
+        );
+        // Leading hyphen is not a word.
+        assert_eq!(kinds("-abc"), [TokenKind::Punct, TokenKind::Word]);
+    }
+
+    #[test]
+    fn numbers() {
+        assert_eq!(texts("3.14 1,000 42"), ["3.14", "1,000", "42"]);
+        assert_eq!(
+            kinds("42."),
+            [TokenKind::Number, TokenKind::Punct]
+        );
+    }
+
+    #[test]
+    fn urls_recognized() {
+        let toks: Vec<_> = Tokenizer::new("see https://www.reddit.com/r/science, ok?").collect();
+        assert_eq!(toks[1].kind, TokenKind::Url);
+        assert_eq!(toks[1].text, "https://www.reddit.com/r/science");
+        assert_eq!(toks[2].kind, TokenKind::Punct); // the comma survives
+    }
+
+    #[test]
+    fn bare_www_url() {
+        let toks: Vec<_> = Tokenizer::new("www.example.org rocks").collect();
+        assert_eq!(toks[0].kind, TokenKind::Url);
+        assert_eq!(toks[0].text, "www.example.org");
+        assert_eq!(toks[1].text, "rocks");
+    }
+
+    #[test]
+    fn www_alone_is_not_url() {
+        let toks: Vec<_> = Tokenizer::new("www. hello").collect();
+        assert_eq!(toks[0].kind, TokenKind::Word);
+        assert_eq!(toks[0].text, "www");
+    }
+
+    #[test]
+    fn emails_recognized() {
+        let toks: Vec<_> = Tokenizer::new("mail bob.smith+x@mail.example.com now").collect();
+        assert_eq!(toks[1].kind, TokenKind::Email);
+        assert_eq!(toks[1].text, "bob.smith+x@mail.example.com");
+    }
+
+    #[test]
+    fn at_without_domain_is_not_email() {
+        let toks: Vec<_> = Tokenizer::new("hi @user and a@b").collect();
+        assert!(toks.iter().all(|t| t.kind != TokenKind::Email));
+    }
+
+    #[test]
+    fn emoji_classified() {
+        let toks: Vec<_> = Tokenizer::new("nice 😀 ☀ work").collect();
+        assert_eq!(toks[1].kind, TokenKind::Emoji);
+        assert_eq!(toks[2].kind, TokenKind::Emoji);
+        assert_eq!(toks[3].kind, TokenKind::Word);
+    }
+
+    #[test]
+    fn punct_vs_symbol() {
+        assert_eq!(
+            kinds("# @ ! ?"),
+            [TokenKind::Symbol, TokenKind::Symbol, TokenKind::Punct, TokenKind::Punct]
+        );
+    }
+
+    #[test]
+    fn offsets_are_correct() {
+        let src = "ab  cd";
+        let toks: Vec<_> = Tokenizer::new(src).collect();
+        assert_eq!(toks[0].start, 0);
+        assert_eq!(toks[0].end(), 2);
+        assert_eq!(toks[1].start, 4);
+        assert_eq!(&src[toks[1].start..toks[1].end()], "cd");
+    }
+
+    #[test]
+    fn unicode_words() {
+        assert_eq!(texts("naïve café über"), ["naïve", "café", "über"]);
+    }
+
+    #[test]
+    fn words_helper_lowercases() {
+        assert_eq!(words("The THE the"), ["the", "the", "the"]);
+        assert_eq!(word_count("one two 3 four!"), 3);
+    }
+
+    #[test]
+    fn mixed_forum_post() {
+        let post = "Check https://market.onion/listing?id=9 — price is $12.50, msg seller@proton.me 😀";
+        let toks: Vec<_> = Tokenizer::new(post).collect();
+        let urls = toks.iter().filter(|t| t.kind == TokenKind::Url).count();
+        let emails = toks.iter().filter(|t| t.kind == TokenKind::Email).count();
+        let emoji = toks.iter().filter(|t| t.kind == TokenKind::Emoji).count();
+        assert_eq!((urls, emails, emoji), (1, 1, 1));
+    }
+
+    #[test]
+    fn never_loops_forever_on_odd_input() {
+        // A stress string with every class adjacent to every other.
+        let s = "a1!@😀…\u{0}b- 'x' -- 9.. www. http:// a@b.c2";
+        let toks: Vec<_> = Tokenizer::new(s).collect();
+        assert!(!toks.is_empty());
+        // Offsets strictly increase.
+        for w in toks.windows(2) {
+            assert!(w[1].start >= w[0].end());
+        }
+    }
+}

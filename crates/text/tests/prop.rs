@@ -1,0 +1,131 @@
+//! Property-based tests for the text substrate.
+
+use darklight_text::lemma::Lemmatizer;
+use darklight_text::normalize::{
+    collapse_spaces, diversity_ratio, drop_long_words, normalize_urls_and_emails,
+    remove_edit_tags, remove_pgp_blocks, remove_quotes, strip_emojis, MAX_WORD_LEN,
+};
+use darklight_text::token::{TokenKind, Tokenizer};
+use proptest::prelude::*;
+
+proptest! {
+    /// Tokenization never panics and token spans are in-bounds, non-empty,
+    /// monotonically increasing, and match the source text.
+    #[test]
+    fn tokenizer_spans_consistent(s in "\\PC{0,200}") {
+        let mut prev_end = 0usize;
+        for t in Tokenizer::new(&s) {
+            prop_assert!(!t.text.is_empty());
+            prop_assert!(t.start >= prev_end);
+            prop_assert!(t.end() <= s.len());
+            prop_assert_eq!(&s[t.start..t.end()], t.text);
+            prev_end = t.end();
+        }
+    }
+
+    /// Word tokens never contain whitespace or digits.
+    #[test]
+    fn word_tokens_are_wordlike(s in "\\PC{0,200}") {
+        for t in Tokenizer::new(&s) {
+            if t.kind == TokenKind::Word {
+                prop_assert!(!t.text.chars().any(|c| c.is_whitespace()));
+                prop_assert!(!t.text.chars().any(|c| c.is_ascii_digit()));
+            }
+        }
+    }
+
+    /// The lemmatizer is idempotent for plain ASCII words: lemma(lemma(w)) ==
+    /// lemma(w).
+    #[test]
+    fn lemmatizer_idempotent(w in "[a-z]{1,15}") {
+        let l = Lemmatizer::new();
+        let once = l.lemma_owned(&w);
+        prop_assert_eq!(l.lemma_owned(&once), once);
+    }
+
+    /// The lemma of a word is never longer than the word plus one character
+    /// (the restored silent `e`).
+    #[test]
+    fn lemma_length_bounded(w in "[a-z]{1,15}") {
+        let l = Lemmatizer::new();
+        let lemma = l.lemma_owned(&w);
+        prop_assert!(lemma.len() <= w.len() + 1);
+        prop_assert!(!lemma.is_empty());
+    }
+
+    /// Normalization functions never panic and never grow text except for
+    /// the bounded e-mail tag substitution.
+    #[test]
+    fn normalizers_total(s in "\\PC{0,300}") {
+        let _ = normalize_urls_and_emails(&s);
+        let _ = strip_emojis(&s);
+        let _ = remove_quotes(&s);
+        let _ = remove_edit_tags(&s);
+        let _ = remove_pgp_blocks(&s);
+        let _ = drop_long_words(&s);
+        let _ = collapse_spaces(&s);
+        let r = diversity_ratio(&s);
+        prop_assert!((0.0..=1.0).contains(&r));
+    }
+
+    /// `strip_emojis` removes every emoji.
+    #[test]
+    fn strip_emojis_complete(s in "\\PC{0,200}") {
+        let cleaned = strip_emojis(&s);
+        prop_assert!(!cleaned.chars().any(darklight_text::token::is_emoji));
+    }
+
+    /// After `drop_long_words`, every whitespace-word is within the limit.
+    #[test]
+    fn long_words_really_dropped(s in "\\PC{0,300}") {
+        let cleaned = drop_long_words(&s);
+        for w in cleaned.split_whitespace() {
+            prop_assert!(w.chars().count() <= MAX_WORD_LEN);
+        }
+    }
+
+    /// `remove_quotes` output never contains a line starting with `>`.
+    #[test]
+    fn quotes_fully_removed(s in "\\PC{0,300}") {
+        let cleaned = remove_quotes(&s);
+        for line in cleaned.lines() {
+            prop_assert!(!line.trim_start().starts_with('>'));
+        }
+    }
+
+    /// `remove_pgp_blocks` output never contains PGP armor markers.
+    #[test]
+    fn pgp_fully_removed(s in "\\PC{0,300}") {
+        let cleaned = remove_pgp_blocks(&s);
+        prop_assert!(!cleaned.to_uppercase().contains("-----BEGIN PGP"));
+        prop_assert!(!cleaned.to_uppercase().contains("-----END PGP"));
+    }
+}
+
+use darklight_text::obfuscate::{ObfuscateConfig, Obfuscator};
+
+proptest! {
+    /// The obfuscator is total and idempotent on arbitrary input.
+    #[test]
+    fn obfuscator_idempotent(s in "\\PC{0,200}") {
+        let o = Obfuscator::new(ObfuscateConfig::default());
+        let once = o.apply(&s);
+        prop_assert_eq!(o.apply(&once), once.clone());
+        // Default config lowercases everything alphabetic that is ASCII.
+        prop_assert!(!once.chars().any(|c| c.is_ascii_uppercase()), "{:?}", once);
+    }
+
+    /// Aggressive obfuscation leaves no digits other than the `0`
+    /// placeholder and no emoji.
+    #[test]
+    fn aggressive_normalizes_digits(s in "\\PC{0,200}") {
+        let o = Obfuscator::new(ObfuscateConfig::aggressive());
+        let out = o.apply(&s);
+        for tok in out.split_whitespace() {
+            if tok.chars().all(|c| c.is_ascii_digit()) {
+                prop_assert_eq!(tok, "0");
+            }
+        }
+        prop_assert!(!out.chars().any(darklight_text::token::is_emoji));
+    }
+}

@@ -1,0 +1,55 @@
+//! Timezone-shift hunting with daily activity profiles — the extension in
+//! the spirit of La Morgia et al. (ICDCS 2018), which the linking paper
+//! builds its activity profiles on.
+//!
+//! Two aliases of one person observed through differently-configured forum
+//! clocks produce activity profiles that are circular rotations of each
+//! other. This example shows [`infer_shift`] recovering the rotation and
+//! re-aligning the profiles before matching.
+//!
+//! ```sh
+//! cargo run --release --example timezone_hunt
+//! ```
+
+use darklight::activity::profile::{ProfileBuilder, ProfilePolicy};
+use darklight::activity::timezone::infer_shift;
+use darklight::synth::temporal::TemporalGenome;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(42);
+    let builder = ProfileBuilder::new(ProfilePolicy::default().with_min_timestamps(10));
+
+    println!("person    true-shift  inferred  raw-cos  aligned-cos");
+    for person in 0..8 {
+        let genome = TemporalGenome::sample(&mut rng);
+        // Alias A: timestamps as recorded by a UTC forum.
+        let ts_a = genome.sample_timestamps(&mut rng, 400);
+        // Alias B: same person, but the second forum's clock runs N hours
+        // ahead (mis-configured server, as often seen on hidden services).
+        let clock_skew = (person % 5) as i64 * 3 - 6; // -6..6 hours
+        let ts_b: Vec<i64> = genome
+            .sample_timestamps(&mut rng, 400)
+            .into_iter()
+            .map(|t| t + clock_skew * 3_600)
+            .collect();
+
+        let pa = builder.build(&ts_a).expect("enough weekday posts");
+        let pb = builder.build(&ts_b).expect("enough weekday posts");
+        let m = infer_shift(&pa, &pb);
+        println!(
+            "{:<9} {:>+9}h {:>+8}h {:>8.3} {:>12.3}",
+            format!("#{person}"),
+            clock_skew,
+            -m.shift_hours,
+            m.unshifted_similarity,
+            m.similarity
+        );
+    }
+    println!(
+        "\naligning profiles before cosine comparison recovers the match even when\n\
+         forum clocks disagree — the pipeline normalizes all timestamps to UTC\n\
+         for exactly this reason (§IV-B)."
+    );
+}

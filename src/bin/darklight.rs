@@ -1,0 +1,235 @@
+//! `darklight` — command-line interface to the alias-linking pipeline.
+//!
+//! ```text
+//! darklight gen <out-dir> [--scale small|default|paper] [--seed N]
+//!     Generate a synthetic three-forum world as TSV corpora.
+//!
+//! darklight polish <in.tsv> <out.tsv>
+//!     Run the 12 polishing steps; print the per-step removal report.
+//!
+//! darklight stats <in.tsv>
+//!     Corpus statistics: users, posts, words-per-user CDF.
+//!
+//! darklight link <known.tsv> <unknown.tsv> [--threshold T] [--k K]
+//!     Polish, refine, and link the two corpora; print matched alias
+//!     pairs as TSV (unknown_alias, known_alias, score).
+//!
+//! darklight profile <corpus.tsv> <alias>
+//!     Activity profile and leaked-fact dossier for one alias.
+//!
+//! darklight obfuscate <in.tsv> <out.tsv>
+//!     Scrub writing style from every post (adversarial stylometry).
+//! ```
+
+use darklight::activity::profile::{ProfileBuilder, ProfilePolicy};
+use darklight::core::linker::{Linker, LinkerConfig};
+use darklight::corpus::io::{load_corpus, save_corpus};
+use darklight::corpus::polish::{PolishConfig, Polisher};
+use darklight::corpus::stats::{cdf_at, words_per_user_cdf};
+use darklight::eval::profiler::build_profile;
+use darklight::synth::scenario::{ScenarioBuilder, ScenarioConfig};
+use darklight::text::obfuscate::{ObfuscateConfig, Obfuscator};
+use std::path::Path;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("gen") => cmd_gen(&args[1..]),
+        Some("polish") => cmd_polish(&args[1..]),
+        Some("stats") => cmd_stats(&args[1..]),
+        Some("link") => cmd_link(&args[1..]),
+        Some("profile") => cmd_profile(&args[1..]),
+        Some("obfuscate") => cmd_obfuscate(&args[1..]),
+        Some("--help") | Some("-h") | Some("help") | None => {
+            eprintln!("{}", USAGE);
+            return ExitCode::SUCCESS;
+        }
+        Some(other) => Err(format!("unknown command {other:?}\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "usage: darklight <gen|polish|stats|link|profile|obfuscate> ...\n\
+  gen <out-dir> [--scale small|default|paper] [--seed N]\n\
+  polish <in.tsv> <out.tsv>\n\
+  stats <in.tsv>\n\
+  link <known.tsv> <unknown.tsv> [--threshold T] [--k K]\n\
+  profile <corpus.tsv> <alias>\n\
+  obfuscate <in.tsv> <out.tsv>";
+
+fn flag_value<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+}
+
+fn positional(args: &[String], n: usize) -> Result<&str, String> {
+    let mut seen = 0;
+    let mut skip_next = false;
+    for a in args {
+        if skip_next {
+            skip_next = false;
+            continue;
+        }
+        if a.starts_with("--") {
+            skip_next = true;
+            continue;
+        }
+        if seen == n {
+            return Ok(a);
+        }
+        seen += 1;
+    }
+    Err(format!("missing argument #{}\n{USAGE}", n + 1))
+}
+
+fn cmd_gen(args: &[String]) -> Result<(), String> {
+    let out_dir = positional(args, 0)?;
+    let mut config = match flag_value(args, "--scale") {
+        Some("small") | None => ScenarioConfig::small(),
+        Some("default") => ScenarioConfig::default_scale(),
+        Some("paper") => ScenarioConfig::paper_scale(),
+        Some(other) => return Err(format!("unknown scale {other:?}")),
+    };
+    if let Some(seed) = flag_value(args, "--seed") {
+        config.seed = seed.parse().map_err(|_| "--seed must be an integer")?;
+    }
+    std::fs::create_dir_all(out_dir).map_err(|e| e.to_string())?;
+    eprintln!("generating world (seed {})...", config.seed);
+    let scenario = ScenarioBuilder::new(config).build();
+    for (name, corpus) in [
+        ("reddit.tsv", &scenario.reddit),
+        ("tmg.tsv", &scenario.tmg),
+        ("dm.tsv", &scenario.dm),
+    ] {
+        let path = Path::new(out_dir).join(name);
+        save_corpus(corpus, &path).map_err(|e| e.to_string())?;
+        eprintln!("wrote {} ({} users)", path.display(), corpus.len());
+    }
+    Ok(())
+}
+
+fn cmd_polish(args: &[String]) -> Result<(), String> {
+    let input = positional(args, 0)?;
+    let output = positional(args, 1)?;
+    let corpus = load_corpus(Path::new(input)).map_err(|e| e.to_string())?;
+    let (polished, report) = Polisher::new(PolishConfig::default()).polish(&corpus);
+    save_corpus(&polished, Path::new(output)).map_err(|e| e.to_string())?;
+    eprintln!(
+        "polished {} -> {}\n  bot accounts dropped:      {}\n  duplicate messages:        {}\n  \
+         short messages:            {}\n  low-diversity messages:    {}\n  \
+         non-english messages:      {}\n  emptied users dropped:     {}\n  messages kept:             {}",
+        input,
+        output,
+        report.bot_accounts,
+        report.duplicate_messages,
+        report.short_messages,
+        report.low_diversity_messages,
+        report.non_english_messages,
+        report.emptied_users,
+        report.kept_messages,
+    );
+    Ok(())
+}
+
+fn cmd_stats(args: &[String]) -> Result<(), String> {
+    let input = positional(args, 0)?;
+    let corpus = load_corpus(Path::new(input)).map_err(|e| e.to_string())?;
+    println!("corpus:  {}", corpus.name);
+    println!("users:   {}", corpus.len());
+    println!("posts:   {}", corpus.total_posts());
+    let cdf = words_per_user_cdf(&corpus);
+    println!("words-per-user CDF:");
+    for x in [100u64, 500, 1000, 1500, 3000, 5000, 10_000] {
+        println!("  <= {x:>6} words: {:.1}%", cdf_at(&cdf, x) * 100.0);
+    }
+    Ok(())
+}
+
+fn cmd_link(args: &[String]) -> Result<(), String> {
+    let known_path = positional(args, 0)?;
+    let unknown_path = positional(args, 1)?;
+    let known = load_corpus(Path::new(known_path)).map_err(|e| e.to_string())?;
+    let unknown = load_corpus(Path::new(unknown_path)).map_err(|e| e.to_string())?;
+    let mut config = LinkerConfig::default();
+    if let Some(t) = flag_value(args, "--threshold") {
+        config.two_stage.threshold = t.parse().map_err(|_| "--threshold must be a float")?;
+    }
+    if let Some(k) = flag_value(args, "--k") {
+        config.two_stage.k = k.parse().map_err(|_| "--k must be an integer")?;
+    }
+    eprintln!(
+        "linking {} unknowns against {} knowns (k={}, threshold={})...",
+        unknown.len(),
+        known.len(),
+        config.two_stage.k,
+        config.two_stage.threshold
+    );
+    let matches = Linker::new(config).link(&known, &unknown);
+    println!("unknown_alias\tknown_alias\tscore");
+    for m in &matches {
+        println!("{}\t{}\t{:.4}", m.unknown_alias, m.known_alias, m.score);
+    }
+    eprintln!("{} pair(s) emitted", matches.len());
+    Ok(())
+}
+
+fn cmd_profile(args: &[String]) -> Result<(), String> {
+    let input = positional(args, 0)?;
+    let alias = positional(args, 1)?;
+    let corpus = load_corpus(Path::new(input)).map_err(|e| e.to_string())?;
+    let user = corpus
+        .user(alias)
+        .ok_or_else(|| format!("alias {alias:?} not found in {input}"))?;
+    println!("alias:  {}", user.alias);
+    println!("posts:  {}", user.posts.len());
+    println!("words:  {}", user.total_words());
+    let builder = ProfileBuilder::new(ProfilePolicy::default());
+    match builder.build(&user.timestamps()) {
+        Ok(profile) => {
+            println!(
+                "daily activity profile ({} usable posts, peak {:02}:00 UTC, entropy {:.2} bits):",
+                profile.total_posts(),
+                profile.peak_hour(),
+                profile.entropy_bits()
+            );
+            for h in 0..24 {
+                let bar = "#".repeat((profile.share(h) * 100.0).round() as usize);
+                println!("  {h:02}:00 {bar}");
+            }
+        }
+        Err(e) => println!("daily activity profile: unavailable ({e})"),
+    }
+    let dossier = build_profile([user]);
+    if dossier.fact_count() > 0 {
+        println!("\nleaked identity facts:\n{}", dossier.render());
+    } else {
+        println!("\nno identity facts recorded for this alias.");
+    }
+    Ok(())
+}
+
+fn cmd_obfuscate(args: &[String]) -> Result<(), String> {
+    let input = positional(args, 0)?;
+    let output = positional(args, 1)?;
+    let mut corpus = load_corpus(Path::new(input)).map_err(|e| e.to_string())?;
+    let obfuscator = Obfuscator::new(ObfuscateConfig::default());
+    let mut posts = 0usize;
+    for user in &mut corpus.users {
+        for post in &mut user.posts {
+            post.text = obfuscator.apply(&post.text);
+            posts += 1;
+        }
+    }
+    save_corpus(&corpus, Path::new(output)).map_err(|e| e.to_string())?;
+    eprintln!("obfuscated {posts} posts -> {output}");
+    Ok(())
+}

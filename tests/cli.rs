@@ -1,0 +1,149 @@
+//! Integration tests of the `darklight` CLI binary, driven through real
+//! process invocations on a temp directory.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_darklight"))
+}
+
+fn temp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("darklight_cli_{name}_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+#[test]
+fn help_prints_usage() {
+    let out = bin().arg("--help").output().unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stderr);
+    assert!(text.contains("usage:"));
+    assert!(text.contains("link"));
+}
+
+#[test]
+fn unknown_command_fails() {
+    let out = bin().arg("frobnicate").output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown command"));
+}
+
+#[test]
+fn gen_polish_stats_link_profile_flow() {
+    let dir = temp_dir("flow");
+    // gen
+    let out = bin()
+        .args(["gen", dir.to_str().unwrap(), "--scale", "small", "--seed", "7"])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    for f in ["reddit.tsv", "tmg.tsv", "dm.tsv"] {
+        assert!(dir.join(f).exists(), "{f} missing");
+    }
+
+    // stats
+    let out = bin()
+        .args(["stats", dir.join("dm.tsv").to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("users:"));
+    assert!(text.contains("words-per-user CDF"));
+
+    // polish
+    let polished = dir.join("dm_polished.tsv");
+    let out = bin()
+        .args([
+            "polish",
+            dir.join("dm.tsv").to_str().unwrap(),
+            polished.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    assert!(polished.exists());
+    let report = String::from_utf8_lossy(&out.stderr);
+    assert!(report.contains("messages kept:"));
+
+    // link (tmg as known, dm as unknown)
+    let out = bin()
+        .args([
+            "link",
+            dir.join("tmg.tsv").to_str().unwrap(),
+            dir.join("dm.tsv").to_str().unwrap(),
+            "--threshold",
+            "0.86",
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let table = String::from_utf8_lossy(&out.stdout);
+    assert!(table.starts_with("unknown_alias\tknown_alias\tscore"));
+    assert!(table.lines().count() >= 2, "no matches emitted:\n{table}");
+
+    // profile: use the first matched known alias.
+    let first_match_line = table.lines().nth(1).unwrap();
+    let known_alias = first_match_line.split('\t').nth(1).unwrap();
+    let out = bin()
+        .args([
+            "profile",
+            dir.join("tmg.tsv").to_str().unwrap(),
+            known_alias,
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("daily activity profile"));
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn obfuscate_rewrites_posts() {
+    let dir = temp_dir("obf");
+    bin()
+        .args(["gen", dir.to_str().unwrap(), "--scale", "small", "--seed", "3"])
+        .output()
+        .unwrap();
+    let input = dir.join("dm.tsv");
+    let output = dir.join("dm_scrubbed.tsv");
+    let out = bin()
+        .args([
+            "obfuscate",
+            input.to_str().unwrap(),
+            output.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let original = std::fs::read_to_string(&input).unwrap();
+    let scrubbed = std::fs::read_to_string(&output).unwrap();
+    assert_ne!(original, scrubbed);
+    // Same number of records (no posts lost).
+    assert_eq!(original.lines().count(), scrubbed.lines().count());
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn profile_missing_alias_errors() {
+    let dir = temp_dir("missing");
+    bin()
+        .args(["gen", dir.to_str().unwrap(), "--scale", "small", "--seed", "5"])
+        .output()
+        .unwrap();
+    let out = bin()
+        .args([
+            "profile",
+            dir.join("dm.tsv").to_str().unwrap(),
+            "no_such_alias_here",
+        ])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("not found"));
+    std::fs::remove_dir_all(&dir).ok();
+}

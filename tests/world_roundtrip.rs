@@ -1,0 +1,100 @@
+//! Integration: TSV persistence of a generated world, and the obfuscation
+//! defence measured end-to-end through the public API.
+
+use darklight::corpus::io::{read_corpus, write_corpus};
+use darklight::prelude::*;
+use darklight::text::obfuscate::{ObfuscateConfig, Obfuscator};
+use darklight_bench::{prepare_forum, prepare_world, World};
+use darklight_eval::metrics::reduction_accuracy_at_k;
+use std::sync::OnceLock;
+
+fn world() -> &'static World {
+    static WORLD: OnceLock<World> = OnceLock::new();
+    WORLD.get_or_init(|| prepare_world(&ScenarioConfig::small()))
+}
+
+#[test]
+fn generated_world_round_trips_through_tsv() {
+    let w = world();
+    for corpus in [&w.scenario.reddit, &w.scenario.tmg, &w.scenario.dm] {
+        let mut buf = Vec::new();
+        write_corpus(corpus, &mut buf).expect("serialize");
+        let back = read_corpus(buf.as_slice()).expect("parse");
+        assert_eq!(&back, corpus);
+    }
+}
+
+#[test]
+fn linking_results_survive_tsv_round_trip() {
+    let w = world();
+    // Persist + reload the raw corpora, re-prepare, and check the pipeline
+    // emits identical matches.
+    let reload = |c: &Corpus| {
+        let mut buf = Vec::new();
+        write_corpus(c, &mut buf).unwrap();
+        read_corpus(buf.as_slice()).unwrap()
+    };
+    let tmg2 = prepare_forum(&reload(&w.scenario.tmg));
+    let dm2 = prepare_forum(&reload(&w.scenario.dm));
+    let engine = TwoStage::new(TwoStageConfig {
+        threads: 2,
+        ..TwoStageConfig::default()
+    });
+    let a = engine.run(&w.tmg.originals, &w.dm.originals);
+    let b = engine.run(&tmg2.originals, &dm2.originals);
+    assert_eq!(a.len(), b.len());
+    for (x, y) in a.iter().zip(&b) {
+        assert_eq!(x.best().map(|r| r.index), y.best().map(|r| r.index));
+    }
+}
+
+#[test]
+fn obfuscation_degrades_attribution() {
+    let w = world();
+    let known = &w.reddit.originals;
+    let ae_corpus = &w.reddit.alter_egos_corpus;
+    let engine = TwoStage::new(TwoStageConfig {
+        threads: 2,
+        ..TwoStageConfig::default()
+    });
+
+    // Baseline accuracy on the as-written alter egos.
+    let plain = engine.reduce(known, &w.reddit.alter_egos);
+    let wrap = |stage1: Vec<Vec<darklight::core::attrib::Ranked>>| -> Vec<RankedMatch> {
+        stage1
+            .into_iter()
+            .enumerate()
+            .map(|(u, s1)| RankedMatch {
+                unknown: u,
+                stage1: s1.clone(),
+                stage2: s1,
+            })
+            .collect()
+    };
+    let acc_plain =
+        reduction_accuracy_at_k(&wrap(plain), known, &w.reddit.alter_egos, 1);
+
+    // Scrub the alter egos' text and re-run.
+    let obfuscator = Obfuscator::new(ObfuscateConfig::aggressive());
+    let mut scrubbed = ae_corpus.clone();
+    for user in &mut scrubbed.users {
+        for post in &mut user.posts {
+            post.text = obfuscator.apply(&post.text);
+        }
+    }
+    let scrubbed_ds = darklight::core::dataset::DatasetBuilder::new().build(&scrubbed);
+    let obf = engine.reduce(known, &scrubbed_ds);
+    let acc_obf = reduction_accuracy_at_k(&wrap(obf), known, &scrubbed_ds, 1);
+
+    assert!(
+        acc_obf < acc_plain,
+        "obfuscation did not degrade accuracy: plain {acc_plain} vs scrubbed {acc_obf}"
+    );
+    // But the activity side-channel keeps attribution above chance:
+    // top-1 over N known users at chance would be ~1/N.
+    let chance = 1.0 / known.len() as f64;
+    assert!(
+        acc_obf > chance * 3.0,
+        "obfuscation should not reduce accuracy to chance (acc {acc_obf}, chance {chance})"
+    );
+}
