@@ -61,16 +61,16 @@ impl UsFederalHolidays {
         };
         let last = |m, wd| CivilDate::last_weekday_of_month(year, m, wd).expect("month non-empty");
         vec![
-            d(1, 1),                          // New Year's Day
-            nth(1, Weekday::Monday, 3),       // Martin Luther King Jr. Day
-            nth(2, Weekday::Monday, 3),       // Washington's Birthday
-            last(5, Weekday::Monday),         // Memorial Day
-            d(7, 4),                          // Independence Day
-            nth(9, Weekday::Monday, 1),       // Labor Day
-            nth(10, Weekday::Monday, 2),      // Columbus Day
-            d(11, 11),                        // Veterans Day
-            nth(11, Weekday::Thursday, 4),    // Thanksgiving
-            d(12, 25),                        // Christmas
+            d(1, 1),                       // New Year's Day
+            nth(1, Weekday::Monday, 3),    // Martin Luther King Jr. Day
+            nth(2, Weekday::Monday, 3),    // Washington's Birthday
+            last(5, Weekday::Monday),      // Memorial Day
+            d(7, 4),                       // Independence Day
+            nth(9, Weekday::Monday, 1),    // Labor Day
+            nth(10, Weekday::Monday, 2),   // Columbus Day
+            d(11, 11),                     // Veterans Day
+            nth(11, Weekday::Thursday, 4), // Thanksgiving
+            d(12, 25),                     // Christmas
         ]
     }
 }

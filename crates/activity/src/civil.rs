@@ -162,7 +162,12 @@ impl CivilDate {
     /// The n-th (1-based) occurrence of `weekday` within this date's month,
     /// e.g. the 3rd Monday of January. Returns `None` when the month has no
     /// n-th occurrence (n = 5 in short months).
-    pub fn nth_weekday_of_month(year: i32, month: u8, weekday: Weekday, n: u8) -> Option<CivilDate> {
+    pub fn nth_weekday_of_month(
+        year: i32,
+        month: u8,
+        weekday: Weekday,
+        n: u8,
+    ) -> Option<CivilDate> {
         if n == 0 || !(1..=12).contains(&month) {
             return None;
         }
@@ -182,8 +187,7 @@ impl CivilDate {
     pub fn last_weekday_of_month(year: i32, month: u8, weekday: Weekday) -> Option<CivilDate> {
         let last_day = days_in_month(year, month);
         let last = CivilDate::new(year, month, last_day)?;
-        let back =
-            (last.weekday().iso_number() as i64 - weekday.iso_number() as i64).rem_euclid(7);
+        let back = (last.weekday().iso_number() as i64 - weekday.iso_number() as i64).rem_euclid(7);
         Some(last.plus_days(-back))
     }
 }

@@ -18,8 +18,8 @@ use crate::profile::{DailyActivityProfile, HOURS};
 /// hour. Near zero at night (02–06 local), rising through the morning,
 /// evening peak around 21:00.
 pub const DIURNAL_TEMPLATE: [f64; HOURS] = [
-    0.55, 0.35, 0.18, 0.10, 0.08, 0.10, 0.20, 0.40, 0.60, 0.72, 0.80, 0.85,
-    0.88, 0.85, 0.82, 0.85, 0.88, 0.92, 0.98, 1.05, 1.12, 1.15, 1.05, 0.80,
+    0.55, 0.35, 0.18, 0.10, 0.08, 0.10, 0.20, 0.40, 0.60, 0.72, 0.80, 0.85, 0.88, 0.85, 0.82, 0.85,
+    0.88, 0.92, 0.98, 1.05, 1.12, 1.15, 1.05, 0.80,
 ];
 
 /// The result of a geolocation estimate.

@@ -320,7 +320,9 @@ mod tests {
     /// Weekday timestamps: every Wed of Feb/Mar 2017 at `hour`.
     fn wednesdays_at(hour: u8, n: usize) -> Vec<i64> {
         // 2017-02-01 is a Wednesday.
-        (0..n).map(|w| at(2017, 2, 1, hour) + w as i64 * 7 * 86_400).collect()
+        (0..n)
+            .map(|w| at(2017, 2, 1, hour) + w as i64 * 7 * 86_400)
+            .collect()
     }
 
     #[test]

@@ -54,7 +54,11 @@ pub fn infer_shift(a: &DailyActivityProfile, b: &DailyActivityProfile) -> ShiftM
     let mut best_sim = unshifted;
     for raw in 1..HOURS as i32 {
         // Visit shifts in order of increasing |shift|: 1, -1, 2, -2, ...
-        let shift = if raw % 2 == 1 { (raw + 1) / 2 } else { -raw / 2 };
+        let shift = if raw % 2 == 1 {
+            (raw + 1) / 2
+        } else {
+            -raw / 2
+        };
         let sim = a.cosine(&b.rotate(shift));
         if sim > best_sim + 1e-15 {
             best_sim = sim;

@@ -34,14 +34,8 @@ impl WeeklyProfile {
             counts[day * 24 + dt.hour() as usize] += 1;
         }
         let total: u32 = counts.iter().sum();
-        let shares = counts
-            .iter()
-            .map(|&c| c as f64 / total as f64)
-            .collect();
-        Some(WeeklyProfile {
-            shares,
-            total,
-        })
+        let shares = counts.iter().map(|&c| c as f64 / total as f64).collect();
+        Some(WeeklyProfile { shares, total })
     }
 
     /// The share of posts in hour `h` of ISO weekday `d` (0 = Monday).

@@ -57,9 +57,7 @@ fn bench_fit_and_vectorize(c: &mut Criterion) {
         .collect();
     c.bench_function("fit_space_64_users", |b| {
         b.iter(|| {
-            black_box(
-                FeatureExtractor::new(FeatureConfig::final_stage()).fit_counted(docs.iter()),
-            )
+            black_box(FeatureExtractor::new(FeatureConfig::final_stage()).fit_counted(docs.iter()))
         })
     });
     let space = FeatureExtractor::new(FeatureConfig::final_stage()).fit_counted(docs.iter());

@@ -48,7 +48,13 @@ fn bench_refine_and_split(c: &mut Criterion) {
     });
     let refined = refine(&polished, RefineConfig::default(), &profiles);
     c.bench_function("alter_ego_split_tmg_small", |b| {
-        b.iter(|| black_box(build_alter_egos(&refined, &AlterEgoConfig::default(), &profiles)))
+        b.iter(|| {
+            black_box(build_alter_egos(
+                &refined,
+                &AlterEgoConfig::default(),
+                &profiles,
+            ))
+        })
     });
 }
 

@@ -29,8 +29,9 @@ fn bench_index_scoring(c: &mut Criterion) {
     let mut group = c.benchmark_group("index_top10");
     for &n_users in &[178usize, 422, 2_000] {
         let mut rng = StdRng::seed_from_u64(7);
-        let vectors: Vec<SparseVector> =
-            (0..n_users).map(|_| random_vector(&mut rng, 2_000)).collect();
+        let vectors: Vec<SparseVector> = (0..n_users)
+            .map(|_| random_vector(&mut rng, 2_000))
+            .collect();
         let index = CandidateIndex::build(&vectors, DIM as usize);
         let query = random_vector(&mut rng, 2_000);
         group.bench_with_input(BenchmarkId::from_parameter(n_users), &n_users, |b, _| {

@@ -87,7 +87,11 @@ fn main() {
     let results = engine.run(known, &unknown);
     let labeled = labeled_best_matches(&results, known, &unknown);
     let curve = PrCurve::from_labeled(&labeled);
-    println!("stage2 AUC = {:.3} ({:.1}s)", curve.auc(), t.elapsed().as_secs_f64());
+    println!(
+        "stage2 AUC = {:.3} ({:.1}s)",
+        curve.auc(),
+        t.elapsed().as_secs_f64()
+    );
     if let Some(p) = curve.threshold_for_recall(0.80) {
         println!(
             "threshold@80% recall = {:.4}  precision = {:.1}%",

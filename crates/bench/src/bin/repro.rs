@@ -2,7 +2,7 @@
 //! synthetic world.
 //!
 //! ```text
-//! repro [experiment...]
+//! repro [experiment...] [--metrics <path>]
 //!   experiments: table1 table2 table3 table4 table5 table6
 //!                fig1 fig2 fig3 fig4 fig5
 //!                darkweb batch results-dark results-open john-doe
@@ -11,21 +11,61 @@
 //!   DARKLIGHT_SCALE=small|default|paper   scenario scale
 //!   DARKLIGHT_OUT=<dir>                   write per-experiment .md files
 //! ```
+//!
+//! Every run also times one metrics-instrumented batched DarkWeb link and
+//! writes `BENCH_repro.json` (into `DARKLIGHT_OUT` or the working
+//! directory): wall-clock per phase, messages/sec of the instrumented
+//! link, and peak candidate-set sizes. `--metrics <path>` additionally
+//! dumps the full darklight-obs registry snapshot of that run.
 
 use darklight_bench::experiments as exp;
 use darklight_bench::{prepare_world, scale_from_env};
+use darklight_core::batch::{run_batched, BatchConfig};
+use darklight_core::twostage::{TwoStage, TwoStageConfig};
+use darklight_obs::{Json, PipelineMetrics};
 use std::io::Write as _;
 use std::time::Instant;
 
 const ALL: &[&str] = &[
-    "table1", "table2", "table3", "table4", "table5", "table6", "fig1", "fig2", "fig3",
-    "fig4", "fig5", "darkweb", "batch", "results-dark", "results-open", "john-doe",
-    "ablate-k", "ablate-activity", "ablate-features", "ablate-lemma", "ablate-batch",
-    "defence-obfuscation", "ranks", "explain", "figures", "scale-trend",
+    "table1",
+    "table2",
+    "table3",
+    "table4",
+    "table5",
+    "table6",
+    "fig1",
+    "fig2",
+    "fig3",
+    "fig4",
+    "fig5",
+    "darkweb",
+    "batch",
+    "results-dark",
+    "results-open",
+    "john-doe",
+    "ablate-k",
+    "ablate-activity",
+    "ablate-features",
+    "ablate-lemma",
+    "ablate-batch",
+    "defence-obfuscation",
+    "ranks",
+    "explain",
+    "figures",
+    "scale-trend",
 ];
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let metrics_path = args.iter().position(|a| a == "--metrics").map(|i| {
+        if i + 1 >= args.len() {
+            eprintln!("--metrics requires a path");
+            std::process::exit(2);
+        }
+        let path = args.remove(i + 1);
+        args.remove(i);
+        path
+    });
     let wanted: Vec<&str> = if args.is_empty() || args.iter().any(|a| a == "all") {
         ALL.to_vec()
     } else {
@@ -38,6 +78,7 @@ fn main() {
         }
     }
 
+    let mut phases: Vec<(String, f64)> = Vec::new();
     let config = scale_from_env();
     eprintln!(
         "generating world (reddit {} / tmg {} / dm {} rich users)...",
@@ -45,6 +86,7 @@ fn main() {
     );
     let t0 = Instant::now();
     let world = prepare_world(&config);
+    phases.push(("world_prep".to_string(), t0.elapsed().as_secs_f64()));
     eprintln!(
         "world ready in {:.1}s: reddit {} originals / {} alter-egos; tmg {}/{}; dm {}/{}",
         t0.elapsed().as_secs_f64(),
@@ -55,6 +97,12 @@ fn main() {
         world.dm.originals.len(),
         world.dm.alter_egos.len(),
     );
+    // Grab the instrumented-link inputs before `Ctx` takes the world.
+    let (dw_known, dw_unknown) = world.darkweb();
+    let messages = world.tmg.originals_corpus.total_posts()
+        + world.tmg.alter_egos_corpus.total_posts()
+        + world.dm.originals_corpus.total_posts()
+        + world.dm.alter_egos_corpus.total_posts();
     let ctx = exp::Ctx::new(world);
     let out_dir = std::env::var("DARKLIGHT_OUT").ok();
     if let Some(dir) = &out_dir {
@@ -96,11 +144,112 @@ fn main() {
             _ => unreachable!("validated above"),
         };
         println!("{body}");
-        eprintln!("[{name} done in {:.1}s]", t.elapsed().as_secs_f64());
+        let elapsed = t.elapsed().as_secs_f64();
+        phases.push((name.to_string(), elapsed));
+        eprintln!("[{name} done in {elapsed:.1}s]");
         if let Some(dir) = &out_dir {
             let path = std::path::Path::new(dir).join(format!("{name}.md"));
             let mut f = std::fs::File::create(&path).expect("create experiment file");
             f.write_all(body.as_bytes()).expect("write experiment file");
         }
     }
+
+    // One instrumented batched DarkWeb link drives the throughput and
+    // candidate-pool numbers in BENCH_repro.json (and the full registry
+    // dump behind --metrics). Metrics never change attribution output,
+    // so this run is representative of the uninstrumented pipeline.
+    let metrics = PipelineMetrics::enabled();
+    let engine = TwoStage::new(TwoStageConfig {
+        metrics: metrics.clone(),
+        ..TwoStageConfig::default()
+    });
+    let t_link = Instant::now();
+    let ranked = run_batched(&engine, &BatchConfig::default(), &dw_known, &dw_unknown);
+    let link_s = t_link.elapsed().as_secs_f64();
+    phases.push(("instrumented_link".to_string(), link_s));
+    // `run_batched` stops before thresholding (that is `TwoStage::link`),
+    // so apply the acceptance rule here for the report.
+    let threshold = engine.config().threshold;
+    let accepted = ranked
+        .iter()
+        .filter(|m| m.best().is_some_and(|r| r.score >= threshold))
+        .count();
+    eprintln!(
+        "[instrumented darkweb link done in {link_s:.1}s: {} unknowns, {} messages]",
+        ranked.len(),
+        messages
+    );
+
+    let bench_path = out_dir
+        .as_deref()
+        .map(|d| std::path::Path::new(d).join("BENCH_repro.json"))
+        .unwrap_or_else(|| std::path::PathBuf::from("BENCH_repro.json"));
+    let report = bench_report(
+        &phases,
+        messages,
+        link_s,
+        accepted,
+        ranked.len() - accepted,
+        &metrics,
+    );
+    std::fs::write(&bench_path, report).expect("write BENCH_repro.json");
+    eprintln!("benchmark report written to {}", bench_path.display());
+
+    if let Some(path) = metrics_path {
+        std::fs::write(&path, metrics.to_json_pretty()).expect("write metrics snapshot");
+        eprintln!("pipeline metrics written to {path}");
+    }
+}
+
+/// Renders the benchmark summary: wall-clock per phase, instrumented-link
+/// throughput, and peak candidate-set sizes from the batched pipeline.
+fn bench_report(
+    phases: &[(String, f64)],
+    messages: usize,
+    link_s: f64,
+    accepted: usize,
+    rejected: usize,
+    metrics: &PipelineMetrics,
+) -> String {
+    let mut phase_obj = Json::object();
+    for (name, seconds) in phases {
+        phase_obj.set(name, Json::Float(*seconds));
+    }
+    let pools = metrics.histogram("batch.final_pool_size");
+    let mut link = Json::object();
+    link.set("messages", Json::UInt(messages as u64));
+    link.set(
+        "messages_per_sec",
+        Json::Float(if link_s > 0.0 {
+            messages as f64 / link_s
+        } else {
+            0.0
+        }),
+    );
+    link.set(
+        "stage1_ns",
+        Json::UInt(metrics.timer("twostage.stage1").total_ns()),
+    );
+    link.set(
+        "stage2_ns",
+        Json::UInt(metrics.timer("twostage.stage2").total_ns()),
+    );
+    link.set(
+        "peak_candidate_pool",
+        Json::Int(metrics.gauge("batch.peak_pool").get()),
+    );
+    link.set(
+        "final_pool_p50",
+        Json::UInt(pools.quantile_lower_bound(0.50)),
+    );
+    link.set(
+        "final_pool_p99",
+        Json::UInt(pools.quantile_lower_bound(0.99)),
+    );
+    link.set("links_accepted", Json::UInt(accepted as u64));
+    link.set("links_rejected", Json::UInt(rejected as u64));
+    let mut root = Json::object();
+    root.set("phases_s", phase_obj);
+    root.set("instrumented_link", link);
+    root.render_pretty()
 }

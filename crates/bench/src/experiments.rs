@@ -4,8 +4,8 @@
 
 use crate::World;
 use darklight_core::attrib::Ranked;
-use darklight_core::batch::{run_batched, BatchConfig};
 use darklight_core::baseline::{KoppelBaseline, StandardBaseline};
+use darklight_core::batch::{run_batched, BatchConfig};
 use darklight_core::dataset::Dataset;
 use darklight_core::twostage::{RankedMatch, TwoStage, TwoStageConfig};
 use darklight_corpus::stats::{topic_composition, words_per_user_cdf};
@@ -123,7 +123,10 @@ pub fn table1(ctx: &Ctx) -> String {
             s.top_community_messages.to_string(),
         ]);
     }
-    format!("## Table I — Reddit composition by topic\n\n{}", t.to_markdown())
+    format!(
+        "## Table I — Reddit composition by topic\n\n{}",
+        t.to_markdown()
+    )
 }
 
 /// Table II — feature counts for the two pipeline stages, as configured
@@ -137,7 +140,13 @@ pub fn table2(ctx: &Ctx) -> String {
     let fin_cfg = FeatureConfig::final_stage();
     let sr = fitted(sr_cfg.clone());
     let fin = fitted(fin_cfg.clone());
-    let mut t = Table::new(["Type", "Space Reduction (cap)", "fitted", "Final (cap)", "fitted"]);
+    let mut t = Table::new([
+        "Type",
+        "Space Reduction (cap)",
+        "fitted",
+        "Final (cap)",
+        "fitted",
+    ]);
     t.row([
         "Word n-grams 1-3".to_string(),
         sr_cfg.top_word_ngrams.to_string(),
@@ -171,7 +180,9 @@ pub fn table3(ctx: &Ctx) -> String {
         "K=10 (text)",
         "K=10 (all)",
     ]);
-    for words in [400, 600, 800, 1000, 1100, 1200, 1300, 1400, 1500, 1600, 1700] {
+    for words in [
+        400, 600, 800, 1000, 1100, 1200, 1300, 1400, 1500, 1600, 1700,
+    ] {
         let k_ds = known.with_word_budget(words);
         let u_ds = w1.with_word_budget(words);
         let mut cells = vec![words.to_string()];
@@ -232,8 +243,16 @@ pub fn table5(ctx: &Ctx) -> String {
     let cases: Vec<(&str, &Dataset, Dataset)> = vec![
         ("Reddit_A", reddit, w1),
         ("Reddit_B", reddit, w2),
-        ("DM", &ctx.world.dm.originals, ctx.world.dm.alter_egos.clone()),
-        ("TMG", &ctx.world.tmg.originals, ctx.world.tmg.alter_egos.clone()),
+        (
+            "DM",
+            &ctx.world.dm.originals,
+            ctx.world.dm.alter_egos.clone(),
+        ),
+        (
+            "TMG",
+            &ctx.world.tmg.originals,
+            ctx.world.tmg.alter_egos.clone(),
+        ),
     ];
     let mut own = Table::new(["Forum", "threshold@80%R", "Precision", "Recall"]);
     let mut glob = Table::new(["Forum", "global threshold", "Precision", "Recall"]);
@@ -281,8 +300,16 @@ pub fn table6(ctx: &Ctx) -> String {
     let (w1, _) = ctx.w_splits();
     let cases: Vec<(&str, &Dataset, Dataset)> = vec![
         ("Reddit", &ctx.world.reddit.originals, w1),
-        ("TMG", &ctx.world.tmg.originals, ctx.world.tmg.alter_egos.clone()),
-        ("DM", &ctx.world.dm.originals, ctx.world.dm.alter_egos.clone()),
+        (
+            "TMG",
+            &ctx.world.tmg.originals,
+            ctx.world.tmg.alter_egos.clone(),
+        ),
+        (
+            "DM",
+            &ctx.world.dm.originals,
+            ctx.world.dm.alter_egos.clone(),
+        ),
     ];
     let engine = ctx.engine();
     let mut t = Table::new([
@@ -306,9 +333,11 @@ pub fn table6(ctx: &Ctx) -> String {
             unknown,
         ))
         .auc();
-        let auc_pairs_without = PrCurve::from_labeled(
-            &darklight_eval::metrics::labeled_all_pairs(&without_full, known, unknown),
-        )
+        let auc_pairs_without = PrCurve::from_labeled(&darklight_eval::metrics::labeled_all_pairs(
+            &without_full,
+            known,
+            unknown,
+        ))
         .auc();
         t.row([
             name.to_string(),
@@ -325,12 +354,18 @@ pub fn table6(ctx: &Ctx) -> String {
 /// forums (computed on the polished corpora, before refinement).
 pub fn fig1(ctx: &Ctx) -> String {
     let mut out = String::from("## Fig. 1 — CDF of words per user (dark web)\n\n");
-    for (name, raw) in [("TMG", &ctx.world.scenario.tmg), ("DM", &ctx.world.scenario.dm)] {
+    for (name, raw) in [
+        ("TMG", &ctx.world.scenario.tmg),
+        ("DM", &ctx.world.scenario.dm),
+    ] {
         let polished = darklight_corpus::polish::Polisher::default().polish(raw).0;
         let cdf = words_per_user_cdf(&polished);
         let mut t = Table::new(["words ≤", "fraction of users"]);
         for x in [50u64, 100, 250, 500, 1000, 1500, 2500, 5000, 10_000, 20_000] {
-            t.row([x.to_string(), num(darklight_corpus::stats::cdf_at(&cdf, x), 3)]);
+            t.row([
+                x.to_string(),
+                num(darklight_corpus::stats::cdf_at(&cdf, x), 3),
+            ]);
         }
         let _ = write!(out, "### {name}\n\n{}\n", t.to_markdown());
     }
@@ -387,9 +422,21 @@ pub fn fig3(ctx: &Ctx, max_unknowns: usize) -> String {
     let our_time = t0.elapsed().as_secs_f64();
     let our_curve = PrCurve::from_labeled(&labeled_best_matches(&ours, known, &unknown));
 
-    t.row(["Standard baseline".to_string(), num(std_curve.auc(), 3), num(std_time, 1)]);
-    t.row(["Koppel baseline".to_string(), num(kop_curve.auc(), 3), num(kop_time, 1)]);
-    t.row(["Our method".to_string(), num(our_curve.auc(), 3), num(our_time, 1)]);
+    t.row([
+        "Standard baseline".to_string(),
+        num(std_curve.auc(), 3),
+        num(std_time, 1),
+    ]);
+    t.row([
+        "Koppel baseline".to_string(),
+        num(kop_curve.auc(), 3),
+        num(kop_time, 1),
+    ]);
+    t.row([
+        "Our method".to_string(),
+        num(our_curve.auc(), 3),
+        num(our_time, 1),
+    ]);
     out.push_str(&t.to_markdown());
     out.push_str("\n### PR series\n");
     for (name, curve) in [
@@ -435,19 +482,31 @@ pub fn fig5(ctx: &Ctx) -> String {
     let (w1, _) = ctx.w_splits();
     let cases: Vec<(&str, &Dataset, Dataset)> = vec![
         ("Reddit", &ctx.world.reddit.originals, w1),
-        ("TMG", &ctx.world.tmg.originals, ctx.world.tmg.alter_egos.clone()),
-        ("DM", &ctx.world.dm.originals, ctx.world.dm.alter_egos.clone()),
+        (
+            "TMG",
+            &ctx.world.tmg.originals,
+            ctx.world.tmg.alter_egos.clone(),
+        ),
+        (
+            "DM",
+            &ctx.world.dm.originals,
+            ctx.world.dm.alter_egos.clone(),
+        ),
     ];
     let engine = ctx.engine();
     let mut out = String::from("## Fig. 5 — PR with vs without reduction\n\n");
     for (name, known, unknown) in &cases {
         let with = {
             let r = engine.run(known, unknown);
-            PrCurve::from_labeled(&darklight_eval::metrics::labeled_all_pairs(&r, known, unknown))
+            PrCurve::from_labeled(&darklight_eval::metrics::labeled_all_pairs(
+                &r, known, unknown,
+            ))
         };
         let without = {
             let r = engine.run_without_reduction_depth(known, unknown, known.len());
-            PrCurve::from_labeled(&darklight_eval::metrics::labeled_all_pairs(&r, known, unknown))
+            PrCurve::from_labeled(&darklight_eval::metrics::labeled_all_pairs(
+                &r, known, unknown,
+            ))
         };
         let _ = write!(
             out,
@@ -481,7 +540,10 @@ pub fn batch_experiment(ctx: &Ctx, batch_size: usize) -> String {
     let unbatched = engine.run(known, &w1);
     let batched = run_batched(&engine, &BatchConfig { batch_size }, known, &w1);
     let mut t = Table::new(["Mode", "Precision", "Recall"]);
-    for (name, results) in [("unbatched", &unbatched), (&format!("batched B={batch_size}"), &batched)] {
+    for (name, results) in [
+        ("unbatched", &unbatched),
+        (&format!("batched B={batch_size}"), &batched),
+    ] {
         let labeled = labeled_best_matches(results, known, &w1);
         let (p, r) = precision_recall_at(&labeled, global);
         t.row([name.to_string(), pct(p), pct(r)]);
@@ -595,7 +657,9 @@ fn link_and_judge(ctx: &Ctx, title: &str, known: &Dataset, unknown: &Dataset) ->
                 score_only_correct += 1;
             }
         }
-        let Some(conf) = MatchConfidence::of(m) else { continue };
+        let Some(conf) = MatchConfidence::of(m) else {
+            continue;
+        };
         if !conf.accept(global, MARGIN) {
             continue;
         }
@@ -640,7 +704,11 @@ fn curve_series(curve: &PrCurve, max_points: usize) -> String {
         t.row([num(p.recall, 3), num(p.precision, 3), num(p.threshold, 4)]);
     }
     let last = pts.last().expect("non-empty");
-    t.row([num(last.recall, 3), num(last.precision, 3), num(last.threshold, 4)]);
+    t.row([
+        num(last.recall, 3),
+        num(last.precision, 3),
+        num(last.threshold, 4),
+    ]);
     t.to_markdown()
 }
 
@@ -657,11 +725,7 @@ pub fn wrap_stage1(stage1: Vec<Vec<Ranked>>) -> Vec<RankedMatch> {
         .collect()
 }
 
-fn label_ranked(
-    ranked: &[Vec<Ranked>],
-    known: &Dataset,
-    unknown: &Dataset,
-) -> Vec<LabeledScore> {
+fn label_ranked(ranked: &[Vec<Ranked>], known: &Dataset, unknown: &Dataset) -> Vec<LabeledScore> {
     let results = wrap_stage1(ranked.to_vec());
     labeled_best_matches(&results, known, unknown)
 }
@@ -692,7 +756,11 @@ pub fn rank_histogram(ctx: &Ctx) -> String {
         (h.within(20) - h.within(10)).to_string(),
         pct(h.within(20) as f64 / h.eligible.max(1) as f64),
     ]);
-    t.row(["not in top 20".to_string(), h.missed.to_string(), String::new()]);
+    t.row([
+        "not in top 20".to_string(),
+        h.missed.to_string(),
+        String::new(),
+    ]);
     format!(
         "## Extension — true-author rank histogram (Reddit, k=20)\n\n\
          eligible unknowns: {} — mean rank {:.2}, MRR {:.3}\n\n{}",
@@ -754,7 +822,10 @@ pub fn render_figures(ctx: &Ctx, dir: &std::path::Path) -> String {
             "words per user",
             "fraction of users",
         );
-        for (label, raw) in [("TMG", &ctx.world.scenario.tmg), ("DM", &ctx.world.scenario.dm)] {
+        for (label, raw) in [
+            ("TMG", &ctx.world.scenario.tmg),
+            ("DM", &ctx.world.scenario.dm),
+        ] {
             let polished = darklight_corpus::polish::Polisher::default().polish(raw).0;
             let cdf = words_per_user_cdf(&polished);
             chart = chart.with_series(Series::new(
@@ -812,12 +883,16 @@ pub fn render_figures(ctx: &Ctx, dir: &std::path::Path) -> String {
         let (w1, _) = ctx.w_splits();
         let (darkweb, ae_darkweb) = ctx.world.darkweb();
         for (panel, file, known, unknown) in [
-            ("Reddit", "fig4_reddit.svg", &ctx.world.reddit.originals, &w1),
+            (
+                "Reddit",
+                "fig4_reddit.svg",
+                &ctx.world.reddit.originals,
+                &w1,
+            ),
             ("DarkWeb", "fig4_darkweb.svg", &darkweb, &ae_darkweb),
         ] {
             let text = wrap_stage1(
-                TwoStage::new(ctx.engine_config.clone().without_activity())
-                    .reduce(known, unknown),
+                TwoStage::new(ctx.engine_config.clone().without_activity()).reduce(known, unknown),
             );
             let all = wrap_stage1(ctx.engine().reduce(known, unknown));
             let series = |label: &str, results: &[RankedMatch]| {
@@ -899,12 +974,7 @@ pub fn render_figures(ctx: &Ctx, dir: &std::path::Path) -> String {
 /// this sweep regenerates worlds of increasing size and shows the trend
 /// that connects the two operating points.
 pub fn scale_trend(probe_unknowns: usize) -> String {
-    let mut t = Table::new([
-        "known aliases",
-        "Standard AUC",
-        "Ours AUC",
-        "Ours acc@1",
-    ]);
+    let mut t = Table::new(["known aliases", "Standard AUC", "Ours AUC", "Ours acc@1"]);
     for reddit_users in [300usize, 600, 1_200, 2_400] {
         let config = darklight_synth::scenario::ScenarioConfig {
             reddit_users,

@@ -18,7 +18,7 @@ pub const PAPER_THRESHOLD_FALLBACK: f64 = darklight_core::PAPER_THRESHOLD;
 use darklight_activity::profile::{ProfileBuilder, ProfilePolicy};
 use darklight_core::dataset::{Dataset, DatasetBuilder};
 use darklight_corpus::model::Corpus;
-use darklight_corpus::polish::{PolishConfig, Polisher, PolishReport};
+use darklight_corpus::polish::{PolishConfig, PolishReport, Polisher};
 use darklight_corpus::refine::{build_alter_egos, refine, AlterEgoConfig, RefineConfig};
 use darklight_synth::scenario::{Scenario, ScenarioBuilder, ScenarioConfig};
 
@@ -76,7 +76,8 @@ pub fn prepare_forum(raw: &Corpus) -> ForumData {
     let (polished, polish_report) = polisher.polish(raw);
     let profiles = ProfileBuilder::new(ProfilePolicy::default());
     let refined = refine(&polished, RefineConfig::default(), &profiles);
-    let (orig_corpus, ae_corpus) = build_alter_egos(&refined, &AlterEgoConfig::default(), &profiles);
+    let (orig_corpus, ae_corpus) =
+        build_alter_egos(&refined, &AlterEgoConfig::default(), &profiles);
     let builder = DatasetBuilder::new();
     ForumData {
         originals: builder.build(&orig_corpus),
@@ -134,7 +135,10 @@ mod tests {
         assert!(world.reddit.alter_egos.len() <= world.reddit.originals.len());
         // The darkweb merge concatenates.
         let (dw, ae_dw) = world.darkweb();
-        assert_eq!(dw.len(), world.tmg.originals.len() + world.dm.originals.len());
+        assert_eq!(
+            dw.len(),
+            world.tmg.originals.len() + world.dm.originals.len()
+        );
         assert!(!ae_dw.is_empty());
     }
 }
@@ -146,8 +150,14 @@ mod scale_tests {
     #[test]
     fn scale_names_map_to_configs() {
         assert_eq!(scale_from_name(Some("small")), ScenarioConfig::small());
-        assert_eq!(scale_from_name(Some("paper")), ScenarioConfig::paper_scale());
-        assert_eq!(scale_from_name(Some("bogus")), ScenarioConfig::default_scale());
+        assert_eq!(
+            scale_from_name(Some("paper")),
+            ScenarioConfig::paper_scale()
+        );
+        assert_eq!(
+            scale_from_name(Some("bogus")),
+            ScenarioConfig::default_scale()
+        );
         assert_eq!(scale_from_name(None), ScenarioConfig::default_scale());
     }
 }

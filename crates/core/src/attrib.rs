@@ -10,7 +10,10 @@
 //! pairwise dot products at forum scale. Query batches are scored in
 //! parallel with scoped threads.
 
+use std::cmp::Ordering;
+
 use darklight_features::sparse::SparseVector;
+use darklight_obs::{Counter, Histogram, PipelineMetrics, Timer};
 
 /// A ranked candidate: index into the known set plus cosine score.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -21,11 +24,27 @@ pub struct Ranked {
     pub score: f64,
 }
 
+/// Pre-resolved instruments so the per-query hot path never touches the
+/// registry. All of them are no-ops when built without metrics.
+#[derive(Debug, Clone, Default)]
+struct IndexInstruments {
+    /// Postings-list entries walked per scored query.
+    postings_touched: Histogram,
+    /// Queries scored (single and batched).
+    queries_scored: Counter,
+    /// Wall-clock per `top_k_batch` call; with `batch_queries` this gives
+    /// batch scoring throughput.
+    batch_time: Timer,
+    /// Queries submitted through `top_k_batch`.
+    batch_queries: Counter,
+}
+
 /// An inverted index over the known aliases' unit-norm feature vectors.
 #[derive(Debug, Clone)]
 pub struct CandidateIndex {
     postings: Vec<Vec<(u32, f32)>>,
     n_users: usize,
+    instruments: IndexInstruments,
 }
 
 impl CandidateIndex {
@@ -36,15 +55,39 @@ impl CandidateIndex {
     ///
     /// Panics if a vector holds an index `>= dim`.
     pub fn build(vectors: &[SparseVector], dim: usize) -> CandidateIndex {
+        CandidateIndex::build_with_metrics(vectors, dim, &PipelineMetrics::disabled())
+    }
+
+    /// Like [`build`](CandidateIndex::build), recording build time and
+    /// index shape into `metrics` and wiring per-query instruments.
+    pub fn build_with_metrics(
+        vectors: &[SparseVector],
+        dim: usize,
+        metrics: &PipelineMetrics,
+    ) -> CandidateIndex {
+        let _build = metrics.timer("attrib.index_build").start();
         let mut postings: Vec<Vec<(u32, f32)>> = vec![Vec::new(); dim];
+        let mut nnz = 0u64;
         for (user, v) in vectors.iter().enumerate() {
             for (f, w) in v.iter() {
                 postings[f as usize].push((user as u32, w));
+                nnz += 1;
             }
         }
+        metrics
+            .gauge("attrib.index_users")
+            .set(vectors.len() as i64);
+        metrics.gauge("attrib.index_dim").set(dim as i64);
+        metrics.counter("attrib.index_postings").add(nnz);
         CandidateIndex {
             postings,
             n_users: vectors.len(),
+            instruments: IndexInstruments {
+                postings_touched: metrics.histogram("attrib.postings_touched_per_query"),
+                queries_scored: metrics.counter("attrib.queries_scored"),
+                batch_time: metrics.timer("attrib.batch_scoring"),
+                batch_queries: metrics.counter("attrib.batch_queries"),
+            },
         }
     }
 
@@ -62,13 +105,17 @@ impl CandidateIndex {
     /// every indexed alias.
     pub fn scores(&self, query: &SparseVector) -> Vec<f64> {
         let mut scores = vec![0.0f64; self.n_users];
+        let mut touched = 0u64;
         for (f, w) in query.iter() {
             if let Some(list) = self.postings.get(f as usize) {
+                touched += list.len() as u64;
                 for &(user, wu) in list {
                     scores[user as usize] += w as f64 * wu as f64;
                 }
             }
         }
+        self.instruments.postings_touched.record(touched);
+        self.instruments.queries_scored.incr();
         scores
     }
 
@@ -87,57 +134,74 @@ impl CandidateIndex {
         k: usize,
         threads: usize,
     ) -> Vec<Vec<Ranked>> {
+        let _batch = self.instruments.batch_time.start();
+        self.instruments.batch_queries.add(queries.len() as u64);
         let threads = threads.max(1).min(queries.len().max(1));
         if threads == 1 || queries.len() < 4 {
             return queries.iter().map(|q| self.top_k(q, k)).collect();
         }
         let chunk = queries.len().div_ceil(threads);
         let mut results: Vec<Vec<Ranked>> = vec![Vec::new(); queries.len()];
-        let mut slots: Vec<&mut [Vec<Ranked>]> = results.chunks_mut(chunk).collect();
-        crossbeam::scope(|s| {
-            for (i, slot) in slots.iter_mut().enumerate() {
-                let qs = &queries[i * chunk..(i * chunk + slot.len())];
-                let index = &*self;
-                s.spawn(move |_| {
+        std::thread::scope(|scope| {
+            // `chunks_mut` and `chunks` split at the same boundaries, so
+            // zipping them pairs each result slot with its query — no
+            // start-offset arithmetic that could drift out of sync when
+            // the last chunk is short (e.g. 7 queries on 3 threads).
+            for (slot, qs) in results.chunks_mut(chunk).zip(queries.chunks(chunk)) {
+                scope.spawn(move || {
                     for (out, q) in slot.iter_mut().zip(qs) {
-                        *out = index.top_k(q, k);
+                        *out = self.top_k(q, k);
                     }
                 });
             }
-        })
-        .expect("scoring threads do not panic");
+        });
         results
     }
 }
 
-/// Extracts the top-k entries of a dense score vector.
+/// Descending total order over `(score, index)` pairs: higher scores
+/// first, NaN after every real score, ties broken toward lower indices.
+/// Shared by [`top_k_of`], [`rank_of`], and the stage-2 re-ranking so
+/// every ranking in the pipeline agrees on ordering.
+pub(crate) fn cmp_desc(a: (f64, usize), b: (f64, usize)) -> Ordering {
+    match (a.0.is_nan(), b.0.is_nan()) {
+        (false, false) => {
+            b.0.partial_cmp(&a.0)
+                .expect("both scores are non-NaN")
+                .then_with(|| a.1.cmp(&b.1))
+        }
+        (true, true) => a.1.cmp(&b.1),
+        (true, false) => Ordering::Greater,
+        (false, true) => Ordering::Less,
+    }
+}
+
+/// Extracts the top-k entries of a dense score vector. NaN scores are
+/// tolerated and rank below every real score.
 pub fn top_k_of(scores: &[f64], k: usize) -> Vec<Ranked> {
     let mut ranked: Vec<Ranked> = scores
         .iter()
         .enumerate()
         .map(|(index, &score)| Ranked { index, score })
         .collect();
-    ranked.sort_by(|a, b| {
-        b.score
-            .partial_cmp(&a.score)
-            .expect("scores are finite")
-            .then_with(|| a.index.cmp(&b.index))
-    });
+    ranked.sort_by(|a, b| cmp_desc((a.score, a.index), (b.score, b.index)));
     ranked.truncate(k);
     ranked
 }
 
-/// The rank (1-based) of `target` in the scores, or `None` if tied-out of
-/// range; used by accuracy@k computations.
+/// The rank (1-based) of `target` in the scores, or `None` if out of
+/// range; used by accuracy@k computations. Uses the same ordering as
+/// [`top_k_of`], so `rank_of(scores, t)` is exactly the position of `t`
+/// in `top_k_of(scores, scores.len())`.
 pub fn rank_of(scores: &[f64], target: usize) -> Option<usize> {
     if target >= scores.len() {
         return None;
     }
-    let t = scores[target];
+    let t = (scores[target], target);
     let better = scores
         .iter()
         .enumerate()
-        .filter(|&(i, &s)| s > t || (s == t && i < target))
+        .filter(|&(i, &s)| i != target && cmp_desc((s, i), t) == Ordering::Less)
         .count();
     Some(better + 1)
 }
@@ -198,6 +262,18 @@ mod tests {
     }
 
     #[test]
+    fn batch_with_ragged_final_chunk() {
+        // 7 queries on 3 threads → chunks of 3, 3, 1; the short tail must
+        // still land in the right output slots.
+        let (index, vectors) = sample_index();
+        let queries: Vec<SparseVector> =
+            (0..7).map(|i| vectors[i % vectors.len()].clone()).collect();
+        let seq: Vec<Vec<Ranked>> = queries.iter().map(|q| index.top_k(q, 2)).collect();
+        let par = index.top_k_batch(&queries, 2, 3);
+        assert_eq!(seq, par);
+    }
+
+    #[test]
     fn self_query_scores_one() {
         let (index, vectors) = sample_index();
         for (i, v) in vectors.iter().enumerate() {
@@ -215,6 +291,32 @@ mod tests {
     }
 
     #[test]
+    fn metrics_record_build_and_query_activity() {
+        let metrics = PipelineMetrics::enabled();
+        let vectors = vec![vec_of(&[(0, 1.0), (1, 1.0)]), vec_of(&[(1, 1.0)])];
+        let index = CandidateIndex::build_with_metrics(&vectors, 4, &metrics);
+        index.top_k(&vec_of(&[(1, 1.0)]), 1);
+        assert_eq!(metrics.gauge("attrib.index_users").get(), 2);
+        assert_eq!(metrics.gauge("attrib.index_dim").get(), 4);
+        assert_eq!(metrics.counter("attrib.index_postings").get(), 3);
+        assert_eq!(metrics.counter("attrib.queries_scored").get(), 1);
+        // The query hits feature 1, whose postings list holds both users.
+        assert_eq!(
+            metrics.histogram("attrib.postings_touched_per_query").sum(),
+            2
+        );
+        assert_eq!(metrics.timer("attrib.index_build").count(), 1);
+    }
+
+    #[test]
+    fn top_k_of_tolerates_nan() {
+        let scores = [0.3, f64::NAN, 0.9, f64::NAN, 0.0];
+        let top = top_k_of(&scores, 5);
+        let order: Vec<usize> = top.iter().map(|r| r.index).collect();
+        assert_eq!(order, vec![2, 0, 4, 1, 3]); // NaNs last, index-ordered
+    }
+
+    #[test]
     fn rank_of_positions() {
         let scores = [0.9, 0.5, 0.7];
         assert_eq!(rank_of(&scores, 0), Some(1));
@@ -228,5 +330,15 @@ mod tests {
         let scores = [0.5, 0.5];
         assert_eq!(rank_of(&scores, 0), Some(1));
         assert_eq!(rank_of(&scores, 1), Some(2));
+    }
+
+    #[test]
+    fn rank_of_agrees_with_top_k_under_nan() {
+        let scores = [f64::NAN, 0.2, 0.8, f64::NAN, 0.2];
+        let full = top_k_of(&scores, scores.len());
+        for target in 0..scores.len() {
+            let pos = full.iter().position(|r| r.index == target).unwrap() + 1;
+            assert_eq!(rank_of(&scores, target), Some(pos), "target {target}");
+        }
     }
 }

@@ -39,19 +39,17 @@ impl StandardBaseline {
     pub fn run(&self, known: &Dataset, unknown: &Dataset) -> Vec<Vec<Ranked>> {
         let gram_counts = |text: &str| count_terms(char_ngrams_free_space(text, 4));
         let mut builder = VocabBuilder::new();
-        let known_counts: Vec<_> = known
-            .records
-            .iter()
-            .map(|r| gram_counts(&r.text))
-            .collect();
+        let known_counts: Vec<_> = known.records.iter().map(|r| gram_counts(&r.text)).collect();
         for c in &known_counts {
             builder.add_doc_counts(c);
         }
         let vocab = builder.select_top(self.max_features);
         let to_vec = |counts: &std::collections::HashMap<String, u32>| {
-            SparseVector::from_pairs(counts.iter().filter_map(|(g, &c)| {
-                vocab.index_of(g).map(|i| (i, c as f32))
-            }))
+            SparseVector::from_pairs(
+                counts
+                    .iter()
+                    .filter_map(|(g, &c)| vocab.index_of(g).map(|i| (i, c as f32))),
+            )
             .l2_normalized()
         };
         let known_vecs: Vec<SparseVector> = known_counts.iter().map(to_vec).collect();
@@ -132,11 +130,11 @@ impl KoppelBaseline {
         let mut rng = SplitMix64(self.seed);
         for _ in 0..self.iterations {
             // Sample the feature mask.
-            let mask: Vec<bool> = (0..dim).map(|_| rng.chance(self.feature_fraction)).collect();
-            let masked: Vec<SparseVector> = known_vecs
-                .iter()
-                .map(|v| mask_vector(v, &mask))
+            let mask: Vec<bool> = (0..dim)
+                .map(|_| rng.chance(self.feature_fraction))
                 .collect();
+            let masked: Vec<SparseVector> =
+                known_vecs.iter().map(|v| mask_vector(v, &mask)).collect();
             let norms: Vec<f64> = masked.iter().map(|v| v.norm()).collect();
             let index = CandidateIndex::build(&masked, dim);
             for (u, uv) in unknown_vecs.iter().enumerate() {
@@ -190,8 +188,14 @@ mod tests {
 
     fn world() -> (Dataset, Dataset) {
         let styles = [
-            ("quilts", "patchwork quilting batting applique binding thimble stitching fabric"),
-            ("radios", "antenna frequency transmitter oscillator amplifier bandwidth receiver signal"),
+            (
+                "quilts",
+                "patchwork quilting batting applique binding thimble stitching fabric",
+            ),
+            (
+                "radios",
+                "antenna frequency transmitter oscillator amplifier bandwidth receiver signal",
+            ),
         ];
         let mut known = Corpus::new("known");
         let mut unknown = Corpus::new("unknown");
@@ -248,8 +252,7 @@ mod tests {
         let results = koppel.run(&known, &unknown);
         for (u, ranked) in results.iter().enumerate() {
             assert_eq!(
-                known.records[ranked[0].index].persona,
-                unknown.records[u].persona,
+                known.records[ranked[0].index].persona, unknown.records[u].persona,
                 "unknown {u}"
             );
             // Vote shares normalized.

@@ -37,6 +37,13 @@ pub fn run_batched(
     unknown: &Dataset,
 ) -> Vec<RankedMatch> {
     assert!(config.batch_size > 0, "batch size must be positive");
+    let metrics = &engine.config().metrics;
+    let _total = metrics.timer("batch.total").start();
+    metrics
+        .gauge("batch.batch_size")
+        .set(config.batch_size as i64);
+    let rounds = metrics.counter("batch.rounds");
+    let peak_pool = metrics.gauge("batch.peak_pool");
     let k = engine.config().k;
     // Per-unknown surviving candidate indices (into `known`).
     let mut survivors: Vec<Vec<usize>> = vec![(0..known.len()).collect(); unknown.len()];
@@ -44,9 +51,11 @@ pub fn run_batched(
     // round applies k-attribution within batches of B.
     loop {
         let max_pool = survivors.iter().map(Vec::len).max().unwrap_or(0);
+        peak_pool.set_max(max_pool as i64);
         if max_pool <= config.batch_size {
             break;
         }
+        rounds.incr();
         // All unknowns share rounds but pools can differ after round one;
         // in round one all pools are identical, afterwards k·ceil(n/B)
         // shrinks fast. Process per unknown-group with identical pools to
@@ -60,13 +69,16 @@ pub fn run_batched(
         } else {
             let mut next: Vec<Vec<usize>> = Vec::with_capacity(survivors.len());
             for (u, pool) in survivors.iter().enumerate() {
-                let round =
-                    batched_round(engine, config, known, unknown, pool, Some(u));
+                let round = batched_round(engine, config, known, unknown, pool, Some(u));
                 next.push(round.into_iter().next().expect("one unknown processed"));
             }
             survivors = next;
         }
         let _ = k;
+    }
+    let pool_sizes = metrics.histogram("batch.final_pool_size");
+    for pool in &survivors {
+        pool_sizes.record(pool.len() as u64);
     }
     // Final stage: rescore each unknown against its surviving pool.
     let stage1: Vec<Vec<Ranked>> = survivors
@@ -197,8 +209,7 @@ mod tests {
         for m in &results {
             let best = m.best().expect("candidates exist");
             assert_eq!(
-                known.records[best.index].persona,
-                unknown.records[m.unknown].persona,
+                known.records[best.index].persona, unknown.records[m.unknown].persona,
                 "unknown {}",
                 m.unknown
             );
@@ -237,6 +248,29 @@ mod tests {
         for (a, b) in unbatched.iter().zip(&batched) {
             assert_eq!(a.best().map(|r| r.index), b.best().map(|r| r.index));
         }
+    }
+
+    #[test]
+    fn metrics_track_rounds_and_pools() {
+        use darklight_obs::PipelineMetrics;
+        let (known, unknown) = world();
+        let metrics = PipelineMetrics::enabled();
+        let e = TwoStage::new(TwoStageConfig {
+            k: 3,
+            threads: 2,
+            metrics: metrics.clone(),
+            ..TwoStageConfig::default()
+        });
+        run_batched(&e, &BatchConfig { batch_size: 4 }, &known, &unknown);
+        // Twelve known aliases in batches of four need at least one
+        // reduction round before pools fit a single batch.
+        assert!(metrics.counter("batch.rounds").get() >= 1);
+        assert_eq!(metrics.gauge("batch.peak_pool").get(), known.len() as i64);
+        assert_eq!(
+            metrics.histogram("batch.final_pool_size").count(),
+            unknown.len() as u64
+        );
+        assert_eq!(metrics.timer("batch.total").count(), 1);
     }
 
     #[test]

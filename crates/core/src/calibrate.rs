@@ -255,20 +255,10 @@ mod tests {
     fn apply_to_transfers_threshold() {
         let known = dataset(&[Some(0), Some(1)]);
         let unknown = dataset(&[Some(0), Some(1)]);
-        let w1 = calibrate_from_results(
-            &[rm(0, 0, 0.9), rm(1, 1, 0.7)],
-            &known,
-            &unknown,
-            0.5,
-        )
-        .unwrap();
-        let w2 = calibrate_from_results(
-            &[rm(0, 0, 0.95), rm(1, 0, 0.5)],
-            &known,
-            &unknown,
-            0.5,
-        )
-        .unwrap();
+        let w1 =
+            calibrate_from_results(&[rm(0, 0, 0.9), rm(1, 1, 0.7)], &known, &unknown, 0.5).unwrap();
+        let w2 = calibrate_from_results(&[rm(0, 0, 0.95), rm(1, 0, 0.5)], &known, &unknown, 0.5)
+            .unwrap();
         let applied = w1.apply_to(&w2);
         assert_eq!(applied.threshold, w1.chosen.threshold);
         // At threshold 0.9, W2 emits only its 0.95 pair (correct).
@@ -278,7 +268,9 @@ mod tests {
 
     #[test]
     fn error_display() {
-        assert!(CalibrateError::NoPositives.to_string().contains("no unknown"));
+        assert!(CalibrateError::NoPositives
+            .to_string()
+            .contains("no unknown"));
         assert!(CalibrateError::TargetUnreachable
             .to_string()
             .contains("never reached"));

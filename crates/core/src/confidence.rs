@@ -32,8 +32,7 @@ impl MatchConfidence {
         let margin = rest.first().map_or(0.0, |second| best.score - second);
         let zscore = if rest.len() >= 2 {
             let mean = rest.iter().sum::<f64>() / rest.len() as f64;
-            let var = rest.iter().map(|s| (s - mean) * (s - mean)).sum::<f64>()
-                / rest.len() as f64;
+            let var = rest.iter().map(|s| (s - mean) * (s - mean)).sum::<f64>() / rest.len() as f64;
             if var > 0.0 {
                 (best.score - mean) / var.sqrt()
             } else if best.score > mean {

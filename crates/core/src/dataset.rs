@@ -211,7 +211,10 @@ mod tests {
         let ds = DatasetBuilder::new().build(&corpus());
         let cut = ds.with_word_budget(30);
         assert_eq!(cut.records[0].doc.word_len(), 30);
-        assert_eq!(cut.records[1].doc.word_len().min(30), cut.records[1].doc.word_len());
+        assert_eq!(
+            cut.records[1].doc.word_len().min(30),
+            cut.records[1].doc.word_len()
+        );
     }
 
     #[test]
@@ -225,12 +228,10 @@ mod tests {
     #[test]
     fn facts_and_persona_pass_through() {
         let mut c = corpus();
-        c.users[0]
-            .facts
-            .push(darklight_corpus::model::Fact::new(
-                darklight_corpus::model::FactKind::City,
-                "miami",
-            ));
+        c.users[0].facts.push(darklight_corpus::model::Fact::new(
+            darklight_corpus::model::FactKind::City,
+            "miami",
+        ));
         let ds = DatasetBuilder::new().build(&c);
         assert_eq!(ds.records[0].persona, Some(9));
         assert_eq!(ds.records[0].facts.len(), 1);

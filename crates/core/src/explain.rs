@@ -69,7 +69,10 @@ impl MatchExplanation {
                     .iter()
                     .map(|h| format!("{h:02}:00"))
                     .collect();
-                out.push_str(&format!("common active hours (UTC):    {}\n", hours.join(" ")));
+                out.push_str(&format!(
+                    "common active hours (UTC):    {}\n",
+                    hours.join(" ")
+                ));
             }
             None => out.push_str("activity profile:             unavailable\n"),
         }
@@ -182,8 +185,14 @@ mod tests {
 
     #[test]
     fn shared_phrases_surface() {
-        let a = record("the stealth packaging was perfect as always, landed in four days", Some(9));
-        let b = record("again the stealth packaging was perfect, landed quickly this time", Some(9));
+        let a = record(
+            "the stealth packaging was perfect as always, landed in four days",
+            Some(9),
+        );
+        let b = record(
+            "again the stealth packaging was perfect, landed quickly this time",
+            Some(9),
+        );
         let ex = explain_pair(&a, &b);
         assert!(
             ex.shared_word_grams
@@ -233,13 +242,20 @@ mod tests {
         let b = record("i really cannot recommend this place at all honestly", None);
         let ex = explain_pair(&a, &b);
         let first = &ex.shared_word_grams[0];
-        assert!(first.gram.split(' ').count() >= 2, "top gram {:?}", first.gram);
+        assert!(
+            first.gram.split(' ').count() >= 2,
+            "top gram {:?}",
+            first.gram
+        );
     }
 
     #[test]
     fn render_is_complete() {
         let a = record("the same words appear in both messages here today", Some(7));
-        let b = record("the same words appear in both messages here tonight", Some(7));
+        let b = record(
+            "the same words appear in both messages here tonight",
+            Some(7),
+        );
         let text = explain_pair(&a, &b).to_string();
         assert!(text.contains("shared phrases"));
         assert!(text.contains("vocabulary overlap"));

@@ -29,8 +29,8 @@
 
 pub mod attrib;
 pub mod baseline;
-pub mod calibrate;
 pub mod batch;
+pub mod calibrate;
 pub mod confidence;
 pub mod dataset;
 pub mod explain;
@@ -41,8 +41,8 @@ pub mod twostage;
 pub use attrib::CandidateIndex;
 pub use calibrate::{calibrate_threshold, Calibration};
 pub use confidence::MatchConfidence;
-pub use explain::{explain_pair, MatchExplanation};
 pub use dataset::{Dataset, DatasetBuilder, Record};
+pub use explain::{explain_pair, MatchExplanation};
 pub use linker::{AliasMatch, Linker};
 pub use session::LinkSession;
 pub use twostage::{RankedMatch, TwoStage, TwoStageConfig};

@@ -7,10 +7,11 @@
 
 use crate::dataset::{Dataset, DatasetBuilder};
 use crate::twostage::{TwoStage, TwoStageConfig};
+use darklight_activity::profile::{ProfileBuilder, ProfilePolicy};
 use darklight_corpus::model::Corpus;
 use darklight_corpus::polish::{PolishConfig, Polisher};
 use darklight_corpus::refine::{refine, RefineConfig};
-use darklight_activity::profile::{ProfileBuilder, ProfilePolicy};
+use darklight_obs::PipelineMetrics;
 
 /// One emitted alias pair.
 #[derive(Debug, Clone, PartialEq)]
@@ -40,6 +41,7 @@ pub struct LinkerConfig {
 #[derive(Debug)]
 pub struct Linker {
     config: LinkerConfig,
+    metrics: PipelineMetrics,
     polisher: Polisher,
     builder: DatasetBuilder,
 }
@@ -50,9 +52,27 @@ impl Linker {
         let polisher = Polisher::new(config.polish.clone());
         Linker {
             config,
+            metrics: PipelineMetrics::disabled(),
             polisher,
             builder: DatasetBuilder::new(),
         }
+    }
+
+    /// Records the whole pipeline — polishing, feature extraction,
+    /// candidate indexing, both attribution stages — into `metrics`.
+    /// Metrics only observe; enabling them does not change which pairs
+    /// are emitted (pinned by `tests/metrics_parity.rs`).
+    pub fn with_metrics(mut self, metrics: PipelineMetrics) -> Linker {
+        self.polisher = Polisher::new(self.config.polish.clone()).with_metrics(metrics.clone());
+        self.config.two_stage.metrics = metrics.clone();
+        self.metrics = metrics;
+        self
+    }
+
+    /// The metrics handle (disabled unless set via
+    /// [`with_metrics`](Linker::with_metrics)).
+    pub fn metrics(&self) -> &PipelineMetrics {
+        &self.metrics
     }
 
     /// The configuration.
@@ -62,6 +82,7 @@ impl Linker {
 
     /// Polishes + refines one corpus into an attribution dataset.
     pub fn prepare(&self, corpus: &Corpus) -> Dataset {
+        let _prepare = self.metrics.timer("linker.prepare").start();
         let polished = if self.config.already_polished {
             corpus.clone()
         } else {
@@ -82,6 +103,7 @@ impl Linker {
 
     /// Links two prepared datasets.
     pub fn link_datasets(&self, known: &Dataset, unknown: &Dataset) -> Vec<AliasMatch> {
+        let _link = self.metrics.timer("linker.link").start();
         if known.is_empty() || unknown.is_empty() {
             return Vec::new();
         }
@@ -183,7 +205,8 @@ mod tests {
     fn prepare_refines_thin_users_away() {
         let mut c = corpus("x", 0);
         let mut thin = User::new("thin_user", None);
-        thin.posts.push(Post::new("one short post only", 1_486_375_200));
+        thin.posts
+            .push(Post::new("one short post only", 1_486_375_200));
         c.users.push(thin);
         let linker = Linker::default();
         let ds = linker.prepare(&c);

@@ -172,7 +172,11 @@ mod tests {
         assert_eq!(alias, "beekeeper");
         assert!(score > 0.3);
         let (alias, _) = s
-            .best_match(&probe(2, "sourdough crumb proofing levain hydration oven", 3_600))
+            .best_match(&probe(
+                2,
+                "sourdough crumb proofing levain hydration oven",
+                3_600,
+            ))
             .expect("match above threshold");
         assert_eq!(alias, "baker");
     }

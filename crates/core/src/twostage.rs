@@ -7,10 +7,11 @@
 //! consequently the Tf-Idf weighting" — re-scores, and outputs the best
 //! pair when its score clears the threshold.
 
-use crate::attrib::{top_k_of, CandidateIndex, Ranked};
+use crate::attrib::{cmp_desc, top_k_of, CandidateIndex, Ranked};
 use crate::dataset::Dataset;
 use darklight_features::pipeline::{FeatureConfig, FeatureExtractor};
 use darklight_features::sparse::SparseVector;
+use darklight_obs::PipelineMetrics;
 
 /// Configuration of the two-stage pipeline. Defaults are the paper's.
 #[derive(Debug, Clone, PartialEq)]
@@ -25,6 +26,10 @@ pub struct TwoStageConfig {
     pub threshold: f64,
     /// Worker threads for batch scoring (0 = all available cores).
     pub threads: usize,
+    /// Observability handle; disabled by default. Instruments only
+    /// record — they are never read back — so enabling metrics cannot
+    /// change attribution output (pinned by `tests/metrics_parity.rs`).
+    pub metrics: PipelineMetrics,
 }
 
 impl Default for TwoStageConfig {
@@ -35,6 +40,7 @@ impl Default for TwoStageConfig {
             final_stage: FeatureConfig::final_stage(),
             threshold: crate::PAPER_THRESHOLD,
             threads: 0,
+            metrics: PipelineMetrics::disabled(),
         }
     }
 }
@@ -45,6 +51,12 @@ impl TwoStageConfig {
     pub fn without_activity(mut self) -> TwoStageConfig {
         self.reduction = self.reduction.without_activity();
         self.final_stage = self.final_stage.without_activity();
+        self
+    }
+
+    /// Copy recording into `metrics`.
+    pub fn with_metrics(mut self, metrics: PipelineMetrics) -> TwoStageConfig {
+        self.metrics = metrics;
         self
     }
 
@@ -60,7 +72,7 @@ impl TwoStageConfig {
 }
 
 /// The outcome of the pipeline for one unknown alias.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RankedMatch {
     /// Index of the unknown alias in the unknown dataset.
     pub unknown: usize,
@@ -102,14 +114,17 @@ impl TwoStage {
     /// Stage 1 only: the k-attribution candidates for every unknown
     /// (§IV-C). Returned per unknown, best first.
     pub fn reduce(&self, known: &Dataset, unknown: &Dataset) -> Vec<Vec<Ranked>> {
+        let metrics = &self.config.metrics;
+        let _stage1 = metrics.timer("twostage.stage1").start();
         let space = FeatureExtractor::new(self.config.reduction.clone())
+            .with_metrics(metrics.clone())
             .fit_counted(known.records.iter().map(|r| &r.counted));
         let known_vecs: Vec<SparseVector> = known
             .records
             .iter()
             .map(|r| space.vectorize_counted(&r.counted, r.profile.as_ref()))
             .collect();
-        let index = CandidateIndex::build(&known_vecs, space.dim());
+        let index = CandidateIndex::build_with_metrics(&known_vecs, space.dim(), metrics);
         let queries: Vec<SparseVector> = unknown
             .records
             .iter()
@@ -120,6 +135,7 @@ impl TwoStage {
 
     /// Both stages for every unknown alias.
     pub fn run(&self, known: &Dataset, unknown: &Dataset) -> Vec<RankedMatch> {
+        let _total = self.config.metrics.timer("twostage.total").start();
         let stage1 = self.reduce(known, unknown);
         self.rescore(known, unknown, stage1)
     }
@@ -132,26 +148,36 @@ impl TwoStage {
         unknown: &Dataset,
         stage1: Vec<Vec<Ranked>>,
     ) -> Vec<RankedMatch> {
-        assert_eq!(stage1.len(), unknown.records.len(), "stage-1 shape mismatch");
+        assert_eq!(
+            stage1.len(),
+            unknown.records.len(),
+            "stage-1 shape mismatch"
+        );
+        let metrics = &self.config.metrics;
+        let _stage2 = metrics.timer("twostage.stage2").start();
         let threads = self.config.effective_threads().max(1);
         let n = unknown.records.len();
+        metrics.counter("twostage.rescored_unknowns").add(n as u64);
         let mut results: Vec<Option<RankedMatch>> = vec![None; n];
         let chunk = n.div_ceil(threads).max(1);
         let stage1_ref = &stage1;
-        let mut slots: Vec<&mut [Option<RankedMatch>]> = results.chunks_mut(chunk).collect();
-        crossbeam::scope(|s| {
-            for (ci, slot) in slots.iter_mut().enumerate() {
-                let start = ci * chunk;
-                let engine = &*self;
-                s.spawn(move |_| {
+        std::thread::scope(|scope| {
+            // The global index of each slot follows from the actual chunk
+            // lengths (a running offset), not from `chunk × position` —
+            // the two agree today, but only the former survives a change
+            // to how `chunks_mut` splits the tail.
+            let mut start = 0usize;
+            for slot in results.chunks_mut(chunk) {
+                let begin = start;
+                start += slot.len();
+                scope.spawn(move || {
                     for (off, out) in slot.iter_mut().enumerate() {
-                        let u = start + off;
-                        *out = Some(engine.rescore_one(known, unknown, u, &stage1_ref[u]));
+                        let u = begin + off;
+                        *out = Some(self.rescore_one(known, unknown, u, &stage1_ref[u]));
                     }
                 });
             }
-        })
-        .expect("rescoring threads do not panic");
+        });
         results
             .into_iter()
             .map(|r| r.expect("every slot filled"))
@@ -197,12 +223,7 @@ impl TwoStage {
                 }
             })
             .collect();
-        stage2.sort_by(|a, b| {
-            b.score
-                .partial_cmp(&a.score)
-                .expect("scores are finite")
-                .then_with(|| a.index.cmp(&b.index))
-        });
+        stage2.sort_by(|a, b| cmp_desc((a.score, a.index), (b.score, b.index)));
         RankedMatch {
             unknown: u,
             stage1: candidates.to_vec(),
@@ -227,14 +248,16 @@ impl TwoStage {
         unknown: &Dataset,
         depth: usize,
     ) -> Vec<RankedMatch> {
+        let metrics = &self.config.metrics;
         let space = FeatureExtractor::new(self.config.final_stage.clone())
+            .with_metrics(metrics.clone())
             .fit_counted(known.records.iter().map(|r| &r.counted));
         let known_vecs: Vec<SparseVector> = known
             .records
             .iter()
             .map(|r| space.vectorize_counted(&r.counted, r.profile.as_ref()))
             .collect();
-        let index = CandidateIndex::build(&known_vecs, space.dim());
+        let index = CandidateIndex::build_with_metrics(&known_vecs, space.dim(), metrics);
         let queries: Vec<SparseVector> = unknown
             .records
             .iter()
@@ -254,12 +277,28 @@ impl TwoStage {
     /// Convenience: accepted pairs `(unknown, candidate, score)` at the
     /// configured threshold.
     pub fn link(&self, known: &Dataset, unknown: &Dataset) -> Vec<(usize, usize, f64)> {
+        let metrics = &self.config.metrics;
+        // Micro-units because gauges are integers; together with the two
+        // counters this gives acceptance rate as a function of threshold.
+        metrics
+            .gauge("twostage.threshold_micros")
+            .set((self.config.threshold * 1e6) as i64);
+        let accepted = metrics.counter("twostage.links_accepted");
+        let rejected = metrics.counter("twostage.links_rejected");
         self.run(known, unknown)
             .into_iter()
             .filter_map(|m| {
-                let best = m.best()?;
-                (best.score >= self.config.threshold)
-                    .then_some((m.unknown, best.index, best.score))
+                let Some(best) = m.best() else {
+                    rejected.incr();
+                    return None;
+                };
+                if best.score >= self.config.threshold {
+                    accepted.incr();
+                    Some((m.unknown, best.index, best.score))
+                } else {
+                    rejected.incr();
+                    None
+                }
             })
             .collect()
     }
@@ -289,9 +328,18 @@ mod tests {
     /// known/unknown halves.
     fn world() -> (Dataset, Dataset) {
         let styles = [
-            ("alice", "gardening tulips compost seedling watering trowel blossom pruning"),
-            ("bob", "overclocking motherboard thermals benchmark silicon wattage chipset bios"),
-            ("carol", "sourdough hydration crumb proofing levain bannetons scoring oven"),
+            (
+                "alice",
+                "gardening tulips compost seedling watering trowel blossom pruning",
+            ),
+            (
+                "bob",
+                "overclocking motherboard thermals benchmark silicon wattage chipset bios",
+            ),
+            (
+                "carol",
+                "sourdough hydration crumb proofing levain bannetons scoring oven",
+            ),
         ];
         let mut known = Corpus::new("known");
         let mut unknown = Corpus::new("unknown");
@@ -358,8 +406,7 @@ mod tests {
         for m in &results {
             let best = m.best().expect("candidates exist");
             assert_eq!(
-                known.records[best.index].persona,
-                unknown.records[m.unknown].persona,
+                known.records[best.index].persona, unknown.records[m.unknown].persona,
                 "wrong match for unknown {}",
                 m.unknown
             );

@@ -45,22 +45,41 @@ proptest! {
         }
     }
 
-    /// Batch scoring equals sequential scoring for any thread count.
+    /// Batch scoring equals sequential scoring for any thread count,
+    /// including query counts that do not divide evenly across threads
+    /// (e.g. 7 queries on 3 threads leave a ragged final chunk).
     #[test]
     fn batch_matches_sequential(
         vectors in proptest::collection::vec(vector_strategy(), 1..12),
-        queries in proptest::collection::vec(vector_strategy(), 0..12),
-        threads in 1usize..6,
+        queries in proptest::collection::vec(vector_strategy(), 0..20),
+        k in 1usize..6,
+        threads in 1usize..=8,
     ) {
         let index = CandidateIndex::build(&vectors, 2_000);
-        let seq: Vec<_> = queries.iter().map(|q| index.top_k(q, 3)).collect();
-        let par = index.top_k_batch(&queries, 3, threads);
+        let seq: Vec<_> = queries.iter().map(|q| index.top_k(q, k)).collect();
+        let par = index.top_k_batch(&queries, k, threads);
         prop_assert_eq!(seq, par);
     }
 
     /// rank_of agrees with top_k_of ordering.
     #[test]
     fn rank_of_agrees_with_sort(scores in proptest::collection::vec(0.0f64..1.0, 1..30)) {
+        let ranked = top_k_of(&scores, scores.len());
+        for (pos, r) in ranked.iter().enumerate() {
+            prop_assert_eq!(rank_of(&scores, r.index), Some(pos + 1));
+        }
+    }
+
+    /// The same agreement holds when some scores are NaN: both functions
+    /// share one total order (finite scores descending, NaN last).
+    #[test]
+    fn rank_of_agrees_with_sort_under_nan(
+        tagged in proptest::collection::vec((0u8..5, 0.0f64..1.0), 1..30),
+    ) {
+        let scores: Vec<f64> = tagged
+            .iter()
+            .map(|&(tag, v)| if tag == 0 { f64::NAN } else { v })
+            .collect();
         let ranked = top_k_of(&scores, scores.len());
         for (pos, r) in ranked.iter().enumerate() {
             prop_assert_eq!(rank_of(&scores, r.index), Some(pos + 1));

@@ -230,8 +230,13 @@ mod tests {
         let mut u = User::new("alias\twith\ttabs", Some(42));
         u.facts.push(Fact::new(FactKind::City, "miami"));
         u.facts.push(Fact::new(FactKind::AliasRef, "other_alias"));
-        u.posts.push(Post::with_topic("line one\nline two", 1_500_000_000, "drugs"));
-        u.posts.push(Post::new("back\\slash and \r carriage", 1_500_000_100));
+        u.posts.push(Post::with_topic(
+            "line one\nline two",
+            1_500_000_000,
+            "drugs",
+        ));
+        u.posts
+            .push(Post::new("back\\slash and \r carriage", 1_500_000_100));
         c.users.push(u);
         c.users.push(User::new("empty_user", None));
         c
@@ -308,7 +313,14 @@ mod tests {
 
     #[test]
     fn escape_unescape_inverse() {
-        for s in ["plain", "tab\there", "nl\nhere", "back\\slash", "\r", "\\t literal"] {
+        for s in [
+            "plain",
+            "tab\there",
+            "nl\nhere",
+            "back\\slash",
+            "\r",
+            "\\t literal",
+        ] {
             assert_eq!(unescape(&escape(s)), s, "{s:?}");
         }
     }

@@ -251,7 +251,8 @@ mod tests {
 
     fn sample_user() -> User {
         let mut u = User::new("acid_queen", Some(7));
-        u.posts.push(Post::with_topic("first post about stuff", 100, "drugs"));
+        u.posts
+            .push(Post::with_topic("first post about stuff", 100, "drugs"));
         u.posts.push(Post::new("second post has five words", 200));
         u.facts.push(Fact::new(FactKind::City, "Miami"));
         u

@@ -24,10 +24,12 @@
 //! counts and language detection see the text the feature extractor will.
 
 use crate::model::{Corpus, User};
+use darklight_obs::PipelineMetrics;
 use darklight_text::langdetect::LanguageDetector;
 use darklight_text::normalize;
 use darklight_text::token::word_count;
 use std::collections::HashSet;
+use std::time::Instant;
 
 /// Configuration of the polishing pipeline. The defaults are the paper's
 /// settings; each step can be disabled for ablation.
@@ -108,11 +110,37 @@ impl PolishReport {
     }
 }
 
+/// Locally accumulated per-step nanoseconds, flushed to the metrics
+/// registry once per [`Polisher::polish`] call so the per-message loop
+/// never touches shared state.
+#[derive(Debug, Default)]
+struct StepNanos {
+    dedup: u64,
+    transforms: u64,
+    length: u64,
+    diversity: u64,
+    language: u64,
+}
+
+/// Runs `f`, adding its wall-clock to `acc` when `enabled`. Compiles to
+/// a plain call when metrics are off — the clock is never read.
+fn timed<T>(enabled: bool, acc: &mut u64, f: impl FnOnce() -> T) -> T {
+    if enabled {
+        let start = Instant::now();
+        let out = f();
+        *acc += u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        out
+    } else {
+        f()
+    }
+}
+
 /// Applies the polishing pipeline. Holds the language detector so repeated
 /// corpora share the profile tables.
 #[derive(Debug)]
 pub struct Polisher {
     config: PolishConfig,
+    metrics: PipelineMetrics,
     detector: LanguageDetector,
 }
 
@@ -121,8 +149,15 @@ impl Polisher {
     pub fn new(config: PolishConfig) -> Polisher {
         Polisher {
             config,
+            metrics: PipelineMetrics::disabled(),
             detector: LanguageDetector::new(),
         }
+    }
+
+    /// Records per-step message counts and durations into `metrics`.
+    pub fn with_metrics(mut self, metrics: PipelineMetrics) -> Polisher {
+        self.metrics = metrics;
+        self
     }
 
     /// The active configuration.
@@ -139,24 +174,62 @@ impl Polisher {
     /// Applies all twelve steps, returning the cleaned corpus and the
     /// removal report.
     pub fn polish(&self, corpus: &Corpus) -> (Corpus, PolishReport) {
+        let _total = self.metrics.timer("polish.total").start();
         let mut report = PolishReport::default();
+        let mut steps = StepNanos::default();
         let mut out = Corpus::new(corpus.name.clone());
+        let mut input_messages = 0u64;
         for user in &corpus.users {
+            input_messages += user.posts.len() as u64;
             if self.config.drop_bots && Self::is_bot_name(&user.alias) {
                 report.bot_accounts += 1;
                 continue;
             }
-            let cleaned = self.polish_user(user, &mut report);
+            let cleaned = self.polish_user(user, &mut report, &mut steps);
             if self.config.drop_empty_users && cleaned.posts.is_empty() {
                 report.emptied_users += 1;
                 continue;
             }
             out.users.push(cleaned);
         }
+        self.flush_metrics(&report, &steps, input_messages);
         (out, report)
     }
 
-    fn polish_user(&self, user: &User, report: &mut PolishReport) -> User {
+    /// One registry write per polish run: per-step message counts from the
+    /// report and per-step durations from the local accumulators.
+    fn flush_metrics(&self, report: &PolishReport, steps: &StepNanos, input_messages: u64) {
+        if !self.metrics.is_enabled() {
+            return;
+        }
+        let m = &self.metrics;
+        m.counter("polish.input_messages").add(input_messages);
+        m.counter("polish.kept_messages")
+            .add(report.kept_messages as u64);
+        m.counter("polish.dropped.bot_accounts")
+            .add(report.bot_accounts as u64);
+        m.counter("polish.dropped.duplicates")
+            .add(report.duplicate_messages as u64);
+        m.counter("polish.dropped.short")
+            .add(report.short_messages as u64);
+        m.counter("polish.dropped.low_diversity")
+            .add(report.low_diversity_messages as u64);
+        m.counter("polish.dropped.non_english")
+            .add(report.non_english_messages as u64);
+        m.counter("polish.dropped.emptied_users")
+            .add(report.emptied_users as u64);
+        m.timer("polish.step.dedup").record_ns(steps.dedup);
+        m.timer("polish.step.transforms")
+            .record_ns(steps.transforms);
+        m.timer("polish.step.length_filter").record_ns(steps.length);
+        m.timer("polish.step.diversity_filter")
+            .record_ns(steps.diversity);
+        m.timer("polish.step.language_filter")
+            .record_ns(steps.language);
+    }
+
+    fn polish_user(&self, user: &User, report: &mut PolishReport, steps: &mut StepNanos) -> User {
+        let timing = self.metrics.is_enabled();
         let mut cleaned = User::new(user.alias.clone(), user.persona);
         cleaned.facts = user.facts.clone();
         let mut seen: HashSet<String> = HashSet::new();
@@ -164,31 +237,44 @@ impl Polisher {
             // Step 2: duplicates (on the raw text, as the paper does during
             // collection).
             if self.config.dedup {
-                let key = post.text.trim().to_lowercase();
-                if !seen.insert(key) {
+                let duplicate = timed(timing, &mut steps.dedup, || {
+                    let key = post.text.trim().to_lowercase();
+                    !seen.insert(key)
+                });
+                if duplicate {
                     report.duplicate_messages += 1;
                     continue;
                 }
             }
             let text = if self.config.transforms {
-                self.transform_text(&post.text)
+                timed(timing, &mut steps.transforms, || {
+                    self.transform_text(&post.text)
+                })
             } else {
                 post.text.clone()
             };
             // Step 5: length filter.
-            if self.config.min_words > 0 && word_count(&text) < self.config.min_words {
+            if self.config.min_words > 0
+                && timed(timing, &mut steps.length, || word_count(&text)) < self.config.min_words
+            {
                 report.short_messages += 1;
                 continue;
             }
             // Step 6: diversity filter.
             if self.config.min_diversity > 0.0
-                && normalize::diversity_ratio(&text) < self.config.min_diversity
+                && timed(timing, &mut steps.diversity, || {
+                    normalize::diversity_ratio(&text)
+                }) < self.config.min_diversity
             {
                 report.low_diversity_messages += 1;
                 continue;
             }
             // Step 7: language filter.
-            if self.config.english_only && !self.detector.is_english(&text) {
+            if self.config.english_only
+                && !timed(timing, &mut steps.language, || {
+                    self.detector.is_english(&text)
+                })
+            {
                 report.non_english_messages += 1;
                 continue;
             }
@@ -224,7 +310,8 @@ mod tests {
     use super::*;
     use crate::model::Post;
 
-    const GOOD: &str = "this is a perfectly normal english message with plenty of distinct words in it";
+    const GOOD: &str =
+        "this is a perfectly normal english message with plenty of distinct words in it";
 
     fn corpus_with(posts: Vec<Post>) -> Corpus {
         let mut c = Corpus::new("test");
@@ -318,12 +405,48 @@ mod tests {
     fn report_totals_consistent() {
         let c = corpus_with(vec![
             Post::new(GOOD, 1),
-            Post::new(GOOD, 2),       // dup
+            Post::new(GOOD, 2),        // dup
             Post::new("short one", 3), // short
         ]);
         let (_, report) = Polisher::default().polish(&c);
         assert_eq!(report.kept_messages, 1);
         assert_eq!(report.dropped_messages(), 2);
+    }
+
+    #[test]
+    fn metrics_mirror_report_counts() {
+        let metrics = PipelineMetrics::enabled();
+        let c = corpus_with(vec![
+            Post::new(GOOD, 1),
+            Post::new(GOOD, 2),        // duplicate
+            Post::new("short one", 3), // short
+        ]);
+        let (_, report) = Polisher::default().with_metrics(metrics.clone()).polish(&c);
+        assert_eq!(metrics.counter("polish.input_messages").get(), 3);
+        assert_eq!(
+            metrics.counter("polish.kept_messages").get(),
+            report.kept_messages as u64
+        );
+        assert_eq!(metrics.counter("polish.dropped.duplicates").get(), 1);
+        assert_eq!(metrics.counter("polish.dropped.short").get(), 1);
+        // Step timers observed once per polish() call.
+        assert_eq!(metrics.timer("polish.step.dedup").count(), 1);
+        assert_eq!(metrics.timer("polish.total").count(), 1);
+    }
+
+    #[test]
+    fn metrics_do_not_change_polish_output() {
+        let c = corpus_with(vec![
+            Post::new(GOOD, 1),
+            Post::new(GOOD, 2),
+            Post::new("short one", 3),
+        ]);
+        let (plain_out, plain_report) = Polisher::default().polish(&c);
+        let (metered_out, metered_report) = Polisher::default()
+            .with_metrics(PipelineMetrics::enabled())
+            .polish(&c);
+        assert_eq!(plain_out, metered_out);
+        assert_eq!(plain_report, metered_report);
     }
 
     #[test]

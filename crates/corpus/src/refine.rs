@@ -246,7 +246,7 @@ fn hash_alias(alias: &str) -> u64 {
 mod tests {
     use super::*;
     use crate::model::Post;
-    use darklight_activity::profile::{ProfilePolicy, ProfileBuilder};
+    use darklight_activity::profile::{ProfileBuilder, ProfilePolicy};
 
     /// Weekday timestamps spread across 2017: Monday–Friday of consecutive
     /// weeks, starting Monday 2017-02-06 (a handful land on holidays).
@@ -273,7 +273,7 @@ mod tests {
     #[test]
     fn refine_drops_thin_users() {
         let mut c = Corpus::new("x");
-        c.users.push(rich_user("rich", 80, 40));   // 80*41 words, 80 ts
+        c.users.push(rich_user("rich", 80, 40)); // 80*41 words, 80 ts
         c.users.push(rich_user("few_ts", 10, 200)); // words ok, 10 ts
         c.users.push(rich_user("few_words", 80, 2)); // ts ok, 240 words
         let refined = refine(&c, RefineConfig::default(), &builder());
@@ -316,15 +316,7 @@ mod tests {
         let s2 = split_user(&u, &cfg, &builder()).unwrap();
         assert_eq!(s1, s2);
         // A different seed produces a different split.
-        let s3 = split_user(
-            &u,
-            &AlterEgoConfig {
-                seed: 99,
-                ..cfg
-            },
-            &builder(),
-        )
-        .unwrap();
+        let s3 = split_user(&u, &AlterEgoConfig { seed: 99, ..cfg }, &builder()).unwrap();
         assert_ne!(s1, s3);
     }
 
@@ -348,7 +340,8 @@ mod tests {
             "this is a much longer message with many more words than the others combined",
             2,
         ));
-        u.posts.push(Post::new("mid sized message with six words", 3));
+        u.posts
+            .push(Post::new("mid sized message with six words", 3));
         let text = select_text(&u, 15);
         assert!(text.starts_with("this is a much longer"));
         // Budget reached after the long (14 words) + mid (6 words) messages.
@@ -368,7 +361,8 @@ mod tests {
         let mut c = Corpus::new("x");
         let mut spam = User::new("repeater", None);
         for i in 0..50 {
-            spam.posts.push(Post::new("same exact words every single time", i));
+            spam.posts
+                .push(Post::new("same exact words every single time", i));
         }
         let mut varied = User::new("varied", None);
         for i in 0..50u8 {

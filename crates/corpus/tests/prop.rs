@@ -38,11 +38,15 @@ fn user_strategy() -> impl Strategy<Value = User> {
 }
 
 fn corpus_strategy() -> impl Strategy<Value = Corpus> {
-    ("[a-z]{1,8}", proptest::collection::vec(user_strategy(), 0..8)).prop_map(|(name, users)| {
-        let mut c = Corpus::new(name);
-        c.users = users;
-        c
-    })
+    (
+        "[a-z]{1,8}",
+        proptest::collection::vec(user_strategy(), 0..8),
+    )
+        .prop_map(|(name, users)| {
+            let mut c = Corpus::new(name);
+            c.users = users;
+            c
+        })
 }
 
 proptest! {

@@ -99,10 +99,7 @@ impl PrCurve {
         };
         for p in &self.points {
             if p.threshold >= threshold {
-                best = PrPoint {
-                    threshold,
-                    ..*p
-                };
+                best = PrPoint { threshold, ..*p };
             } else {
                 break;
             }
@@ -170,10 +167,26 @@ mod tests {
         // Two positives ranked above two incorrect emissions, and only the
         // two correct unknowns have truth present.
         let labeled = vec![
-            LabeledScore { score: 0.9, correct: true, has_truth: true },
-            LabeledScore { score: 0.8, correct: true, has_truth: true },
-            LabeledScore { score: 0.2, correct: false, has_truth: false },
-            LabeledScore { score: 0.1, correct: false, has_truth: false },
+            LabeledScore {
+                score: 0.9,
+                correct: true,
+                has_truth: true,
+            },
+            LabeledScore {
+                score: 0.8,
+                correct: true,
+                has_truth: true,
+            },
+            LabeledScore {
+                score: 0.2,
+                correct: false,
+                has_truth: false,
+            },
+            LabeledScore {
+                score: 0.1,
+                correct: false,
+                has_truth: false,
+            },
         ];
         let c = PrCurve::from_labeled(&labeled);
         assert!((c.auc() - 1.0).abs() < 1e-12);
@@ -225,7 +238,9 @@ mod tests {
         let p = c.threshold_for_recall(0.5).unwrap();
         assert!(p.recall >= 0.5);
         assert_eq!(p.threshold, 0.7);
-        assert!(c.threshold_for_recall(0.99).is_none() || c.points().last().unwrap().recall >= 0.99);
+        assert!(
+            c.threshold_for_recall(0.99).is_none() || c.points().last().unwrap().recall >= 0.99
+        );
     }
 
     #[test]

@@ -150,7 +150,11 @@ mod tests {
     fn known() -> Dataset {
         Dataset {
             name: "known".into(),
-            records: vec![record("a", Some(1)), record("b", Some(2)), record("c", None)],
+            records: vec![
+                record("a", Some(1)),
+                record("b", Some(2)),
+                record("c", None),
+            ],
         }
     }
 
@@ -190,10 +194,26 @@ mod tests {
     #[test]
     fn precision_recall_behaviour() {
         let labeled = vec![
-            LabeledScore { score: 0.9, correct: true, has_truth: true },
-            LabeledScore { score: 0.8, correct: false, has_truth: true },
-            LabeledScore { score: 0.3, correct: true, has_truth: true },
-            LabeledScore { score: 0.2, correct: false, has_truth: false },
+            LabeledScore {
+                score: 0.9,
+                correct: true,
+                has_truth: true,
+            },
+            LabeledScore {
+                score: 0.8,
+                correct: false,
+                has_truth: true,
+            },
+            LabeledScore {
+                score: 0.3,
+                correct: true,
+                has_truth: true,
+            },
+            LabeledScore {
+                score: 0.2,
+                correct: false,
+                has_truth: false,
+            },
         ];
         let (p, r) = precision_recall_at(&labeled, 0.5);
         assert!((p - 0.5).abs() < 1e-12); // 1 correct of 2 emitted
@@ -280,15 +300,21 @@ mod all_pairs_tests {
             unknown: 0,
             stage1: Vec::new(),
             stage2: vec![
-                Ranked { index: 1, score: 0.9 }, // wrong, ranked first
-                Ranked { index: 0, score: 0.7 }, // right, ranked second
+                Ranked {
+                    index: 1,
+                    score: 0.9,
+                }, // wrong, ranked first
+                Ranked {
+                    index: 0,
+                    score: 0.7,
+                }, // right, ranked second
             ],
         }];
         let labeled = labeled_all_pairs(&results, &known, &unknown);
         assert_eq!(labeled.len(), 2);
         assert!(!labeled[0].correct && labeled[0].has_truth);
         assert!(labeled[1].correct && !labeled[1].has_truth); // truth counted once
-        // The best-match labeling would have produced only one entry.
+                                                              // The best-match labeling would have produced only one entry.
         assert_eq!(labeled_best_matches(&results, &known, &unknown).len(), 1);
     }
 }

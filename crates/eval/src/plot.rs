@@ -122,7 +122,10 @@ impl LineChart {
             svg,
             r#"<svg xmlns="http://www.w3.org/2000/svg" width="{WIDTH}" height="{HEIGHT}" viewBox="0 0 {WIDTH} {HEIGHT}" font-family="sans-serif">"#
         );
-        let _ = writeln!(svg, r#"<rect width="{WIDTH}" height="{HEIGHT}" fill="white"/>"#);
+        let _ = writeln!(
+            svg,
+            r#"<rect width="{WIDTH}" height="{HEIGHT}" fill="white"/>"#
+        );
         // Title and axis labels.
         let _ = writeln!(
             svg,
@@ -238,7 +241,9 @@ fn fmt_tick(v: f64) -> String {
 }
 
 fn escape(s: &str) -> String {
-    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
 }
 
 /// Renders a PR curve as a chart-ready series.
@@ -315,8 +320,16 @@ mod tests {
     #[test]
     fn pr_series_maps_recall_precision() {
         let labeled = vec![
-            LabeledScore { score: 0.9, correct: true, has_truth: true },
-            LabeledScore { score: 0.5, correct: false, has_truth: true },
+            LabeledScore {
+                score: 0.9,
+                correct: true,
+                has_truth: true,
+            },
+            LabeledScore {
+                score: 0.5,
+                correct: false,
+                has_truth: true,
+            },
         ];
         let curve = PrCurve::from_labeled(&labeled);
         let s = pr_series("pr", &curve);

@@ -49,7 +49,11 @@ impl PersonalProfile {
             self.aliases.join(", ")
         ));
         for (kind, values) in &self.attributes {
-            out.push_str(&format!("  {:<17} {}\n", format!("{kind}:"), values.join(", ")));
+            out.push_str(&format!(
+                "  {:<17} {}\n",
+                format!("{kind}:"),
+                values.join(", ")
+            ));
         }
         out
     }
@@ -112,7 +116,10 @@ mod tests {
 
     #[test]
     fn render_contains_everything() {
-        let u = user("target", &[(FactKind::Age, "27"), (FactKind::City, "miami")]);
+        let u = user(
+            "target",
+            &[(FactKind::Age, "27"), (FactKind::City, "miami")],
+        );
         let p = build_profile([&u]);
         let text = p.render();
         assert!(text.contains("target"));

@@ -24,7 +24,11 @@ pub struct RankHistogram {
 
 impl RankHistogram {
     /// Builds the histogram from stage-1 candidate lists.
-    pub fn from_results(results: &[RankedMatch], known: &Dataset, unknown: &Dataset) -> RankHistogram {
+    pub fn from_results(
+        results: &[RankedMatch],
+        known: &Dataset,
+        unknown: &Dataset,
+    ) -> RankHistogram {
         let max_depth = results.iter().map(|m| m.stage1.len()).max().unwrap_or(0);
         let mut counts = vec![0usize; max_depth];
         let mut missed = 0usize;

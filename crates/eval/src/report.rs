@@ -109,7 +109,9 @@ mod tests {
         assert!(lines[0].contains("| name "));
         assert!(lines[1].starts_with("|--"));
         // All lines have equal width.
-        assert!(lines.iter().all(|l| l.chars().count() == lines[0].chars().count()));
+        assert!(lines
+            .iter()
+            .all(|l| l.chars().count() == lines[0].chars().count()));
     }
 
     #[test]

@@ -39,12 +39,7 @@ impl fmt::Display for Verdict {
 
 /// Judges a matched pair from the facts each alias leaked (plus the alias
 /// names, for self-reference checks).
-pub fn judge_pair(
-    a_alias: &str,
-    a_facts: &[Fact],
-    b_alias: &str,
-    b_facts: &[Fact],
-) -> Verdict {
+pub fn judge_pair(a_alias: &str, a_facts: &[Fact], b_alias: &str, b_facts: &[Fact]) -> Verdict {
     // Alias self-reference: one side names the other.
     let names_other = a_facts
         .iter()
@@ -56,10 +51,7 @@ pub fn judge_pair(
         return Verdict::True;
     }
     // Shared strong facts: unique links, distinctive vendor complaints.
-    let shared: Vec<&Fact> = a_facts
-        .iter()
-        .filter(|f| b_facts.contains(f))
-        .collect();
+    let shared: Vec<&Fact> = a_facts.iter().filter(|f| b_facts.contains(f)).collect();
     if shared.iter().any(|f| f.kind.is_strong()) {
         return Verdict::True;
     }
@@ -177,10 +169,7 @@ mod tests {
 
     #[test]
     fn corroboration_is_probably_true() {
-        let a = vec![
-            fact(FactKind::City, "miami"),
-            fact(FactKind::Drug, "molly"),
-        ];
+        let a = vec![fact(FactKind::City, "miami"), fact(FactKind::Drug, "molly")];
         let b = a.clone();
         assert_eq!(judge_pair("x", &a, "y", &b), Verdict::ProbablyTrue);
     }
@@ -204,10 +193,7 @@ mod tests {
     fn strong_evidence_beats_contradiction_order() {
         // A self-reference decides True even if other facts disagree (the
         // disagreement is then noise, e.g. trolling about one's age).
-        let a = vec![
-            fact(FactKind::AliasRef, "other"),
-            fact(FactKind::Age, "20"),
-        ];
+        let a = vec![fact(FactKind::AliasRef, "other"), fact(FactKind::Age, "20")];
         let b = vec![fact(FactKind::Age, "30")];
         assert_eq!(judge_pair("me", &a, "other", &b), Verdict::True);
     }

@@ -13,8 +13,8 @@ pub const DIGITS: [char; 10] = ['0', '1', '2', '3', '4', '5', '6', '7', '8', '9'
 
 /// The 21 tracked special characters (Table II lists `@`, `#` …).
 pub const SPECIAL: [char; 21] = [
-    '@', '#', '$', '%', '&', '*', '+', '=', '/', '\\', '_', '^', '~', '<', '>', '|', '[', ']',
-    '{', '}', '€',
+    '@', '#', '$', '%', '&', '*', '+', '=', '/', '\\', '_', '^', '~', '<', '>', '|', '[', ']', '{',
+    '}', '€',
 ];
 
 /// Total number of char-class slots (11 + 10 + 21 = 42).

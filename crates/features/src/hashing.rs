@@ -41,7 +41,11 @@ impl HashingVectorizer {
         let pairs = counts.iter().map(|(term, &c)| {
             let h = fnv1a(term.as_bytes());
             let idx = (h % self.dim as u64) as u32;
-            let sign = if self.signed && (h >> 63) == 1 { -1.0 } else { 1.0 };
+            let sign = if self.signed && (h >> 63) == 1 {
+                -1.0
+            } else {
+                1.0
+            };
             (idx, sign * c as f32)
         });
         SparseVector::from_pairs(pairs).l2_normalized()
@@ -119,7 +123,9 @@ mod tests {
     #[test]
     fn signed_hashing_allows_negative_values() {
         let v = HashingVectorizer::new(1 << 10, true);
-        let x = v.vectorize(&counts("many different grams produce both signs eventually"));
+        let x = v.vectorize(&counts(
+            "many different grams produce both signs eventually",
+        ));
         let has_negative = x.iter().any(|(_, val)| val < 0.0);
         let has_positive = x.iter().any(|(_, val)| val > 0.0);
         assert!(has_negative && has_positive);

@@ -37,8 +37,8 @@ pub mod sparse;
 pub mod tfidf;
 pub mod vocab;
 
-pub use pipeline::{CountedDoc, FeatureConfig, FeatureExtractor, FeatureSpace, PreparedDoc};
 pub use hashing::HashingVectorizer;
+pub use pipeline::{CountedDoc, FeatureConfig, FeatureExtractor, FeatureSpace, PreparedDoc};
 pub use sparse::SparseVector;
 pub use tfidf::TfIdf;
 pub use vocab::Vocabulary;

@@ -29,6 +29,7 @@ use crate::sparse::SparseVector;
 use crate::tfidf::TfIdf;
 use crate::vocab::{count_terms, VocabBuilder, Vocabulary};
 use darklight_activity::profile::{DailyActivityProfile, HOURS};
+use darklight_obs::{Counter, PipelineMetrics, Timer};
 use darklight_text::lemma::Lemmatizer;
 use darklight_text::token::{TokenKind, Tokenizer};
 
@@ -218,6 +219,18 @@ impl CountedDoc {
     }
 }
 
+/// Pre-resolved instruments for the vectorization hot path; all no-ops
+/// unless the extractor was given an enabled [`PipelineMetrics`].
+#[derive(Debug, Clone, Default)]
+struct SpaceInstruments {
+    /// Wall-clock per `vectorize_counted` call.
+    vectorize: Timer,
+    /// Documents vectorized in this space.
+    vectors: Counter,
+    /// Total non-zero entries across produced vectors.
+    nnz: Counter,
+}
+
 /// A fitted feature space: frozen vocabularies, IDF weights, and the block
 /// layout.
 #[derive(Debug, Clone)]
@@ -227,23 +240,63 @@ pub struct FeatureSpace {
     word_tfidf: TfIdf,
     char_vocab: Vocabulary,
     char_tfidf: TfIdf,
+    instruments: SpaceInstruments,
 }
 
 /// Fits [`FeatureSpace`]s on document collections.
 #[derive(Debug, Clone, Default)]
 pub struct FeatureExtractor {
     config: FeatureConfig,
+    metrics: PipelineMetrics,
 }
 
 impl FeatureExtractor {
     /// Creates an extractor with the given configuration.
     pub fn new(config: FeatureConfig) -> FeatureExtractor {
-        FeatureExtractor { config }
+        FeatureExtractor {
+            config,
+            metrics: PipelineMetrics::disabled(),
+        }
+    }
+
+    /// Records fit and vectorization activity into `metrics`; spaces
+    /// fitted afterwards inherit the handle.
+    pub fn with_metrics(mut self, metrics: PipelineMetrics) -> FeatureExtractor {
+        self.metrics = metrics;
+        self
     }
 
     /// The configuration.
     pub fn config(&self) -> &FeatureConfig {
         &self.config
+    }
+
+    /// Records the shape of a freshly fitted space and wires up the
+    /// hot-path instruments it will carry.
+    fn finish_space(&self, word_vocab: Vocabulary, char_vocab: Vocabulary) -> FeatureSpace {
+        let word_tfidf = TfIdf::fit(&word_vocab);
+        let char_tfidf = TfIdf::fit(&char_vocab);
+        let space = FeatureSpace {
+            config: self.config.clone(),
+            word_vocab,
+            word_tfidf,
+            char_vocab,
+            char_tfidf,
+            instruments: SpaceInstruments {
+                vectorize: self.metrics.timer("features.vectorize"),
+                vectors: self.metrics.counter("features.vectors"),
+                nnz: self.metrics.counter("features.vector_nnz"),
+            },
+        };
+        self.metrics.counter("features.fits").incr();
+        self.metrics
+            .gauge("features.word_vocab")
+            .set(space.word_vocab_len() as i64);
+        self.metrics
+            .gauge("features.char_vocab")
+            .set(space.char_vocab_len() as i64);
+        self.metrics.gauge("features.dim").set(space.dim() as i64);
+        space
     }
 
     /// Fits the vocabularies and IDF weights on `docs` (the paper fits on
@@ -253,6 +306,7 @@ impl FeatureExtractor {
     where
         I: IntoIterator<Item = &'a PreparedDoc>,
     {
+        let _fit = self.metrics.timer("features.fit").start();
         let mut word_builder = VocabBuilder::new();
         let mut char_builder = VocabBuilder::new();
         for doc in docs {
@@ -267,15 +321,7 @@ impl FeatureExtractor {
         }
         let word_vocab = word_builder.select_top(self.config.top_word_ngrams);
         let char_vocab = char_builder.select_top(self.config.top_char_ngrams);
-        let word_tfidf = TfIdf::fit(&word_vocab);
-        let char_tfidf = TfIdf::fit(&char_vocab);
-        FeatureSpace {
-            config: self.config.clone(),
-            word_vocab,
-            word_tfidf,
-            char_vocab,
-            char_tfidf,
-        }
+        self.finish_space(word_vocab, char_vocab)
     }
 
     /// Fits from precomputed [`CountedDoc`]s. The counts must have been
@@ -286,6 +332,7 @@ impl FeatureExtractor {
     where
         I: IntoIterator<Item = &'a CountedDoc>,
     {
+        let _fit = self.metrics.timer("features.fit").start();
         let mut word_builder = VocabBuilder::new();
         let mut char_builder = VocabBuilder::new();
         for doc in docs {
@@ -294,15 +341,7 @@ impl FeatureExtractor {
         }
         let word_vocab = word_builder.select_top(self.config.top_word_ngrams);
         let char_vocab = char_builder.select_top(self.config.top_char_ngrams);
-        let word_tfidf = TfIdf::fit(&word_vocab);
-        let char_tfidf = TfIdf::fit(&char_vocab);
-        FeatureSpace {
-            config: self.config.clone(),
-            word_vocab,
-            word_tfidf,
-            char_vocab,
-            char_tfidf,
-        }
+        self.finish_space(word_vocab, char_vocab)
     }
 }
 
@@ -351,7 +390,8 @@ impl FeatureSpace {
         doc: &PreparedDoc,
         activity: Option<&DailyActivityProfile>,
     ) -> SparseVector {
-        let counted = CountedDoc::from_prepared(doc, self.config.max_word_n, self.config.max_char_n);
+        let counted =
+            CountedDoc::from_prepared(doc, self.config.max_word_n, self.config.max_char_n);
         self.vectorize_counted(&counted, activity)
     }
 
@@ -361,11 +401,16 @@ impl FeatureSpace {
         doc: &CountedDoc,
         activity: Option<&DailyActivityProfile>,
     ) -> SparseVector {
-        let mut v = self.word_tfidf.transform(&self.word_vocab, &doc.word_counts);
+        let _vec = self.instruments.vectorize.start();
+        let mut v = self
+            .word_tfidf
+            .transform(&self.word_vocab, &doc.word_counts);
         v = v.l2_normalized();
         v.scale(self.config.word_weight);
 
-        let mut cv = self.char_tfidf.transform(&self.char_vocab, &doc.char_counts);
+        let mut cv = self
+            .char_tfidf
+            .transform(&self.char_vocab, &doc.char_counts);
         cv = cv.l2_normalized();
         cv.scale(self.config.char_weight);
         v.concat(&cv, self.char_offset());
@@ -398,7 +443,10 @@ impl FeatureSpace {
                 v.concat(&av, self.activity_offset());
             }
         }
-        v.l2_normalized()
+        let v = v.l2_normalized();
+        self.instruments.vectors.incr();
+        self.instruments.nnz.add(v.nnz() as u64);
+        v
     }
 }
 
@@ -525,6 +573,29 @@ mod tests {
             space.dim(),
             space.word_vocab_len() + space.char_vocab_len() + NUM_SLOTS + HOURS
         );
+    }
+
+    #[test]
+    fn metrics_capture_fit_shape_and_vector_activity() {
+        let metrics = PipelineMetrics::enabled();
+        let docs = [
+            prep("some words to fit the space on"),
+            prep("other words for the second document"),
+        ];
+        let space = FeatureExtractor::new(FeatureConfig::space_reduction())
+            .with_metrics(metrics.clone())
+            .fit(&docs);
+        let v = space.vectorize(&docs[0], None);
+        assert_eq!(metrics.counter("features.fits").get(), 1);
+        assert_eq!(metrics.timer("features.fit").count(), 1);
+        assert_eq!(metrics.gauge("features.dim").get() as usize, space.dim());
+        assert_eq!(
+            metrics.gauge("features.word_vocab").get() as usize,
+            space.word_vocab_len()
+        );
+        assert_eq!(metrics.counter("features.vectors").get(), 1);
+        assert_eq!(metrics.counter("features.vector_nnz").get(), v.nnz() as u64);
+        assert_eq!(metrics.timer("features.vectorize").count(), 1);
     }
 
     #[test]

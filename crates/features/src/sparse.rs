@@ -79,7 +79,10 @@ impl SparseVector {
 
     /// Iterates over `(index, value)` pairs in index order.
     pub fn iter(&self) -> impl Iterator<Item = (u32, f32)> + '_ {
-        self.indices.iter().copied().zip(self.values.iter().copied())
+        self.indices
+            .iter()
+            .copied()
+            .zip(self.values.iter().copied())
     }
 
     /// Dot product with another vector (linear merge, `f64` accumulation).

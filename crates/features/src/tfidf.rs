@@ -96,12 +96,7 @@ mod tests {
 
     #[test]
     fn idf_decreases_with_document_frequency() {
-        let (v, t) = fit_corpus(&[
-            &["common", "rare"],
-            &["common"],
-            &["common"],
-            &["common"],
-        ]);
+        let (v, t) = fit_corpus(&[&["common", "rare"], &["common"], &["common"], &["common"]]);
         let c = v.index_of("common").unwrap();
         let r = v.index_of("rare").unwrap();
         assert!(t.idf(r) > t.idf(c));

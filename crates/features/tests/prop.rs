@@ -7,13 +7,11 @@ use darklight_features::vocab::{count_terms, VocabBuilder};
 use proptest::prelude::*;
 
 fn sparse_strategy() -> impl Strategy<Value = SparseVector> {
-    proptest::collection::vec((0u32..500, -10.0f32..10.0), 0..40)
-        .prop_map(SparseVector::from_pairs)
+    proptest::collection::vec((0u32..500, -10.0f32..10.0), 0..40).prop_map(SparseVector::from_pairs)
 }
 
 fn nonneg_sparse_strategy() -> impl Strategy<Value = SparseVector> {
-    proptest::collection::vec((0u32..500, 0.01f32..10.0), 0..40)
-        .prop_map(SparseVector::from_pairs)
+    proptest::collection::vec((0u32..500, 0.01f32..10.0), 0..40).prop_map(SparseVector::from_pairs)
 }
 
 proptest! {

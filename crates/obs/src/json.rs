@@ -1,0 +1,245 @@
+//! A minimal JSON value tree and serializer.
+//!
+//! The observability subsystem must not pull in serde (the build
+//! environment is offline), so metric snapshots are rendered through this
+//! hand-rolled writer. Objects use [`BTreeMap`] so key order — and
+//! therefore the serialized bytes — are deterministic, which the golden
+//! schema tests rely on.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// One JSON value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// An unsigned integer (counters, bucket counts, nanosecond totals).
+    UInt(u64),
+    /// A signed integer (gauges).
+    Int(i64),
+    /// A finite float; NaN and infinities render as `null`.
+    Float(f64),
+    /// A string.
+    Str(String),
+    /// An ordered list.
+    Array(Vec<Json>),
+    /// A key-sorted object.
+    Object(BTreeMap<String, Json>),
+}
+
+impl Json {
+    /// An empty object.
+    pub fn object() -> Json {
+        Json::Object(BTreeMap::new())
+    }
+
+    /// Inserts `key` into an object value; panics on non-objects.
+    pub fn set(&mut self, key: &str, value: Json) {
+        match self {
+            Json::Object(map) => {
+                map.insert(key.to_string(), value);
+            }
+            other => panic!("Json::set on non-object {other:?}"),
+        }
+    }
+
+    /// The object's keys, if this is an object.
+    pub fn keys(&self) -> Vec<&str> {
+        match self {
+            Json::Object(map) => map.keys().map(String::as_str).collect(),
+            _ => Vec::new(),
+        }
+    }
+
+    /// Looks up `key` in an object value.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Object(map) => map.get(key),
+            _ => None,
+        }
+    }
+
+    /// Renders compact JSON (no whitespace).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out);
+        out
+    }
+
+    /// Renders human-readable JSON with two-space indentation.
+    pub fn render_pretty(&self) -> String {
+        let mut out = String::new();
+        self.write_pretty(&mut out, 0);
+        out.push('\n');
+        out
+    }
+
+    fn write(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::UInt(n) => {
+                let _ = write!(out, "{n}");
+            }
+            Json::Int(n) => {
+                let _ = write!(out, "{n}");
+            }
+            Json::Float(x) => write_float(out, *x),
+            Json::Str(s) => write_escaped(out, s),
+            Json::Array(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write(out);
+                }
+                out.push(']');
+            }
+            Json::Object(map) => {
+                out.push('{');
+                for (i, (key, value)) in map.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_escaped(out, key);
+                    out.push(':');
+                    value.write(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
+    fn write_pretty(&self, out: &mut String, depth: usize) {
+        match self {
+            Json::Array(items) if !items.is_empty() => {
+                out.push_str("[\n");
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(",\n");
+                    }
+                    indent(out, depth + 1);
+                    item.write_pretty(out, depth + 1);
+                }
+                out.push('\n');
+                indent(out, depth);
+                out.push(']');
+            }
+            Json::Object(map) if !map.is_empty() => {
+                out.push_str("{\n");
+                for (i, (key, value)) in map.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(",\n");
+                    }
+                    indent(out, depth + 1);
+                    write_escaped(out, key);
+                    out.push_str(": ");
+                    value.write_pretty(out, depth + 1);
+                }
+                out.push('\n');
+                indent(out, depth);
+                out.push('}');
+            }
+            other => other.write(out),
+        }
+    }
+}
+
+fn indent(out: &mut String, depth: usize) {
+    for _ in 0..depth {
+        out.push_str("  ");
+    }
+}
+
+fn write_float(out: &mut String, x: f64) {
+    if !x.is_finite() {
+        out.push_str("null");
+        return;
+    }
+    // `{}` on f64 round-trips; append `.0` so integral floats stay floats
+    // on re-read.
+    let s = format!("{x}");
+    out.push_str(&s);
+    if !s.contains('.') && !s.contains('e') {
+        out.push_str(".0");
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_scalars() {
+        assert_eq!(Json::Null.render(), "null");
+        assert_eq!(Json::Bool(true).render(), "true");
+        assert_eq!(Json::UInt(42).render(), "42");
+        assert_eq!(Json::Int(-7).render(), "-7");
+        assert_eq!(
+            Json::Str("a\"b\\c\nd".into()).render(),
+            "\"a\\\"b\\\\c\\nd\""
+        );
+    }
+
+    #[test]
+    fn floats_stay_floats_and_nonfinite_is_null() {
+        assert_eq!(Json::Float(1.5).render(), "1.5");
+        assert_eq!(Json::Float(3.0).render(), "3.0");
+        assert_eq!(Json::Float(f64::NAN).render(), "null");
+        assert_eq!(Json::Float(f64::INFINITY).render(), "null");
+    }
+
+    #[test]
+    fn objects_render_with_sorted_keys() {
+        let mut obj = Json::object();
+        obj.set("zebra", Json::UInt(1));
+        obj.set("apple", Json::UInt(2));
+        assert_eq!(obj.render(), "{\"apple\":2,\"zebra\":1}");
+    }
+
+    #[test]
+    fn nested_structures_round_trip_shape() {
+        let mut inner = Json::object();
+        inner.set("n", Json::UInt(3));
+        let root = Json::Array(vec![inner, Json::Null, Json::Bool(false)]);
+        assert_eq!(root.render(), "[{\"n\":3},null,false]");
+    }
+
+    #[test]
+    fn control_characters_are_escaped() {
+        assert_eq!(Json::Str("\u{01}".into()).render(), "\"\\u0001\"");
+    }
+
+    #[test]
+    fn pretty_rendering_is_indented_and_parseable_shape() {
+        let mut obj = Json::object();
+        obj.set("list", Json::Array(vec![Json::UInt(1), Json::UInt(2)]));
+        obj.set("empty", Json::object());
+        let pretty = obj.render_pretty();
+        assert!(pretty.contains("\"list\": [\n"));
+        assert!(pretty.contains("\"empty\": {}"));
+        assert!(pretty.ends_with("}\n"));
+    }
+}

@@ -8,78 +8,380 @@
 
 /// General-purpose nouns.
 pub const NOUNS: &[&str] = &[
-    "time", "year", "way", "day", "thing", "world", "life", "hand", "part", "place",
-    "week", "case", "point", "number", "group", "problem", "fact", "house", "room", "area",
-    "money", "story", "month", "book", "eye", "job", "word", "business", "issue", "side",
-    "kind", "head", "service", "friend", "power", "hour", "game", "line", "end", "member",
-    "law", "car", "city", "community", "name", "president", "team", "minute", "idea", "body",
-    "information", "parent", "face", "level", "office", "door", "health", "person", "art", "war",
-    "history", "party", "result", "change", "morning", "reason", "research", "moment", "air",
-    "teacher", "force", "education", "foot", "boy", "age", "policy", "process", "music",
-    "market", "sense", "nation", "plan", "college", "interest", "death", "experience", "effect",
-    "use", "class", "control", "care", "field", "development", "role", "effort", "rate",
-    "heart", "drug", "show", "leader", "light", "voice", "wife", "police", "mind", "price",
-    "report", "decision", "son", "view", "relationship", "town", "road", "arm", "difference",
-    "value", "building", "action", "model", "season", "society", "tax", "director", "position",
-    "player", "record", "paper", "space", "ground", "form", "event", "official", "matter",
-    "center", "couple", "site", "project", "activity", "star", "table", "need", "court",
-    "oil", "situation", "cost", "industry", "figure", "street", "image", "phone", "data",
-    "picture", "practice", "piece", "land", "product", "doctor", "wall", "patient", "worker",
-    "news", "test", "movie", "north", "love", "support", "technology", "step", "baby",
-    "computer", "type", "attention", "film", "tree", "source", "truth", "seat", "state",
-    "weekend", "package", "order", "review", "quality", "vendor", "account", "address",
-    "batch", "sample", "dose", "gram", "shipment", "wallet", "forum", "thread", "post",
-    "message", "profile", "link", "server", "network", "browser", "keyboard", "screen",
+    "time",
+    "year",
+    "way",
+    "day",
+    "thing",
+    "world",
+    "life",
+    "hand",
+    "part",
+    "place",
+    "week",
+    "case",
+    "point",
+    "number",
+    "group",
+    "problem",
+    "fact",
+    "house",
+    "room",
+    "area",
+    "money",
+    "story",
+    "month",
+    "book",
+    "eye",
+    "job",
+    "word",
+    "business",
+    "issue",
+    "side",
+    "kind",
+    "head",
+    "service",
+    "friend",
+    "power",
+    "hour",
+    "game",
+    "line",
+    "end",
+    "member",
+    "law",
+    "car",
+    "city",
+    "community",
+    "name",
+    "president",
+    "team",
+    "minute",
+    "idea",
+    "body",
+    "information",
+    "parent",
+    "face",
+    "level",
+    "office",
+    "door",
+    "health",
+    "person",
+    "art",
+    "war",
+    "history",
+    "party",
+    "result",
+    "change",
+    "morning",
+    "reason",
+    "research",
+    "moment",
+    "air",
+    "teacher",
+    "force",
+    "education",
+    "foot",
+    "boy",
+    "age",
+    "policy",
+    "process",
+    "music",
+    "market",
+    "sense",
+    "nation",
+    "plan",
+    "college",
+    "interest",
+    "death",
+    "experience",
+    "effect",
+    "use",
+    "class",
+    "control",
+    "care",
+    "field",
+    "development",
+    "role",
+    "effort",
+    "rate",
+    "heart",
+    "drug",
+    "show",
+    "leader",
+    "light",
+    "voice",
+    "wife",
+    "police",
+    "mind",
+    "price",
+    "report",
+    "decision",
+    "son",
+    "view",
+    "relationship",
+    "town",
+    "road",
+    "arm",
+    "difference",
+    "value",
+    "building",
+    "action",
+    "model",
+    "season",
+    "society",
+    "tax",
+    "director",
+    "position",
+    "player",
+    "record",
+    "paper",
+    "space",
+    "ground",
+    "form",
+    "event",
+    "official",
+    "matter",
+    "center",
+    "couple",
+    "site",
+    "project",
+    "activity",
+    "star",
+    "table",
+    "need",
+    "court",
+    "oil",
+    "situation",
+    "cost",
+    "industry",
+    "figure",
+    "street",
+    "image",
+    "phone",
+    "data",
+    "picture",
+    "practice",
+    "piece",
+    "land",
+    "product",
+    "doctor",
+    "wall",
+    "patient",
+    "worker",
+    "news",
+    "test",
+    "movie",
+    "north",
+    "love",
+    "support",
+    "technology",
+    "step",
+    "baby",
+    "computer",
+    "type",
+    "attention",
+    "film",
+    "tree",
+    "source",
+    "truth",
+    "seat",
+    "state",
+    "weekend",
+    "package",
+    "order",
+    "review",
+    "quality",
+    "vendor",
+    "account",
+    "address",
+    "batch",
+    "sample",
+    "dose",
+    "gram",
+    "shipment",
+    "wallet",
+    "forum",
+    "thread",
+    "post",
+    "message",
+    "profile",
+    "link",
+    "server",
+    "network",
+    "browser",
+    "keyboard",
+    "screen",
 ];
 
 /// Verbs in base form; inflection via [`inflect`].
 pub const VERBS: &[&str] = &[
-    "ask", "work", "seem", "feel", "try", "call", "need", "mean", "keep", "let",
-    "begin", "help", "talk", "turn", "start", "show", "hear", "play", "run", "move",
-    "like", "live", "believe", "hold", "bring", "happen", "write", "provide", "sit", "stand",
-    "lose", "pay", "meet", "include", "continue", "set", "learn", "change", "lead", "watch",
-    "follow", "stop", "create", "speak", "read", "allow", "add", "spend", "grow", "open",
-    "walk", "win", "offer", "remember", "love", "consider", "appear", "buy", "wait", "serve",
-    "die", "send", "expect", "build", "stay", "fall", "cut", "reach", "kill", "remain",
-    "suggest", "raise", "pass", "sell", "require", "report", "decide", "pull", "return",
-    "explain", "hope", "develop", "carry", "break", "receive", "agree", "support", "hit",
-    "produce", "eat", "cover", "catch", "draw", "choose", "wish", "drop", "seek", "deal",
-    "ship", "order", "arrive", "pack", "test", "review", "trust", "scam", "refund", "track",
-    "smoke", "trip", "dose", "vape", "roll", "chill", "grind", "stack", "trade", "mine",
-    "post", "lurk", "reply", "upvote", "stream", "download", "install", "click", "scroll",
-    "browse", "share", "search", "save", "check", "wonder", "notice", "enjoy", "avoid",
+    "ask", "work", "seem", "feel", "try", "call", "need", "mean", "keep", "let", "begin", "help",
+    "talk", "turn", "start", "show", "hear", "play", "run", "move", "like", "live", "believe",
+    "hold", "bring", "happen", "write", "provide", "sit", "stand", "lose", "pay", "meet",
+    "include", "continue", "set", "learn", "change", "lead", "watch", "follow", "stop", "create",
+    "speak", "read", "allow", "add", "spend", "grow", "open", "walk", "win", "offer", "remember",
+    "love", "consider", "appear", "buy", "wait", "serve", "die", "send", "expect", "build", "stay",
+    "fall", "cut", "reach", "kill", "remain", "suggest", "raise", "pass", "sell", "require",
+    "report", "decide", "pull", "return", "explain", "hope", "develop", "carry", "break",
+    "receive", "agree", "support", "hit", "produce", "eat", "cover", "catch", "draw", "choose",
+    "wish", "drop", "seek", "deal", "ship", "order", "arrive", "pack", "test", "review", "trust",
+    "scam", "refund", "track", "smoke", "trip", "dose", "vape", "roll", "chill", "grind", "stack",
+    "trade", "mine", "post", "lurk", "reply", "upvote", "stream", "download", "install", "click",
+    "scroll", "browse", "share", "search", "save", "check", "wonder", "notice", "enjoy", "avoid",
 ];
 
 /// Adjectives.
 pub const ADJS: &[&str] = &[
-    "good", "new", "first", "last", "long", "great", "little", "own", "other", "old",
-    "right", "big", "high", "different", "small", "large", "next", "early", "young",
-    "important", "few", "public", "bad", "same", "able", "free", "sure", "better", "whole",
-    "clear", "certain", "fast", "cheap", "strong", "possible", "late", "general", "easy",
-    "serious", "ready", "simple", "left", "hard", "special", "open", "wrong", "true",
-    "nice", "huge", "popular", "rare", "common", "quick", "slow", "deep", "warm", "cold",
-    "dark", "light", "heavy", "clean", "dirty", "pure", "solid", "weird", "crazy", "calm",
-    "happy", "sad", "angry", "tired", "busy", "lazy", "quiet", "loud", "safe", "risky",
-    "legit", "sketchy", "smooth", "rough", "fresh", "stale", "decent", "awesome", "terrible",
-    "amazing", "horrible", "perfect", "average", "reliable", "stealthy", "generous", "honest",
-    "careful", "careless", "patient", "friendly", "helpful", "useless", "useful", "pricey",
+    "good",
+    "new",
+    "first",
+    "last",
+    "long",
+    "great",
+    "little",
+    "own",
+    "other",
+    "old",
+    "right",
+    "big",
+    "high",
+    "different",
+    "small",
+    "large",
+    "next",
+    "early",
+    "young",
+    "important",
+    "few",
+    "public",
+    "bad",
+    "same",
+    "able",
+    "free",
+    "sure",
+    "better",
+    "whole",
+    "clear",
+    "certain",
+    "fast",
+    "cheap",
+    "strong",
+    "possible",
+    "late",
+    "general",
+    "easy",
+    "serious",
+    "ready",
+    "simple",
+    "left",
+    "hard",
+    "special",
+    "open",
+    "wrong",
+    "true",
+    "nice",
+    "huge",
+    "popular",
+    "rare",
+    "common",
+    "quick",
+    "slow",
+    "deep",
+    "warm",
+    "cold",
+    "dark",
+    "light",
+    "heavy",
+    "clean",
+    "dirty",
+    "pure",
+    "solid",
+    "weird",
+    "crazy",
+    "calm",
+    "happy",
+    "sad",
+    "angry",
+    "tired",
+    "busy",
+    "lazy",
+    "quiet",
+    "loud",
+    "safe",
+    "risky",
+    "legit",
+    "sketchy",
+    "smooth",
+    "rough",
+    "fresh",
+    "stale",
+    "decent",
+    "awesome",
+    "terrible",
+    "amazing",
+    "horrible",
+    "perfect",
+    "average",
+    "reliable",
+    "stealthy",
+    "generous",
+    "honest",
+    "careful",
+    "careless",
+    "patient",
+    "friendly",
+    "helpful",
+    "useless",
+    "useful",
+    "pricey",
 ];
 
 /// Adverbs and discourse markers.
 pub const ADVS: &[&str] = &[
-    "really", "actually", "probably", "definitely", "basically", "honestly", "usually",
-    "always", "never", "often", "sometimes", "rarely", "quickly", "slowly", "easily",
-    "barely", "nearly", "mostly", "totally", "completely", "absolutely", "literally",
-    "seriously", "apparently", "obviously", "clearly", "certainly", "recently", "finally",
-    "eventually", "suddenly", "carefully", "exactly", "directly", "simply", "highly",
+    "really",
+    "actually",
+    "probably",
+    "definitely",
+    "basically",
+    "honestly",
+    "usually",
+    "always",
+    "never",
+    "often",
+    "sometimes",
+    "rarely",
+    "quickly",
+    "slowly",
+    "easily",
+    "barely",
+    "nearly",
+    "mostly",
+    "totally",
+    "completely",
+    "absolutely",
+    "literally",
+    "seriously",
+    "apparently",
+    "obviously",
+    "clearly",
+    "certainly",
+    "recently",
+    "finally",
+    "eventually",
+    "suddenly",
+    "carefully",
+    "exactly",
+    "directly",
+    "simply",
+    "highly",
 ];
 
 /// Internet slang tokens.
 pub const SLANG: &[&str] = &[
-    "lol", "lmao", "tbh", "imo", "imho", "ngl", "fr", "smh", "idk", "irl",
-    "btw", "afaik", "iirc", "fwiw", "tldr", "yolo", "based", "sus", "lowkey", "highkey",
-    "deadass", "bet", "fam", "bruh", "yikes", "oof", "welp", "meh", "nah", "yeah",
-    "kinda", "sorta", "gonna", "wanna", "gotta", "dunno", "ain't", "y'all", "tho", "cuz",
+    "lol", "lmao", "tbh", "imo", "imho", "ngl", "fr", "smh", "idk", "irl", "btw", "afaik", "iirc",
+    "fwiw", "tldr", "yolo", "based", "sus", "lowkey", "highkey", "deadass", "bet", "fam", "bruh",
+    "yikes", "oof", "welp", "meh", "nah", "yeah", "kinda", "sorta", "gonna", "wanna", "gotta",
+    "dunno", "ain't", "y'all", "tho", "cuz",
 ];
 
 /// Groups of interchangeable spellings; each author settles on one variant
@@ -133,116 +435,327 @@ pub const TOPICS: &[TopicLexicon] = &[
         name: "Culture",
         communities: &["science", "books", "history", "philosophy", "art"],
         words: &[
-            "study", "theory", "author", "novel", "culture", "museum", "painting", "poem",
-            "ancient", "civilization", "language", "literature", "essay", "scientist",
-            "experiment", "evidence", "journal", "professor", "lecture", "library",
+            "study",
+            "theory",
+            "author",
+            "novel",
+            "culture",
+            "museum",
+            "painting",
+            "poem",
+            "ancient",
+            "civilization",
+            "language",
+            "literature",
+            "essay",
+            "scientist",
+            "experiment",
+            "evidence",
+            "journal",
+            "professor",
+            "lecture",
+            "library",
         ],
     },
     TopicLexicon {
         name: "Cryptocurrencies",
         communities: &["bitcoin", "cryptocurrency", "monero", "ethtrader", "btc"],
         words: &[
-            "bitcoin", "monero", "wallet", "blockchain", "exchange", "satoshi", "mining",
-            "ledger", "transaction", "fee", "mempool", "coin", "token", "address", "key",
-            "hodl", "pump", "dump", "fiat", "altcoin", "hash", "node", "confirmation",
+            "bitcoin",
+            "monero",
+            "wallet",
+            "blockchain",
+            "exchange",
+            "satoshi",
+            "mining",
+            "ledger",
+            "transaction",
+            "fee",
+            "mempool",
+            "coin",
+            "token",
+            "address",
+            "key",
+            "hodl",
+            "pump",
+            "dump",
+            "fiat",
+            "altcoin",
+            "hash",
+            "node",
+            "confirmation",
         ],
     },
     TopicLexicon {
         name: "Drugs",
-        communities: &["darknetmarkets", "drugs", "lsd", "mdma", "opiates", "trees", "psychonaut"],
+        communities: &[
+            "darknetmarkets",
+            "drugs",
+            "lsd",
+            "mdma",
+            "opiates",
+            "trees",
+            "psychonaut",
+        ],
         words: &[
-            "acid", "molly", "shrooms", "tabs", "dose", "trip", "high", "stash", "bud",
-            "edible", "tolerance", "comedown", "microdose", "blotter", "crystal", "powder",
-            "stealth", "vacuum", "sealed", "reship", "escrow", "finalize", "vendor", "bunk",
+            "acid",
+            "molly",
+            "shrooms",
+            "tabs",
+            "dose",
+            "trip",
+            "high",
+            "stash",
+            "bud",
+            "edible",
+            "tolerance",
+            "comedown",
+            "microdose",
+            "blotter",
+            "crystal",
+            "powder",
+            "stealth",
+            "vacuum",
+            "sealed",
+            "reship",
+            "escrow",
+            "finalize",
+            "vendor",
+            "bunk",
         ],
     },
     TopicLexicon {
         name: "Entertainment",
         communities: &["pics", "funny", "movies", "television", "music", "videos"],
         words: &[
-            "movie", "episode", "season", "album", "band", "concert", "trailer", "actor",
-            "scene", "soundtrack", "meme", "clip", "channel", "stream", "playlist", "show",
-            "director", "sequel", "plot", "character",
+            "movie",
+            "episode",
+            "season",
+            "album",
+            "band",
+            "concert",
+            "trailer",
+            "actor",
+            "scene",
+            "soundtrack",
+            "meme",
+            "clip",
+            "channel",
+            "stream",
+            "playlist",
+            "show",
+            "director",
+            "sequel",
+            "plot",
+            "character",
         ],
     },
     TopicLexicon {
         name: "Financial",
         communities: &["personalfinance", "investing", "stocks"],
         words: &[
-            "budget", "savings", "loan", "credit", "debt", "interest", "mortgage", "salary",
-            "invest", "portfolio", "stock", "dividend", "retirement", "bank", "account",
-            "income", "expense", "insurance",
+            "budget",
+            "savings",
+            "loan",
+            "credit",
+            "debt",
+            "interest",
+            "mortgage",
+            "salary",
+            "invest",
+            "portfolio",
+            "stock",
+            "dividend",
+            "retirement",
+            "bank",
+            "account",
+            "income",
+            "expense",
+            "insurance",
         ],
     },
     TopicLexicon {
         name: "Lifestyle/Sports",
-        communities: &["lifeprotips", "fitness", "soccer", "nba", "running", "cooking"],
+        communities: &[
+            "lifeprotips",
+            "fitness",
+            "soccer",
+            "nba",
+            "running",
+            "cooking",
+        ],
         words: &[
-            "workout", "gym", "recipe", "protein", "training", "match", "goal", "league",
-            "coach", "diet", "routine", "stretch", "marathon", "bike", "hike", "yoga",
-            "kitchen", "meal", "season", "score",
+            "workout", "gym", "recipe", "protein", "training", "match", "goal", "league", "coach",
+            "diet", "routine", "stretch", "marathon", "bike", "hike", "yoga", "kitchen", "meal",
+            "season", "score",
         ],
     },
     TopicLexicon {
         name: "News",
         communities: &["worldnews", "news", "upliftingnews"],
         words: &[
-            "government", "minister", "election", "protest", "economy", "crisis", "border",
-            "treaty", "sanction", "investigation", "statement", "journalist", "headline",
-            "breaking", "conference", "summit", "reform",
+            "government",
+            "minister",
+            "election",
+            "protest",
+            "economy",
+            "crisis",
+            "border",
+            "treaty",
+            "sanction",
+            "investigation",
+            "statement",
+            "journalist",
+            "headline",
+            "breaking",
+            "conference",
+            "summit",
+            "reform",
         ],
     },
     TopicLexicon {
         name: "Places",
         communities: &["canada", "europe", "australia", "unitedkingdom", "toronto"],
         words: &[
-            "province", "downtown", "border", "winter", "summer", "flight", "airport",
-            "tourist", "neighborhood", "rent", "transit", "suburb", "coast", "island",
-            "mountain", "lake", "highway",
+            "province",
+            "downtown",
+            "border",
+            "winter",
+            "summer",
+            "flight",
+            "airport",
+            "tourist",
+            "neighborhood",
+            "rent",
+            "transit",
+            "suburb",
+            "coast",
+            "island",
+            "mountain",
+            "lake",
+            "highway",
         ],
     },
     TopicLexicon {
         name: "Politics",
         communities: &["politics", "politicaldiscussion", "libertarian"],
         words: &[
-            "senate", "congress", "vote", "campaign", "candidate", "policy", "liberal",
-            "conservative", "debate", "scandal", "poll", "supreme", "amendment", "bill",
-            "party", "president", "governor",
+            "senate",
+            "congress",
+            "vote",
+            "campaign",
+            "candidate",
+            "policy",
+            "liberal",
+            "conservative",
+            "debate",
+            "scandal",
+            "poll",
+            "supreme",
+            "amendment",
+            "bill",
+            "party",
+            "president",
+            "governor",
         ],
     },
     TopicLexicon {
         name: "R18+",
         communities: &["sex", "nsfw", "gonewild"],
         words: &[
-            "relationship", "partner", "dating", "intimate", "attraction", "consent",
-            "romance", "flirt", "crush", "breakup", "marriage", "divorce",
+            "relationship",
+            "partner",
+            "dating",
+            "intimate",
+            "attraction",
+            "consent",
+            "romance",
+            "flirt",
+            "crush",
+            "breakup",
+            "marriage",
+            "divorce",
         ],
     },
     TopicLexicon {
         name: "Psychological help",
         communities: &["getmotivated", "depression", "anxiety", "selfimprovement"],
         words: &[
-            "therapy", "therapist", "anxiety", "depression", "motivation", "mindfulness",
-            "meditation", "habit", "journal", "gratitude", "burnout", "stress", "panic",
-            "healing", "recovery", "selfcare",
+            "therapy",
+            "therapist",
+            "anxiety",
+            "depression",
+            "motivation",
+            "mindfulness",
+            "meditation",
+            "habit",
+            "journal",
+            "gratitude",
+            "burnout",
+            "stress",
+            "panic",
+            "healing",
+            "recovery",
+            "selfcare",
         ],
     },
     TopicLexicon {
         name: "Tech/Tor",
         communities: &["technology", "tor", "privacy", "linux", "netsec"],
         words: &[
-            "encryption", "onion", "relay", "circuit", "privacy", "vpn", "firewall",
-            "kernel", "server", "protocol", "exploit", "patch", "password", "hash",
-            "opsec", "metadata", "fingerprint", "bridge", "hidden", "node",
+            "encryption",
+            "onion",
+            "relay",
+            "circuit",
+            "privacy",
+            "vpn",
+            "firewall",
+            "kernel",
+            "server",
+            "protocol",
+            "exploit",
+            "patch",
+            "password",
+            "hash",
+            "opsec",
+            "metadata",
+            "fingerprint",
+            "bridge",
+            "hidden",
+            "node",
         ],
     },
     TopicLexicon {
         name: "Videogame",
-        communities: &["gaming", "leagueoflegends", "fallout", "globaloffensive", "wow"],
+        communities: &[
+            "gaming",
+            "leagueoflegends",
+            "fallout",
+            "globaloffensive",
+            "wow",
+        ],
         words: &[
-            "quest", "loot", "raid", "server", "lag", "patch", "nerf", "buff", "spawn",
-            "respawn", "ranked", "ladder", "guild", "clan", "skin", "dlc", "console",
-            "controller", "fps", "rpg", "speedrun",
+            "quest",
+            "loot",
+            "raid",
+            "server",
+            "lag",
+            "patch",
+            "nerf",
+            "buff",
+            "spawn",
+            "respawn",
+            "ranked",
+            "ladder",
+            "guild",
+            "clan",
+            "skin",
+            "dlc",
+            "console",
+            "controller",
+            "fps",
+            "rpg",
+            "speedrun",
         ],
     },
 ];
@@ -253,64 +766,151 @@ pub const DRUGS_TOPIC: usize = 2;
 
 /// Cities for identity facts, with their country.
 pub const CITIES: &[(&str, &str)] = &[
-    ("edmonton", "canada"), ("toronto", "canada"), ("vancouver", "canada"),
-    ("miami", "usa"), ("new york", "usa"), ("seattle", "usa"), ("denver", "usa"),
-    ("portland", "usa"), ("austin", "usa"), ("chicago", "usa"),
-    ("london", "uk"), ("manchester", "uk"), ("bristol", "uk"),
-    ("berlin", "germany"), ("hamburg", "germany"), ("munich", "germany"),
-    ("amsterdam", "netherlands"), ("rotterdam", "netherlands"),
-    ("sydney", "australia"), ("melbourne", "australia"), ("brisbane", "australia"),
-    ("warsaw", "poland"), ("krakow", "poland"), ("dublin", "ireland"),
-    ("stockholm", "sweden"), ("oslo", "norway"), ("helsinki", "finland"),
-    ("paris", "france"), ("lyon", "france"), ("madrid", "spain"),
+    ("edmonton", "canada"),
+    ("toronto", "canada"),
+    ("vancouver", "canada"),
+    ("miami", "usa"),
+    ("new york", "usa"),
+    ("seattle", "usa"),
+    ("denver", "usa"),
+    ("portland", "usa"),
+    ("austin", "usa"),
+    ("chicago", "usa"),
+    ("london", "uk"),
+    ("manchester", "uk"),
+    ("bristol", "uk"),
+    ("berlin", "germany"),
+    ("hamburg", "germany"),
+    ("munich", "germany"),
+    ("amsterdam", "netherlands"),
+    ("rotterdam", "netherlands"),
+    ("sydney", "australia"),
+    ("melbourne", "australia"),
+    ("brisbane", "australia"),
+    ("warsaw", "poland"),
+    ("krakow", "poland"),
+    ("dublin", "ireland"),
+    ("stockholm", "sweden"),
+    ("oslo", "norway"),
+    ("helsinki", "finland"),
+    ("paris", "france"),
+    ("lyon", "france"),
+    ("madrid", "spain"),
 ];
 
 /// Religions for identity facts.
-pub const RELIGIONS: &[&str] = &["christian", "atheist", "agnostic", "buddhist", "jewish", "muslim"];
+pub const RELIGIONS: &[&str] = &[
+    "christian",
+    "atheist",
+    "agnostic",
+    "buddhist",
+    "jewish",
+    "muslim",
+];
 
 /// Political leanings for identity facts.
-pub const POLITICS: &[&str] = &["left", "right", "libertarian", "centrist", "green", "apolitical"];
+pub const POLITICS: &[&str] = &[
+    "left",
+    "right",
+    "libertarian",
+    "centrist",
+    "green",
+    "apolitical",
+];
 
 /// Drugs for identity facts and vendor complaints.
 pub const DRUGS: &[&str] = &[
-    "lsd", "mdma", "molly", "shrooms", "ketamine", "dmt", "mescaline", "weed", "hash",
-    "adderall", "xanax", "oxy", "2cb", "nbome", "speed", "cocaine",
+    "lsd",
+    "mdma",
+    "molly",
+    "shrooms",
+    "ketamine",
+    "dmt",
+    "mescaline",
+    "weed",
+    "hash",
+    "adderall",
+    "xanax",
+    "oxy",
+    "2cb",
+    "nbome",
+    "speed",
+    "cocaine",
 ];
 
 /// Hobbies for identity facts.
 pub const HOBBIES: &[&str] = &[
-    "yoga", "cooking", "hiking", "climbing", "chess", "guitar", "piano", "photography",
-    "gardening", "fishing", "painting", "skateboarding", "snowboarding", "cycling",
-    "gaming", "reading", "writing", "woodworking", "brewing", "astronomy",
+    "yoga",
+    "cooking",
+    "hiking",
+    "climbing",
+    "chess",
+    "guitar",
+    "piano",
+    "photography",
+    "gardening",
+    "fishing",
+    "painting",
+    "skateboarding",
+    "snowboarding",
+    "cycling",
+    "gaming",
+    "reading",
+    "writing",
+    "woodworking",
+    "brewing",
+    "astronomy",
 ];
 
 /// Devices for identity facts.
 pub const DEVICES: &[&str] = &[
-    "galaxy s4", "galaxy s7", "iphone 6", "iphone 7", "pixel 2", "oneplus 5",
-    "thinkpad x220", "macbook pro", "nexus 5", "xperia z3", "moto g5", "htc one",
+    "galaxy s4",
+    "galaxy s7",
+    "iphone 6",
+    "iphone 7",
+    "pixel 2",
+    "oneplus 5",
+    "thinkpad x220",
+    "macbook pro",
+    "nexus 5",
+    "xperia z3",
+    "moto g5",
+    "htc one",
 ];
 
 /// Jobs for identity facts.
 pub const JOBS: &[&str] = &[
-    "warehouse worker", "bartender", "line cook", "electrician", "nurse", "student",
-    "programmer", "graphic designer", "teacher", "delivery driver", "mechanic",
-    "accountant", "barista", "security guard", "carpenter",
+    "warehouse worker",
+    "bartender",
+    "line cook",
+    "electrician",
+    "nurse",
+    "student",
+    "programmer",
+    "graphic designer",
+    "teacher",
+    "delivery driver",
+    "mechanic",
+    "accountant",
+    "barista",
+    "security guard",
+    "carpenter",
 ];
 
 /// Alias-name fragments for generating nicknames.
 pub const ALIAS_HEADS: &[&str] = &[
     "dark", "acid", "crypto", "ghost", "silent", "midnight", "neon", "frozen", "cosmic",
-    "electric", "mystic", "shadow", "lucid", "velvet", "quantum", "solar", "lunar",
-    "digital", "phantom", "emerald", "crimson", "golden", "silver", "iron", "wild",
-    "happy", "sleepy", "sneaky", "dizzy", "funky", "grumpy", "mellow", "spicy",
+    "electric", "mystic", "shadow", "lucid", "velvet", "quantum", "solar", "lunar", "digital",
+    "phantom", "emerald", "crimson", "golden", "silver", "iron", "wild", "happy", "sleepy",
+    "sneaky", "dizzy", "funky", "grumpy", "mellow", "spicy",
 ];
 
 /// Alias-name tails.
 pub const ALIAS_TAILS: &[&str] = &[
-    "wizard", "garden", "rider", "panda", "falcon", "wolf", "tiger", "sailor", "monk",
-    "pirate", "baron", "queen", "king", "rabbit", "fox", "owl", "raven", "serpent",
-    "traveler", "dreamer", "walker", "runner", "dealer", "trader", "smith", "hunter",
-    "farmer", "painter", "poet", "prophet", "nomad", "hermit", "jester", "knight",
+    "wizard", "garden", "rider", "panda", "falcon", "wolf", "tiger", "sailor", "monk", "pirate",
+    "baron", "queen", "king", "rabbit", "fox", "owl", "raven", "serpent", "traveler", "dreamer",
+    "walker", "runner", "dealer", "trader", "smith", "hunter", "farmer", "painter", "poet",
+    "prophet", "nomad", "hermit", "jester", "knight",
 ];
 
 /// Inflections of a verb or noun that our lemmatizer maps back to the base.
@@ -357,11 +957,7 @@ pub fn inflect(base: &str, inflection: Inflection) -> String {
         Inflection::Base => base.to_string(),
         Inflection::S => {
             if let Some(stem) = base.strip_suffix('y') {
-                if stem
-                    .as_bytes()
-                    .last()
-                    .is_some_and(|&b| !is_vowel(b))
-                {
+                if stem.as_bytes().last().is_some_and(|&b| !is_vowel(b)) {
                     return format!("{stem}ies");
                 }
             }

@@ -78,8 +78,7 @@ pub fn bot_user(rng: &mut impl Rng, temporal: &TemporalGenome, posts: usize) -> 
         format!("{}bot", alias_name(rng))
     };
     let mut user = User::new(alias, None);
-    let service = ["tip", "mirror", "archive", "remind", "translate"]
-        [rng.random_range(0..5)];
+    let service = ["tip", "mirror", "archive", "remind", "translate"][rng.random_range(0..5)];
     for i in 0..posts {
         let text = format!(
             "beep boop i am a {service} bot. this action was performed automatically. \
@@ -95,12 +94,16 @@ pub fn bot_user(rng: &mut impl Rng, temporal: &TemporalGenome, posts: usize) -> 
 /// pitches that the diversity-ratio filter (step 6) should drop.
 pub fn spam_user(rng: &mut impl Rng, temporal: &TemporalGenome, posts: usize) -> User {
     let mut user = User::new(alias_name(rng), None);
-    let pitch = ["best deals best deals best deals",
+    let pitch = [
+        "best deals best deals best deals",
         "buy now buy now buy now buy now",
-        "cheap cheap cheap quality quality quality"][rng.random_range(0..3)];
+        "cheap cheap cheap quality quality quality",
+    ][rng.random_range(0..3)];
     for _ in 0..posts {
         let reps = rng.random_range(3..6);
-        let text = std::iter::repeat_n(pitch, reps).collect::<Vec<_>>().join(" ");
+        let text = std::iter::repeat_n(pitch, reps)
+            .collect::<Vec<_>>()
+            .join(" ");
         user.posts
             .push(Post::new(text, temporal.sample_timestamp(rng)));
     }
@@ -211,13 +214,13 @@ mod tests {
     fn foreign_users_fail_language_filter() {
         let det = darklight_text::langdetect::LanguageDetector::new();
         let t = temporal(5);
-        for lang in [ForeignLang::Spanish, ForeignLang::German, ForeignLang::French] {
+        for lang in [
+            ForeignLang::Spanish,
+            ForeignLang::German,
+            ForeignLang::French,
+        ] {
             let u = foreign_user(&mut rng(6), &t, lang, 5);
-            let non_english = u
-                .posts
-                .iter()
-                .filter(|p| !det.is_english(&p.text))
-                .count();
+            let non_english = u.posts.iter().filter(|p| !det.is_english(&p.text)).count();
             assert!(
                 non_english * 2 > u.posts.len(),
                 "{lang:?}: only {non_english}/{} rejected",

@@ -33,7 +33,10 @@ impl Persona {
     pub fn sample(rng: &mut impl Rng, id: u64, style_strength: f64) -> Persona {
         let mut facts = Vec::new();
         let (city, country) = CITIES[rng.random_range(0..CITIES.len())];
-        facts.push(Fact::new(FactKind::Age, rng.random_range(18..46).to_string()));
+        facts.push(Fact::new(
+            FactKind::Age,
+            rng.random_range(18..46).to_string(),
+        ));
         facts.push(Fact::new(FactKind::City, city));
         facts.push(Fact::new(FactKind::Country, country));
         facts.push(Fact::new(
@@ -45,7 +48,10 @@ impl Persona {
             POLITICS[rng.random_range(0..POLITICS.len())],
         ));
         for _ in 0..rng.random_range(1..=3) {
-            facts.push(Fact::new(FactKind::Drug, DRUGS[rng.random_range(0..DRUGS.len())]));
+            facts.push(Fact::new(
+                FactKind::Drug,
+                DRUGS[rng.random_range(0..DRUGS.len())],
+            ));
         }
         for _ in 0..rng.random_range(1..=3) {
             facts.push(Fact::new(
@@ -57,7 +63,10 @@ impl Persona {
             FactKind::Device,
             DEVICES[rng.random_range(0..DEVICES.len())],
         ));
-        facts.push(Fact::new(FactKind::Job, JOBS[rng.random_range(0..JOBS.len())]));
+        facts.push(Fact::new(
+            FactKind::Job,
+            JOBS[rng.random_range(0..JOBS.len())],
+        ));
         // A distinctive vendor complaint (strong evidence when shared).
         let vendor = alias_name(rng);
         let drug = DRUGS[rng.random_range(0..DRUGS.len())];
@@ -167,8 +176,7 @@ mod tests {
     fn persona_has_full_fact_sheet() {
         let p = Persona::sample(&mut rng(1), 42, 1.0);
         assert_eq!(p.id, 42);
-        let kinds: std::collections::HashSet<FactKind> =
-            p.facts.iter().map(|f| f.kind).collect();
+        let kinds: std::collections::HashSet<FactKind> = p.facts.iter().map(|f| f.kind).collect();
         for required in [
             FactKind::Age,
             FactKind::City,

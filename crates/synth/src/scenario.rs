@@ -278,9 +278,21 @@ impl ScenarioBuilder {
             memberships.push((p, vec![ForumKind::Reddit, ForumKind::DreamMarket]));
         }
         let residents = [
-            (ForumKind::Reddit, cfg.reddit_users.saturating_sub(cfg.cross_reddit_tmg + cfg.cross_reddit_dm)),
-            (ForumKind::MajesticGarden, cfg.tmg_users.saturating_sub(cfg.cross_tmg_dm + cfg.cross_reddit_tmg)),
-            (ForumKind::DreamMarket, cfg.dm_users.saturating_sub(cfg.cross_tmg_dm + cfg.cross_reddit_dm)),
+            (
+                ForumKind::Reddit,
+                cfg.reddit_users
+                    .saturating_sub(cfg.cross_reddit_tmg + cfg.cross_reddit_dm),
+            ),
+            (
+                ForumKind::MajesticGarden,
+                cfg.tmg_users
+                    .saturating_sub(cfg.cross_tmg_dm + cfg.cross_reddit_tmg),
+            ),
+            (
+                ForumKind::DreamMarket,
+                cfg.dm_users
+                    .saturating_sub(cfg.cross_tmg_dm + cfg.cross_reddit_dm),
+            ),
         ];
         for (forum, count) in residents {
             for _ in 0..count {
@@ -365,15 +377,22 @@ impl ScenarioBuilder {
             let n_foreign = (rich as f64 * cfg.noise.foreign_frac).ceil() as usize;
             for _ in 0..n_bots {
                 let posts = rng.random_range(10..60);
-                corpus.users.push(bot_user(&mut rng, &noise_temporal, posts));
+                corpus
+                    .users
+                    .push(bot_user(&mut rng, &noise_temporal, posts));
             }
             for _ in 0..n_spam {
                 let posts = rng.random_range(10..40);
-                corpus.users.push(spam_user(&mut rng, &noise_temporal, posts));
+                corpus
+                    .users
+                    .push(spam_user(&mut rng, &noise_temporal, posts));
             }
             for i in 0..n_foreign {
-                let lang = [ForeignLang::Spanish, ForeignLang::German, ForeignLang::French]
-                    [i % 3];
+                let lang = [
+                    ForeignLang::Spanish,
+                    ForeignLang::German,
+                    ForeignLang::French,
+                ][i % 3];
                 let posts = rng.random_range(10..50);
                 corpus
                     .users
@@ -461,12 +480,19 @@ impl ScenarioBuilder {
         };
         let communities: &[&str] = match forum {
             ForumKind::Reddit => TOPICS[topic_idx].communities,
-            ForumKind::MajesticGarden => {
-                &["vendor-threads", "trip-reports", "cultivation", "harm-reduction", "spirituality"]
-            }
-            ForumKind::DreamMarket => {
-                &["product-reviews", "marketplace", "advertising", "scam-reports"]
-            }
+            ForumKind::MajesticGarden => &[
+                "vendor-threads",
+                "trip-reports",
+                "cultivation",
+                "harm-reduction",
+                "spirituality",
+            ],
+            ForumKind::DreamMarket => &[
+                "product-reviews",
+                "marketplace",
+                "advertising",
+                "scam-reports",
+            ],
         };
         (
             topic_idx,
@@ -555,7 +581,10 @@ mod tests {
             .filter(|u| u.persona.is_some() && u.posts.len() >= 60)
             .filter(|u| u.total_words() > 3_000)
             .count();
-        assert!(rich >= ScenarioConfig::small().tmg_users / 2, "rich = {rich}");
+        assert!(
+            rich >= ScenarioConfig::small().tmg_users / 2,
+            "rich = {rich}"
+        );
     }
 
     #[test]
@@ -568,7 +597,12 @@ mod tests {
             .filter(|u| darklight_corpus::polish::Polisher::is_bot_name(&u.alias))
             .count();
         assert!(bots > 0);
-        let noise = s.reddit.users.iter().filter(|u| u.persona.is_none()).count();
+        let noise = s
+            .reddit
+            .users
+            .iter()
+            .filter(|u| u.persona.is_none())
+            .count();
         assert!(noise > bots);
     }
 
@@ -609,13 +643,12 @@ mod tests {
     #[test]
     fn dark_forums_are_drug_centric() {
         let s = small();
-        let drug_posts = s
-            .dm
-            .users
-            .iter()
-            .flat_map(|u| &u.posts)
-            .filter(|p| !p.topic.is_empty())
-            .count();
+        let drug_posts =
+            s.dm.users
+                .iter()
+                .flat_map(|u| &u.posts)
+                .filter(|p| !p.topic.is_empty())
+                .count();
         assert!(drug_posts > 0);
         // Reddit posts span multiple communities.
         let communities: HashSet<&str> = s
@@ -625,6 +658,10 @@ mod tests {
             .flat_map(|u| &u.posts)
             .map(|p| p.topic.as_str())
             .collect();
-        assert!(communities.len() > 10, "only {} communities", communities.len());
+        assert!(
+            communities.len() > 10,
+            "only {} communities",
+            communities.len()
+        );
     }
 }

@@ -152,6 +152,13 @@ impl StyleGenome {
     /// correlated) style.
     pub fn drifted(&self, rng: &mut impl Rng, drift: f64) -> StyleGenome {
         let drift = drift.clamp(0.0, 1.0);
+        if drift == 0.0 {
+            // The jitter floors below (e.g. `emoji_rate.max(0.005)`) exist
+            // so multiplicative noise can escape near-zero habits, but
+            // they would also raise sub-floor values when there is no
+            // noise at all — zero drift must be exactly the identity.
+            return self.clone();
+        }
         let mut out = self.clone();
         // Replace a drift-proportional fraction of favourites.
         churn(rng, &mut out.fav_nouns, NOUNS.len(), drift);
@@ -176,8 +183,7 @@ impl StyleGenome {
         out.slang_rate = jitter(rng, self.slang_rate.max(0.01), drift, 0.0, 0.6);
         out.emoji_rate = jitter(rng, self.emoji_rate.max(0.005), drift, 0.0, 0.4);
         out.favorite_bias = jitter(rng, self.favorite_bias, drift, 0.05, 0.85);
-        out.variant_consistency =
-            jitter(rng, self.variant_consistency, drift, 0.3, 0.95);
+        out.variant_consistency = jitter(rng, self.variant_consistency, drift, 0.3, 0.95);
         if rng.random::<f64>() < drift * 0.2 {
             out.punct.lowercase_i = !out.punct.lowercase_i;
         }

@@ -52,8 +52,12 @@ impl TemporalGenome {
                 weight: 0.3 + rng.random::<f64>(),
             })
             .collect();
-        let jan1 = CivilDate::new(2017, 1, 1).expect("valid date").days_from_epoch();
-        let dec31 = CivilDate::new(2017, 12, 31).expect("valid date").days_from_epoch();
+        let jan1 = CivilDate::new(2017, 1, 1)
+            .expect("valid date")
+            .days_from_epoch();
+        let dec31 = CivilDate::new(2017, 12, 31)
+            .expect("valid date")
+            .days_from_epoch();
         // Active window: at least ~7 months within 2017 so 30+ weekday
         // posts are plausible.
         let start = jan1 + rng.random_range(0..60);
@@ -73,8 +77,7 @@ impl TemporalGenome {
         let drift = drift.clamp(0.0, 1.0);
         let mut out = self.clone();
         for p in &mut out.peaks {
-            p.center_hour =
-                (p.center_hour + gaussian(rng) * 1.5 * drift).rem_euclid(24.0);
+            p.center_hour = (p.center_hour + gaussian(rng) * 1.5 * drift).rem_euclid(24.0);
             p.std_hours = (p.std_hours * (1.0 + gaussian(rng) * 0.3 * drift)).clamp(0.5, 5.0);
             p.weight = (p.weight * (1.0 + gaussian(rng) * 0.3 * drift)).clamp(0.05, 3.0);
         }
@@ -97,8 +100,8 @@ impl TemporalGenome {
         let local_hour = (chosen.center_hour + gaussian(rng) * chosen.std_hours).rem_euclid(24.0);
         let utc_hour_frac = local_hour - self.utc_offset_hours as f64;
         let secs = (utc_hour_frac * 3600.0).round() as i64;
-        day * SECS_PER_DAY + secs.rem_euclid(SECS_PER_DAY)
-            + rng.random_range(0..60) // second-level noise
+        day * SECS_PER_DAY + secs.rem_euclid(SECS_PER_DAY) + rng.random_range(0..60)
+        // second-level noise
     }
 
     /// Samples `n` timestamps, sorted ascending.
@@ -157,8 +160,7 @@ mod tests {
         let builder = ProfileBuilder::new(ProfilePolicy::default().with_min_timestamps(5));
         let mut self_sims = Vec::new();
         let mut cross_sims = Vec::new();
-        let genomes: Vec<TemporalGenome> =
-            (0..8).map(|_| TemporalGenome::sample(&mut r)).collect();
+        let genomes: Vec<TemporalGenome> = (0..8).map(|_| TemporalGenome::sample(&mut r)).collect();
         let profiles: Vec<_> = genomes
             .iter()
             .map(|g| {

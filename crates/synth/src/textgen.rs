@@ -273,8 +273,7 @@ fn render_sentence(rng: &mut impl Rng, genome: &StyleGenome, mut tokens: Vec<Str
             out.push(',');
         }
     }
-    let terminal = crate::style::TERMINALS
-        [weighted_index(rng, &genome.punct.terminal_weights)];
+    let terminal = crate::style::TERMINALS[weighted_index(rng, &genome.punct.terminal_weights)];
     out.push_str(terminal);
     out
 }
@@ -365,11 +364,7 @@ mod tests {
             all.push_str(&generate_message(&mut r, &g, 1)); // Cryptocurrencies
             all.push(' ');
         }
-        let hits = TOPICS[1]
-            .words
-            .iter()
-            .filter(|w| all.contains(*w))
-            .count();
+        let hits = TOPICS[1].words.iter().filter(|w| all.contains(*w)).count();
         assert!(hits > 3, "only {hits} crypto words in output");
     }
 

@@ -308,13 +308,20 @@ mod tests {
         let d = det();
         let long_en = Lang::English.seed();
         let det_long = d.detect(long_en).unwrap();
-        assert!(det_long.confidence > 0.1, "confidence {}", det_long.confidence);
+        assert!(
+            det_long.confidence > 0.1,
+            "confidence {}",
+            det_long.confidence
+        );
     }
 
     #[test]
     fn cyrillic_never_english() {
         let d = det();
-        assert_eq!(d.detect("привет как дела сегодня").unwrap().lang, Lang::Russian);
+        assert_eq!(
+            d.detect("привет как дела сегодня").unwrap().lang,
+            Lang::Russian
+        );
     }
 
     #[test]

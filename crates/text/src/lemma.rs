@@ -18,61 +18,206 @@ use std::collections::HashMap;
 
 /// Irregular verb forms: inflected → base.
 const IRREGULAR_VERBS: &[(&str, &str)] = &[
-    ("am", "be"), ("is", "be"), ("are", "be"), ("was", "be"), ("were", "be"),
-    ("been", "be"), ("being", "be"),
-    ("has", "have"), ("had", "have"), ("having", "have"),
-    ("does", "do"), ("did", "do"), ("done", "do"), ("doing", "do"),
-    ("goes", "go"), ("went", "go"), ("gone", "go"), ("going", "go"),
-    ("said", "say"), ("says", "say"),
-    ("got", "get"), ("gotten", "get"),
-    ("made", "make"), ("knew", "know"), ("known", "know"),
-    ("thought", "think"), ("took", "take"), ("taken", "take"),
-    ("came", "come"), ("saw", "see"), ("seen", "see"),
-    ("ran", "run"), ("gave", "give"), ("given", "give"),
-    ("found", "find"), ("told", "tell"), ("felt", "feel"),
-    ("left", "leave"), ("kept", "keep"), ("began", "begin"), ("begun", "begin"),
-    ("brought", "bring"), ("bought", "buy"), ("wrote", "write"), ("written", "write"),
-    ("stood", "stand"), ("heard", "hear"), ("meant", "mean"), ("met", "meet"),
-    ("paid", "pay"), ("sat", "sit"), ("spoke", "speak"), ("spoken", "speak"),
-    ("lost", "lose"), ("sent", "send"), ("built", "build"),
-    ("understood", "understand"), ("drew", "draw"), ("drawn", "draw"),
-    ("broke", "break"), ("broken", "break"), ("spent", "spend"),
-    ("grew", "grow"), ("grown", "grow"), ("fell", "fall"), ("fallen", "fall"),
-    ("sold", "sell"), ("sought", "seek"), ("threw", "throw"), ("thrown", "throw"),
-    ("caught", "catch"), ("dealt", "deal"), ("won", "win"),
-    ("forgot", "forget"), ("forgotten", "forget"), ("slept", "sleep"),
-    ("chose", "choose"), ("chosen", "choose"), ("drank", "drink"), ("drunk", "drink"),
-    ("drove", "drive"), ("driven", "drive"), ("ate", "eat"), ("eaten", "eat"),
-    ("flew", "fly"), ("flown", "fly"), ("led", "lead"), ("rode", "ride"),
-    ("ridden", "ride"), ("rose", "rise"), ("risen", "rise"), ("sang", "sing"),
-    ("sung", "sing"), ("swam", "swim"), ("swum", "swim"), ("wore", "wear"),
-    ("worn", "wear"), ("woke", "wake"), ("woken", "wake"), ("shook", "shake"),
-    ("shaken", "shake"), ("held", "hold"), ("became", "become"),
-    ("showed", "show"), ("shown", "show"), ("bit", "bite"), ("bitten", "bite"),
-    ("hid", "hide"), ("hidden", "hide"), ("stole", "steal"), ("stolen", "steal"),
-    ("struck", "strike"), ("swore", "swear"), ("sworn", "swear"),
-    ("tore", "tear"), ("torn", "tear"), ("froze", "freeze"), ("frozen", "freeze"),
+    ("am", "be"),
+    ("is", "be"),
+    ("are", "be"),
+    ("was", "be"),
+    ("were", "be"),
+    ("been", "be"),
+    ("being", "be"),
+    ("has", "have"),
+    ("had", "have"),
+    ("having", "have"),
+    ("does", "do"),
+    ("did", "do"),
+    ("done", "do"),
+    ("doing", "do"),
+    ("goes", "go"),
+    ("went", "go"),
+    ("gone", "go"),
+    ("going", "go"),
+    ("said", "say"),
+    ("says", "say"),
+    ("got", "get"),
+    ("gotten", "get"),
+    ("made", "make"),
+    ("knew", "know"),
+    ("known", "know"),
+    ("thought", "think"),
+    ("took", "take"),
+    ("taken", "take"),
+    ("came", "come"),
+    ("saw", "see"),
+    ("seen", "see"),
+    ("ran", "run"),
+    ("gave", "give"),
+    ("given", "give"),
+    ("found", "find"),
+    ("told", "tell"),
+    ("felt", "feel"),
+    ("left", "leave"),
+    ("kept", "keep"),
+    ("began", "begin"),
+    ("begun", "begin"),
+    ("brought", "bring"),
+    ("bought", "buy"),
+    ("wrote", "write"),
+    ("written", "write"),
+    ("stood", "stand"),
+    ("heard", "hear"),
+    ("meant", "mean"),
+    ("met", "meet"),
+    ("paid", "pay"),
+    ("sat", "sit"),
+    ("spoke", "speak"),
+    ("spoken", "speak"),
+    ("lost", "lose"),
+    ("sent", "send"),
+    ("built", "build"),
+    ("understood", "understand"),
+    ("drew", "draw"),
+    ("drawn", "draw"),
+    ("broke", "break"),
+    ("broken", "break"),
+    ("spent", "spend"),
+    ("grew", "grow"),
+    ("grown", "grow"),
+    ("fell", "fall"),
+    ("fallen", "fall"),
+    ("sold", "sell"),
+    ("sought", "seek"),
+    ("threw", "throw"),
+    ("thrown", "throw"),
+    ("caught", "catch"),
+    ("dealt", "deal"),
+    ("won", "win"),
+    ("forgot", "forget"),
+    ("forgotten", "forget"),
+    ("slept", "sleep"),
+    ("chose", "choose"),
+    ("chosen", "choose"),
+    ("drank", "drink"),
+    ("drunk", "drink"),
+    ("drove", "drive"),
+    ("driven", "drive"),
+    ("ate", "eat"),
+    ("eaten", "eat"),
+    ("flew", "fly"),
+    ("flown", "fly"),
+    ("led", "lead"),
+    ("rode", "ride"),
+    ("ridden", "ride"),
+    ("rose", "rise"),
+    ("risen", "rise"),
+    ("sang", "sing"),
+    ("sung", "sing"),
+    ("swam", "swim"),
+    ("swum", "swim"),
+    ("wore", "wear"),
+    ("worn", "wear"),
+    ("woke", "wake"),
+    ("woken", "wake"),
+    ("shook", "shake"),
+    ("shaken", "shake"),
+    ("held", "hold"),
+    ("became", "become"),
+    ("showed", "show"),
+    ("shown", "show"),
+    ("bit", "bite"),
+    ("bitten", "bite"),
+    ("hid", "hide"),
+    ("hidden", "hide"),
+    ("stole", "steal"),
+    ("stolen", "steal"),
+    ("struck", "strike"),
+    ("swore", "swear"),
+    ("sworn", "swear"),
+    ("tore", "tear"),
+    ("torn", "tear"),
+    ("froze", "freeze"),
+    ("frozen", "freeze"),
 ];
 
 /// Irregular noun plurals: plural → singular.
 const IRREGULAR_NOUNS: &[(&str, &str)] = &[
-    ("men", "man"), ("women", "woman"), ("children", "child"),
-    ("teeth", "tooth"), ("feet", "foot"), ("mice", "mouse"), ("geese", "goose"),
-    ("lives", "life"), ("knives", "knife"), ("wives", "wife"), ("wolves", "wolf"),
-    ("leaves", "leaf"), ("shelves", "shelf"), ("thieves", "thief"),
-    ("loaves", "loaf"), ("halves", "half"), ("selves", "self"), ("calves", "calf"),
-    ("scarves", "scarf"), ("elves", "elf"), ("oxen", "ox"), ("dice", "die"),
+    ("men", "man"),
+    ("women", "woman"),
+    ("children", "child"),
+    ("teeth", "tooth"),
+    ("feet", "foot"),
+    ("mice", "mouse"),
+    ("geese", "goose"),
+    ("lives", "life"),
+    ("knives", "knife"),
+    ("wives", "wife"),
+    ("wolves", "wolf"),
+    ("leaves", "leaf"),
+    ("shelves", "shelf"),
+    ("thieves", "thief"),
+    ("loaves", "loaf"),
+    ("halves", "half"),
+    ("selves", "self"),
+    ("calves", "calf"),
+    ("scarves", "scarf"),
+    ("elves", "elf"),
+    ("oxen", "ox"),
+    ("dice", "die"),
 ];
 
 /// Forms that look inflected but are not (protected from suffix rules).
 const PROTECTED: &[&str] = &[
-    "this", "his", "hers", "its", "thus", "yes", "less", "unless", "during",
-    "nothing", "something", "anything", "everything", "morning", "evening",
-    "spring", "string", "thing", "king", "ring", "sing", "bring", "wing",
-    "always", "perhaps", "besides", "whereas", "news", "series", "species",
-    "analysis", "basis", "crisis", "bus", "gas", "plus", "status", "virus",
-    "bonus", "focus", "census", "versus", "christmas", "bed", "red", "need",
-    "feed", "seed", "speed", "indeed", "used", "based",
+    "this",
+    "his",
+    "hers",
+    "its",
+    "thus",
+    "yes",
+    "less",
+    "unless",
+    "during",
+    "nothing",
+    "something",
+    "anything",
+    "everything",
+    "morning",
+    "evening",
+    "spring",
+    "string",
+    "thing",
+    "king",
+    "ring",
+    "sing",
+    "bring",
+    "wing",
+    "always",
+    "perhaps",
+    "besides",
+    "whereas",
+    "news",
+    "series",
+    "species",
+    "analysis",
+    "basis",
+    "crisis",
+    "bus",
+    "gas",
+    "plus",
+    "status",
+    "virus",
+    "bonus",
+    "focus",
+    "census",
+    "versus",
+    "christmas",
+    "bed",
+    "red",
+    "need",
+    "feed",
+    "seed",
+    "speed",
+    "indeed",
+    "used",
+    "based",
 ];
 
 fn is_vowel(b: u8) -> bool {
@@ -232,8 +377,13 @@ mod tests {
     fn irregular_verbs() {
         let lem = l();
         for (inflected, base) in [
-            ("am", "be"), ("were", "be"), ("went", "go"), ("thought", "think"),
-            ("bought", "buy"), ("written", "write"), ("frozen", "freeze"),
+            ("am", "be"),
+            ("were", "be"),
+            ("went", "go"),
+            ("thought", "think"),
+            ("bought", "buy"),
+            ("written", "write"),
+            ("frozen", "freeze"),
         ] {
             assert_eq!(lem.lemma(inflected), base, "{inflected}");
         }
@@ -295,7 +445,9 @@ mod tests {
     #[test]
     fn protected_words_untouched() {
         let lem = l();
-        for w in ["this", "during", "thing", "morning", "news", "species", "always", "need"] {
+        for w in [
+            "this", "during", "thing", "morning", "news", "species", "always", "need",
+        ] {
             assert_eq!(lem.lemma(w), w, "{w}");
         }
     }
@@ -332,7 +484,9 @@ mod tests {
     #[test]
     fn idempotent_on_own_output() {
         let lem = l();
-        for w in ["cats", "running", "cities", "stopped", "wolves", "went", "boxes"] {
+        for w in [
+            "cats", "running", "cities", "stopped", "wolves", "went", "boxes",
+        ] {
             let once = lem.lemma_owned(w);
             let twice = lem.lemma_owned(&once);
             assert_eq!(once, twice, "{w}: {once} vs {twice}");

@@ -38,12 +38,12 @@
 #![warn(missing_docs)]
 
 pub mod langdetect;
-pub mod obfuscate;
 pub mod lemma;
 pub mod normalize;
+pub mod obfuscate;
 pub mod token;
 
 pub use langdetect::{Lang, LanguageDetector};
-pub use obfuscate::{ObfuscateConfig, Obfuscator};
 pub use lemma::Lemmatizer;
+pub use obfuscate::{ObfuscateConfig, Obfuscator};
 pub use token::{Token, TokenKind, Tokenizer};

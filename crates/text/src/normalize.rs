@@ -39,9 +39,7 @@ pub fn url_hostname(url: &str) -> String {
             }
         }
     }
-    let end = rest
-        .find(['/', '?', '#', ':'])
-        .unwrap_or(rest.len());
+    let end = rest.find(['/', '?', '#', ':']).unwrap_or(rest.len());
     let mut host = &rest[..end];
     if let Some(head) = host.get(..4) {
         if head.eq_ignore_ascii_case("www.") {
@@ -126,8 +124,7 @@ fn strip_edit_tag(line: &str) -> &str {
         while let Some(pos) = lower[search_from..].find(m) {
             let abs = search_from + pos;
             // Only treat it as a tag at a word boundary.
-            let at_boundary = abs == 0
-                || !lower.as_bytes()[abs - 1].is_ascii_alphanumeric();
+            let at_boundary = abs == 0 || !lower.as_bytes()[abs - 1].is_ascii_alphanumeric();
             if at_boundary && abs < cut {
                 cut = abs;
             }
@@ -295,14 +292,20 @@ mod tests {
             "Great deal!"
         );
         assert_eq!(remove_edit_tags("nice EDIT: added link"), "nice");
-        assert_eq!(remove_edit_tags("first line\nsecond Edit by x"), "first line\nsecond");
+        assert_eq!(
+            remove_edit_tags("first line\nsecond Edit by x"),
+            "first line\nsecond"
+        );
     }
 
     #[test]
     fn edit_marker_inside_word_kept() {
         assert_eq!(remove_edit_tags("I reedit: my posts"), "I reedit: my posts");
         // "credit:" contains "edit:" but not at a word boundary.
-        assert_eq!(remove_edit_tags("photo credit: alice"), "photo credit: alice");
+        assert_eq!(
+            remove_edit_tags("photo credit: alice"),
+            "photo credit: alice"
+        );
     }
 
     #[test]

@@ -63,38 +63,94 @@ impl ObfuscateConfig {
 /// possibly empty for pure fillers).
 const CANONICAL: &[(&str, &str)] = &[
     // Contractions.
-    ("don't", "do not"), ("dont", "do not"),
-    ("can't", "cannot"), ("cant", "cannot"),
-    ("won't", "will not"), ("wont", "will not"),
-    ("i'm", "i am"), ("im", "i am"),
-    ("it's", "it is"), ("that's", "that is"), ("thats", "that is"),
-    ("what's", "what is"), ("whats", "what is"),
-    ("isn't", "is not"), ("isnt", "is not"),
-    ("didn't", "did not"), ("didnt", "did not"),
-    ("doesn't", "does not"), ("doesnt", "does not"),
-    ("i've", "i have"), ("ive", "i have"),
-    ("i'll", "i will"), ("you're", "you are"), ("youre", "you are"),
-    ("they're", "they are"), ("we're", "we are"),
+    ("don't", "do not"),
+    ("dont", "do not"),
+    ("can't", "cannot"),
+    ("cant", "cannot"),
+    ("won't", "will not"),
+    ("wont", "will not"),
+    ("i'm", "i am"),
+    ("im", "i am"),
+    ("it's", "it is"),
+    ("that's", "that is"),
+    ("thats", "that is"),
+    ("what's", "what is"),
+    ("whats", "what is"),
+    ("isn't", "is not"),
+    ("isnt", "is not"),
+    ("didn't", "did not"),
+    ("didnt", "did not"),
+    ("doesn't", "does not"),
+    ("doesnt", "does not"),
+    ("i've", "i have"),
+    ("ive", "i have"),
+    ("i'll", "i will"),
+    ("you're", "you are"),
+    ("youre", "you are"),
+    ("they're", "they are"),
+    ("we're", "we are"),
     ("ain't", "is not"),
     // Shorthand spellings.
-    ("u", "you"), ("ur", "your"), ("ppl", "people"), ("abt", "about"),
-    ("tho", "though"), ("cuz", "because"), ("bc", "because"),
-    ("prob", "probably"), ("probs", "probably"), ("rly", "really"),
-    ("def", "definitely"), ("smth", "something"), ("w/o", "without"),
-    ("thx", "thanks"), ("ty", "thanks"), ("pls", "please"), ("plz", "please"),
-    ("ok", "okay"), ("k", "okay"), ("cya", "see you"),
+    ("u", "you"),
+    ("ur", "your"),
+    ("ppl", "people"),
+    ("abt", "about"),
+    ("tho", "though"),
+    ("cuz", "because"),
+    ("bc", "because"),
+    ("prob", "probably"),
+    ("probs", "probably"),
+    ("rly", "really"),
+    ("def", "definitely"),
+    ("smth", "something"),
+    ("w/o", "without"),
+    ("thx", "thanks"),
+    ("ty", "thanks"),
+    ("pls", "please"),
+    ("plz", "please"),
+    ("ok", "okay"),
+    ("k", "okay"),
+    ("cya", "see you"),
     // Casual verb forms.
-    ("gonna", "going to"), ("wanna", "want to"), ("gotta", "got to"),
-    ("kinda", "kind of"), ("sorta", "sort of"), ("dunno", "do not know"),
-    ("y'all", "you all"), ("yall", "you all"),
+    ("gonna", "going to"),
+    ("wanna", "want to"),
+    ("gotta", "got to"),
+    ("kinda", "kind of"),
+    ("sorta", "sort of"),
+    ("dunno", "do not know"),
+    ("y'all", "you all"),
+    ("yall", "you all"),
     // Pure filler slang: removed entirely.
-    ("lol", ""), ("lmao", ""), ("smh", ""), ("ngl", ""), ("fr", ""),
-    ("tbh", ""), ("imo", ""), ("imho", ""), ("idk", ""), ("btw", ""),
-    ("afaik", ""), ("iirc", ""), ("fwiw", ""), ("bruh", ""), ("fam", ""),
-    ("deadass", ""), ("lowkey", ""), ("highkey", ""), ("welp", ""),
-    ("oof", ""), ("yikes", ""), ("bet", ""), ("based", ""), ("sus", ""),
-    ("meh", ""), ("nah", "no"), ("yeah", "yes"), ("yep", "yes"),
-    ("hella", "very"), ("super", "very"),
+    ("lol", ""),
+    ("lmao", ""),
+    ("smh", ""),
+    ("ngl", ""),
+    ("fr", ""),
+    ("tbh", ""),
+    ("imo", ""),
+    ("imho", ""),
+    ("idk", ""),
+    ("btw", ""),
+    ("afaik", ""),
+    ("iirc", ""),
+    ("fwiw", ""),
+    ("bruh", ""),
+    ("fam", ""),
+    ("deadass", ""),
+    ("lowkey", ""),
+    ("highkey", ""),
+    ("welp", ""),
+    ("oof", ""),
+    ("yikes", ""),
+    ("bet", ""),
+    ("based", ""),
+    ("sus", ""),
+    ("meh", ""),
+    ("nah", "no"),
+    ("yeah", "yes"),
+    ("yep", "yes"),
+    ("hella", "very"),
+    ("super", "very"),
 ];
 
 /// A writing-style scrubber. Construction builds the replacement table;
@@ -172,9 +228,7 @@ impl Obfuscator {
                         match token.text {
                             "." | "!" | "?" | "…" => pending_terminal = true,
                             "," | ";" | ":"
-                                if emitted_anything
-                                    && !out.ends_with(',')
-                                    && !pending_terminal =>
+                                if emitted_anything && !out.ends_with(',') && !pending_terminal =>
                             {
                                 out.push(',');
                             }
@@ -247,12 +301,18 @@ mod tests {
 
     #[test]
     fn contractions_expanded() {
-        assert_eq!(o().apply("i'm sure it's fine, don't worry"), "i am sure it is fine, do not worry");
+        assert_eq!(
+            o().apply("i'm sure it's fine, don't worry"),
+            "i am sure it is fine, do not worry"
+        );
     }
 
     #[test]
     fn shorthand_normalized() {
-        assert_eq!(o().apply("u should rly read abt it tho"), "you should really read about it though");
+        assert_eq!(
+            o().apply("u should rly read abt it tho"),
+            "you should really read about it though"
+        );
     }
 
     #[test]

@@ -83,8 +83,27 @@ pub fn is_emoji(c: char) -> bool {
 pub fn is_punct(c: char) -> bool {
     matches!(
         c,
-        '.' | ',' | ';' | ':' | '!' | '?' | '\'' | '"' | '(' | ')' | '[' | ']' | '{' | '}'
-            | '-' | '…' | '‘' | '’' | '“' | '”' | '«' | '»'
+        '.' | ','
+            | ';'
+            | ':'
+            | '!'
+            | '?'
+            | '\''
+            | '"'
+            | '('
+            | ')'
+            | '['
+            | ']'
+            | '{'
+            | '}'
+            | '-'
+            | '…'
+            | '‘'
+            | '’'
+            | '“'
+            | '”'
+            | '«'
+            | '»'
     )
 }
 
@@ -122,12 +141,12 @@ impl<'a> Tokenizer<'a> {
     fn match_url(&self) -> Option<usize> {
         let rest = self.rest();
         let lower_starts = ["http://", "https://", "www."];
-        let prefix_len = lower_starts.iter().find_map(|p| {
-            match rest.get(..p.len()) {
+        let prefix_len = lower_starts
+            .iter()
+            .find_map(|p| match rest.get(..p.len()) {
                 Some(head) if head.eq_ignore_ascii_case(p) => Some(p.len()),
                 _ => None,
-            }
-        })?;
+            })?;
         let mut len = prefix_len;
         for c in rest[prefix_len..].chars() {
             if c.is_whitespace() || c == '<' || c == '>' || c == '"' || c == ')' || c == ']' {
@@ -189,8 +208,7 @@ impl<'a> Tokenizer<'a> {
         let domain = &rest[domain_start..domain_end];
         // Require a dot with a 2+ letter TLD.
         let tld = domain.rsplit('.').next()?;
-        if domain.contains('.') && tld.len() >= 2 && tld.chars().all(|c| c.is_ascii_alphabetic())
-        {
+        if domain.contains('.') && tld.len() >= 2 && tld.chars().all(|c| c.is_ascii_alphabetic()) {
             Some(domain_end)
         } else {
             None
@@ -362,12 +380,12 @@ mod tests {
 
     #[test]
     fn words_with_apostrophes_and_hyphens() {
-        assert_eq!(texts("don't well-known rock'n'roll"), ["don't", "well-known", "rock'n'roll"]);
-        // Trailing apostrophe is punctuation, not part of the word.
         assert_eq!(
-            kinds("cats'"),
-            [TokenKind::Word, TokenKind::Punct]
+            texts("don't well-known rock'n'roll"),
+            ["don't", "well-known", "rock'n'roll"]
         );
+        // Trailing apostrophe is punctuation, not part of the word.
+        assert_eq!(kinds("cats'"), [TokenKind::Word, TokenKind::Punct]);
         // Leading hyphen is not a word.
         assert_eq!(kinds("-abc"), [TokenKind::Punct, TokenKind::Word]);
     }
@@ -375,10 +393,7 @@ mod tests {
     #[test]
     fn numbers() {
         assert_eq!(texts("3.14 1,000 42"), ["3.14", "1,000", "42"]);
-        assert_eq!(
-            kinds("42."),
-            [TokenKind::Number, TokenKind::Punct]
-        );
+        assert_eq!(kinds("42."), [TokenKind::Number, TokenKind::Punct]);
     }
 
     #[test]
@@ -429,7 +444,12 @@ mod tests {
     fn punct_vs_symbol() {
         assert_eq!(
             kinds("# @ ! ?"),
-            [TokenKind::Symbol, TokenKind::Symbol, TokenKind::Punct, TokenKind::Punct]
+            [
+                TokenKind::Symbol,
+                TokenKind::Symbol,
+                TokenKind::Punct,
+                TokenKind::Punct
+            ]
         );
     }
 
@@ -456,7 +476,8 @@ mod tests {
 
     #[test]
     fn mixed_forum_post() {
-        let post = "Check https://market.onion/listing?id=9 — price is $12.50, msg seller@proton.me 😀";
+        let post =
+            "Check https://market.onion/listing?id=9 — price is $12.50, msg seller@proton.me 😀";
         let toks: Vec<_> = Tokenizer::new(post).collect();
         let urls = toks.iter().filter(|t| t.kind == TokenKind::Url).count();
         let emails = toks.iter().filter(|t| t.kind == TokenKind::Email).count();

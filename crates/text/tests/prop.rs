@@ -2,8 +2,8 @@
 
 use darklight_text::lemma::Lemmatizer;
 use darklight_text::normalize::{
-    collapse_spaces, diversity_ratio, drop_long_words, normalize_urls_and_emails,
-    remove_edit_tags, remove_pgp_blocks, remove_quotes, strip_emojis, MAX_WORD_LEN,
+    collapse_spaces, diversity_ratio, drop_long_words, normalize_urls_and_emails, remove_edit_tags,
+    remove_pgp_blocks, remove_quotes, strip_emojis, MAX_WORD_LEN,
 };
 use darklight_text::token::{TokenKind, Tokenizer};
 use proptest::prelude::*;

@@ -8,9 +8,9 @@
 //! ```
 
 use darklight::prelude::*;
+use darklight_activity::profile::ProfileBuilder;
 use darklight_core::dataset::DatasetBuilder;
 use darklight_corpus::refine::{refine, RefineConfig};
-use darklight_activity::profile::ProfileBuilder;
 use darklight_eval::verdict::VerdictCounts;
 
 fn main() {
@@ -40,7 +40,11 @@ fn main() {
     };
     let tmg = prepare(&scenario.tmg);
     let dm = prepare(&scenario.dm);
-    println!("refined: TMG {} aliases, DM {} aliases", tmg.len(), dm.len());
+    println!(
+        "refined: TMG {} aliases, DM {} aliases",
+        tmg.len(),
+        dm.len()
+    );
 
     // Run the two-stage pipeline: DM aliases are the unknowns.
     let ts_config = TwoStageConfig {
@@ -73,6 +77,10 @@ fn main() {
     }
     println!(
         "\nverdicts: {} True / {} Probably / {} Unclear / {} False (of {})",
-        counts.true_, counts.probably, counts.unclear, counts.false_, counts.total()
+        counts.true_,
+        counts.probably,
+        counts.unclear,
+        counts.false_,
+        counts.total()
     );
 }

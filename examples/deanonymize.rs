@@ -9,9 +9,9 @@
 
 use darklight::prelude::*;
 use darklight_activity::profile::ProfileBuilder;
+use darklight_core::confidence::MatchConfidence;
 use darklight_core::dataset::DatasetBuilder;
 use darklight_corpus::refine::{refine, RefineConfig};
-use darklight_core::confidence::MatchConfidence;
 use darklight_eval::profiler::build_profile;
 
 fn main() {
@@ -58,7 +58,9 @@ fn main() {
     let mut emitted = 0;
     for m in &results {
         let Some(b) = m.best() else { continue };
-        let Some(conf) = MatchConfidence::of(m) else { continue };
+        let Some(conf) = MatchConfidence::of(m) else {
+            continue;
+        };
         if !conf.accept(ts_config.threshold, 0.006) {
             continue;
         }

@@ -38,7 +38,9 @@ fn cross_accuracy(known: &Dataset, unknown: &Dataset, k: usize) -> f64 {
     let mut eligible = 0usize;
     let mut hits = 0usize;
     for (u, candidates) in stage1.iter().enumerate() {
-        let Some(persona) = unknown.records[u].persona else { continue };
+        let Some(persona) = unknown.records[u].persona else {
+            continue;
+        };
         if !known.records.iter().any(|r| r.persona == Some(persona)) {
             continue;
         }

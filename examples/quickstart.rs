@@ -19,7 +19,9 @@ fn main() {
             .map(|i| {
                 let ts = base + (i / 5) * 7 * 86_400 + (i % 5) * 86_400 + offset_hours * 3_600;
                 Post::new(
-                    format!("{style} entry {i}: more notes with the same habits and phrasing as always"),
+                    format!(
+                        "{style} entry {i}: more notes with the same habits and phrasing as always"
+                    ),
                     ts,
                 )
             })

@@ -11,8 +11,11 @@
 //!     Corpus statistics: users, posts, words-per-user CDF.
 //!
 //! darklight link <known.tsv> <unknown.tsv> [--threshold T] [--k K]
+//!               [--metrics out.json]
 //!     Polish, refine, and link the two corpora; print matched alias
-//!     pairs as TSV (unknown_alias, known_alias, score).
+//!     pairs as TSV (unknown_alias, known_alias, score). With
+//!     --metrics, also write a JSON snapshot of pipeline counters,
+//!     stage timers, and latency histograms (see darklight-obs).
 //!
 //! darklight profile <corpus.tsv> <alias>
 //!     Activity profile and leaked-fact dossier for one alias.
@@ -27,6 +30,7 @@ use darklight::corpus::io::{load_corpus, save_corpus};
 use darklight::corpus::polish::{PolishConfig, Polisher};
 use darklight::corpus::stats::{cdf_at, words_per_user_cdf};
 use darklight::eval::profiler::build_profile;
+use darklight::obs::PipelineMetrics;
 use darklight::synth::scenario::{ScenarioBuilder, ScenarioConfig};
 use darklight::text::obfuscate::{ObfuscateConfig, Obfuscator};
 use std::path::Path;
@@ -60,7 +64,7 @@ const USAGE: &str = "usage: darklight <gen|polish|stats|link|profile|obfuscate> 
   gen <out-dir> [--scale small|default|paper] [--seed N]\n\
   polish <in.tsv> <out.tsv>\n\
   stats <in.tsv>\n\
-  link <known.tsv> <unknown.tsv> [--threshold T] [--k K]\n\
+  link <known.tsv> <unknown.tsv> [--threshold T] [--k K] [--metrics out.json]\n\
   profile <corpus.tsv> <alias>\n\
   obfuscate <in.tsv> <out.tsv>";
 
@@ -173,12 +177,21 @@ fn cmd_link(args: &[String]) -> Result<(), String> {
         config.two_stage.k,
         config.two_stage.threshold
     );
-    let matches = Linker::new(config).link(&known, &unknown);
+    let metrics_path = flag_value(args, "--metrics");
+    let mut linker = Linker::new(config);
+    if metrics_path.is_some() {
+        linker = linker.with_metrics(PipelineMetrics::enabled());
+    }
+    let matches = linker.link(&known, &unknown);
     println!("unknown_alias\tknown_alias\tscore");
     for m in &matches {
         println!("{}\t{}\t{:.4}", m.unknown_alias, m.known_alias, m.score);
     }
     eprintln!("{} pair(s) emitted", matches.len());
+    if let Some(path) = metrics_path {
+        std::fs::write(path, linker.metrics().to_json_pretty()).map_err(|e| e.to_string())?;
+        eprintln!("pipeline metrics written to {path}");
+    }
     Ok(())
 }
 

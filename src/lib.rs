@@ -21,7 +21,9 @@
 //! * [`core`] — k-attribution, the two-stage algorithm, baselines, batch
 //!   mode, and the high-level [`Linker`](core::linker::Linker);
 //! * [`eval`] — precision/recall curves, AUC, accuracy@k, verdict
-//!   simulation, and personal-profile aggregation.
+//!   simulation, and personal-profile aggregation;
+//! * [`obs`] — opt-in pipeline metrics (counters, gauges, stage timers,
+//!   latency histograms) with a dependency-free JSON snapshot.
 //!
 //! # Quickstart
 //!
@@ -56,10 +58,11 @@
 #![forbid(unsafe_code)]
 
 pub use darklight_activity as activity;
-pub use darklight_corpus as corpus;
 pub use darklight_core as core;
+pub use darklight_corpus as corpus;
 pub use darklight_eval as eval;
 pub use darklight_features as features;
+pub use darklight_obs as obs;
 pub use darklight_synth as synth;
 pub use darklight_text as text;
 
@@ -74,5 +77,6 @@ pub mod prelude {
     pub use darklight_eval::curve::PrCurve;
     pub use darklight_eval::verdict::{judge_pair, Verdict};
     pub use darklight_features::pipeline::{FeatureConfig, FeatureExtractor};
+    pub use darklight_obs::PipelineMetrics;
     pub use darklight_synth::scenario::{Scenario, ScenarioBuilder, ScenarioConfig};
 }

@@ -79,9 +79,8 @@ fn method_ordering_at_default_scale() {
         name: "fig3_test".into(),
         records: world.reddit.alter_egos.records[..300].to_vec(),
     };
-    let label = |r: &[RankedMatch]| {
-        PrCurve::from_labeled(&labeled_best_matches(r, known, &sample)).auc()
-    };
+    let label =
+        |r: &[RankedMatch]| PrCurve::from_labeled(&labeled_best_matches(r, known, &sample)).auc();
     let ours = label(&engine().run(known, &sample));
     let standard = label(&wrap(StandardBaseline::default().run(known, &sample)));
     assert!(

@@ -35,10 +35,21 @@ fn gen_polish_stats_link_profile_flow() {
     let dir = temp_dir("flow");
     // gen
     let out = bin()
-        .args(["gen", dir.to_str().unwrap(), "--scale", "small", "--seed", "7"])
+        .args([
+            "gen",
+            dir.to_str().unwrap(),
+            "--scale",
+            "small",
+            "--seed",
+            "7",
+        ])
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     for f in ["reddit.tsv", "tmg.tsv", "dm.tsv"] {
         assert!(dir.join(f).exists(), "{f} missing");
     }
@@ -79,7 +90,11 @@ fn gen_polish_stats_link_profile_flow() {
         ])
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let table = String::from_utf8_lossy(&out.stdout);
     assert!(table.starts_with("unknown_alias\tknown_alias\tscore"));
     assert!(table.lines().count() >= 2, "no matches emitted:\n{table}");
@@ -106,7 +121,14 @@ fn gen_polish_stats_link_profile_flow() {
 fn obfuscate_rewrites_posts() {
     let dir = temp_dir("obf");
     bin()
-        .args(["gen", dir.to_str().unwrap(), "--scale", "small", "--seed", "3"])
+        .args([
+            "gen",
+            dir.to_str().unwrap(),
+            "--scale",
+            "small",
+            "--seed",
+            "3",
+        ])
         .output()
         .unwrap();
     let input = dir.join("dm.tsv");
@@ -132,7 +154,14 @@ fn obfuscate_rewrites_posts() {
 fn profile_missing_alias_errors() {
     let dir = temp_dir("missing");
     bin()
-        .args(["gen", dir.to_str().unwrap(), "--scale", "small", "--seed", "5"])
+        .args([
+            "gen",
+            dir.to_str().unwrap(),
+            "--scale",
+            "small",
+            "--seed",
+            "5",
+        ])
         .output()
         .unwrap();
     let out = bin()

@@ -55,11 +55,13 @@ fn activity_profile_improves_short_text_attribution() {
     let known = w.reddit.originals.with_word_budget(400);
     let ae = w.reddit.alter_egos.with_word_budget(400);
     let text_only = wrap(
-        TwoStage::new(TwoStageConfig {
-            threads: 2,
-            ..TwoStageConfig::default()
-        }
-        .without_activity())
+        TwoStage::new(
+            TwoStageConfig {
+                threads: 2,
+                ..TwoStageConfig::default()
+            }
+            .without_activity(),
+        )
         .reduce(&known, &ae),
     );
     let with_activity = wrap(engine().reduce(&known, &ae));

@@ -60,9 +60,7 @@ fn margin_rule_improves_dark_to_dark_precision() {
         .collect();
     let with_margin: Vec<&RankedMatch> = results
         .iter()
-        .filter(|m| {
-            MatchConfidence::of(m).is_some_and(|c| c.accept(threshold, 0.006))
-        })
+        .filter(|m| MatchConfidence::of(m).is_some_and(|c| c.accept(threshold, 0.006)))
         .collect();
 
     let precision = |set: &[&RankedMatch]| {
@@ -121,7 +119,9 @@ fn confidence_margins_higher_for_true_pairs() {
     let mut false_margins = Vec::new();
     for m in &results {
         let Some(best) = m.best() else { continue };
-        let Some(conf) = MatchConfidence::of(m) else { continue };
+        let Some(conf) = MatchConfidence::of(m) else {
+            continue;
+        };
         let u = &w.reddit.alter_egos.records[m.unknown];
         let k = &w.reddit.originals.records[best.index];
         if u.persona.is_some() && u.persona == k.persona {

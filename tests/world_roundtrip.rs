@@ -71,8 +71,7 @@ fn obfuscation_degrades_attribution() {
             })
             .collect()
     };
-    let acc_plain =
-        reduction_accuracy_at_k(&wrap(plain), known, &w.reddit.alter_egos, 1);
+    let acc_plain = reduction_accuracy_at_k(&wrap(plain), known, &w.reddit.alter_egos, 1);
 
     // Scrub the alter egos' text and re-run.
     let obfuscator = Obfuscator::new(ObfuscateConfig::aggressive());

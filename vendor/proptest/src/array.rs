@@ -1,0 +1,44 @@
+//! Fixed-size array strategies (`proptest::array::uniform24`).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// The strategy returned by the `uniformN` constructors.
+#[derive(Clone, Debug)]
+pub struct UniformArray<S, const N: usize> {
+    element: S,
+}
+
+impl<S: Strategy, const N: usize> Strategy for UniformArray<S, N> {
+    type Value = [S::Value; N];
+
+    fn generate(&self, rng: &mut TestRng) -> [S::Value; N] {
+        std::array::from_fn(|_| self.element.generate(rng))
+    }
+}
+
+macro_rules! uniform_ctor {
+    ($($name:ident => $n:literal),*) => {$(
+        /// An array of independent draws from `element`.
+        pub fn $name<S: Strategy>(element: S) -> UniformArray<S, $n> {
+            UniformArray { element }
+        }
+    )*};
+}
+
+uniform_ctor!(uniform4 => 4, uniform8 => 8, uniform16 => 16, uniform24 => 24, uniform32 => 32);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn uniform24_shape() {
+        let mut rng = TestRng::seed_from_u64(6);
+        let s = uniform24(0u32..50);
+        let a = s.generate(&mut rng);
+        assert_eq!(a.len(), 24);
+        assert!(a.iter().all(|&x| x < 50));
+    }
+}

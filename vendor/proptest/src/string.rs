@@ -1,0 +1,160 @@
+//! Regex-like string generation for `&str` strategies.
+//!
+//! Supports the pattern subset the test suite uses: one character class —
+//! either an explicit set like `[a-zA-Z0-9 _!.,]` (with `x-y` ranges) or
+//! `\PC` (any non-control character) — followed by a `{min,max}`
+//! repetition. Examples: `"[a-z]{1,8}"`, `"[a-z !.,]{10,80}"`,
+//! `"\\PC{0,200}"`.
+
+use crate::test_runner::TestRng;
+use rand::Rng;
+
+/// Non-ASCII characters mixed into `\PC` output so multi-byte UTF-8,
+/// emoji, and non-Latin scripts are exercised.
+const EXTENDED: &[char] = &[
+    'é', 'ü', 'ß', 'ñ', 'ø', 'λ', 'Ω', 'д', 'ж', '中', '文', '日', '本', '€', '£', '½', '†', '–',
+    '—', '“', '”', '…', '🙂', '😀', '🚀', '🔥', '❤', '✨',
+];
+
+#[derive(Debug, Clone)]
+enum CharClass {
+    /// Explicit characters collected from a `[...]` set.
+    Set(Vec<char>),
+    /// `\PC`: any non-control character.
+    Printable,
+}
+
+impl CharClass {
+    fn sample(&self, rng: &mut TestRng) -> char {
+        match self {
+            CharClass::Set(chars) => chars[rng.index(chars.len())],
+            CharClass::Printable => {
+                // Mostly ASCII so text-shaped properties (tokenization,
+                // language filters) see realistic input, with a steady
+                // trickle of multi-byte characters.
+                if rng.chance(0.85) {
+                    char::from(rng.random_range(0x20u8..0x7F))
+                } else {
+                    EXTENDED[rng.index(EXTENDED.len())]
+                }
+            }
+        }
+    }
+}
+
+fn parse(pattern: &str) -> (CharClass, usize, usize) {
+    let (class, rest) = if let Some(rest) = pattern.strip_prefix("\\PC") {
+        (CharClass::Printable, rest)
+    } else if let Some(body) = pattern.strip_prefix('[') {
+        let end = body
+            .find(']')
+            .unwrap_or_else(|| panic!("unterminated character class in pattern {pattern:?}"));
+        let mut chars = Vec::new();
+        let set: Vec<char> = body[..end].chars().collect();
+        let mut i = 0;
+        while i < set.len() {
+            if i + 2 < set.len() && set[i + 1] == '-' {
+                let (lo, hi) = (set[i] as u32, set[i + 2] as u32);
+                assert!(lo <= hi, "descending range in pattern {pattern:?}");
+                chars.extend((lo..=hi).filter_map(char::from_u32));
+                i += 3;
+            } else {
+                chars.push(set[i]);
+                i += 1;
+            }
+        }
+        assert!(!chars.is_empty(), "empty character class in {pattern:?}");
+        (CharClass::Set(chars), &body[end + 1..])
+    } else {
+        panic!("unsupported string pattern {pattern:?} (expected [..] or \\PC)");
+    };
+
+    let (min, max) = if let Some(reps) = rest.strip_prefix('{') {
+        let end = reps
+            .find('}')
+            .unwrap_or_else(|| panic!("unterminated repetition in pattern {pattern:?}"));
+        assert!(
+            reps[end + 1..].is_empty(),
+            "trailing garbage after repetition in {pattern:?}"
+        );
+        let body = &reps[..end];
+        match body.split_once(',') {
+            Some((lo, hi)) => (
+                lo.trim().parse().expect("repetition lower bound"),
+                hi.trim().parse().expect("repetition upper bound"),
+            ),
+            None => {
+                let n = body.trim().parse().expect("repetition count");
+                (n, n)
+            }
+        }
+    } else {
+        assert!(
+            rest.is_empty(),
+            "trailing garbage after character class in {pattern:?}"
+        );
+        (1, 1)
+    };
+    assert!(min <= max, "descending repetition in {pattern:?}");
+    (class, min, max)
+}
+
+/// Generates one string matching `pattern`.
+pub fn generate_from_pattern(pattern: &str, rng: &mut TestRng) -> String {
+    let (class, min, max) = parse(pattern);
+    let len = rng.random_range(min..=max);
+    (0..len).map(|_| class.sample(rng)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> TestRng {
+        TestRng::seed_from_u64(12)
+    }
+
+    #[test]
+    fn class_with_ranges_and_literals() {
+        let mut r = rng();
+        for _ in 0..200 {
+            let s = generate_from_pattern("[a-z0-9 !.,_]{1,12}", &mut r);
+            assert!((1..=12).contains(&s.chars().count()));
+            assert!(s
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || " !.,_".contains(c)));
+        }
+    }
+
+    #[test]
+    fn printable_class_has_no_controls() {
+        let mut r = rng();
+        for _ in 0..200 {
+            let s = generate_from_pattern("\\PC{0,60}", &mut r);
+            assert!(s.chars().count() <= 60);
+            assert!(!s.chars().any(char::is_control));
+        }
+    }
+
+    #[test]
+    fn printable_class_eventually_emits_multibyte() {
+        let mut r = rng();
+        let mut saw_multibyte = false;
+        for _ in 0..100 {
+            let s = generate_from_pattern("\\PC{0,60}", &mut r);
+            saw_multibyte |= s.chars().any(|c| c.len_utf8() > 1);
+        }
+        assert!(saw_multibyte);
+    }
+
+    #[test]
+    fn zero_length_allowed() {
+        let mut r = rng();
+        let mut saw_empty = false;
+        for _ in 0..200 {
+            saw_empty |= generate_from_pattern("[a-z]{0,2}", &mut r).is_empty();
+        }
+        assert!(saw_empty);
+    }
+}

@@ -1,0 +1,99 @@
+//! Case execution: configuration, RNG, and the runner behind
+//! [`crate::proptest!`].
+
+pub use rand::rngs::StdRng as TestRng;
+use rand::SeedableRng;
+
+/// Per-block configuration. Only `cases` is honoured.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of cases generated per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` cases per test.
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// FNV-1a, used to derive a stable per-test base seed from the test name.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xCBF2_9CE4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Runs `case` for the configured number of cases. Each case gets a fresh,
+/// deterministically seeded RNG; a failing case panics with its seed so it
+/// can be replayed with `PROPTEST_SEED`.
+pub fn run_cases(
+    name: &str,
+    config: &ProptestConfig,
+    mut case: impl FnMut(&mut TestRng) -> Result<(), String>,
+) {
+    let cases = std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse::<u32>().ok())
+        .unwrap_or(config.cases);
+    let base = std::env::var("PROPTEST_SEED")
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+        .unwrap_or_else(|| fnv1a(name.as_bytes()));
+    for i in 0..cases as u64 {
+        let seed = base.wrapping_add(i.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let mut rng = TestRng::seed_from_u64(seed);
+        if let Err(msg) = case(&mut rng) {
+            panic!(
+                "proptest {name}: case {i}/{cases} failed \
+                 (replay with PROPTEST_SEED={base} PROPTEST_CASES={cases}):\n{msg}"
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runs_the_configured_number_of_cases() {
+        let mut n = 0u32;
+        run_cases("count", &ProptestConfig::with_cases(17), |_| {
+            n += 1;
+            Ok(())
+        });
+        assert_eq!(n, 17);
+    }
+
+    #[test]
+    #[should_panic(expected = "boom")]
+    fn failures_panic_with_message() {
+        run_cases("fail", &ProptestConfig::with_cases(3), |_| {
+            Err("boom".to_string())
+        });
+    }
+
+    #[test]
+    fn seeds_differ_across_cases() {
+        let mut first = Vec::new();
+        run_cases("seeds", &ProptestConfig::with_cases(8), |rng| {
+            first.push(rand::Rng::next_u64(rng));
+            Ok(())
+        });
+        let mut uniq = first.clone();
+        uniq.sort_unstable();
+        uniq.dedup();
+        assert_eq!(uniq.len(), first.len());
+    }
+}

@@ -1,0 +1,362 @@
+//! Offline stand-in for the subset of the `rand` crate API this workspace
+//! uses.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors a minimal, dependency-free implementation of the surface the
+//! code actually calls:
+//!
+//! * [`Rng`] — `random`, `random_range` (half-open and inclusive integer
+//!   and float ranges), `shuffle`, `index`, `chance`;
+//! * [`SeedableRng::seed_from_u64`];
+//! * [`rngs::StdRng`] — a xoshiro256++ generator seeded via SplitMix64.
+//!
+//! Everything is deterministic per seed, which the synthetic-world
+//! generator and the test suite rely on. Statistical quality is that of
+//! xoshiro256++ (passes BigCrush), far beyond what corpus synthesis needs.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::ops::{Range, RangeInclusive};
+
+/// A source of randomness. The only required method is [`Rng::next_u64`];
+/// every sampling helper is derived from it.
+pub trait Rng {
+    /// The next 64 uniformly distributed bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// A uniformly distributed value of type `T` (see [`Standard`]).
+    fn random<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample_standard(self)
+    }
+
+    /// A uniform sample from `range`. Supports `a..b` and `a..=b` for the
+    /// primitive integer types and `a..b` for `f32`/`f64`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn random_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+        Self: Sized,
+    {
+        range.sample_in(self)
+    }
+
+    /// Fisher–Yates shuffle of `slice` in place.
+    fn shuffle<T>(&mut self, slice: &mut [T])
+    where
+        Self: Sized,
+    {
+        for i in (1..slice.len()).rev() {
+            let j = uniform_below(self, i as u64 + 1) as usize;
+            slice.swap(i, j);
+        }
+    }
+
+    /// A uniform index into a collection of length `len`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len` is zero.
+    fn index(&mut self, len: usize) -> usize
+    where
+        Self: Sized,
+    {
+        assert!(len > 0, "cannot sample an index from an empty collection");
+        uniform_below(self, len as u64) as usize
+    }
+
+    /// `true` with probability `p` (clamped to `[0, 1]`).
+    fn chance(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        self.random::<f64>() < p
+    }
+}
+
+impl<R: Rng + ?Sized> Rng for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Construction from a `u64` seed.
+pub trait SeedableRng: Sized {
+    /// Builds a generator whose stream is fully determined by `seed`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Types that can be sampled uniformly from their "natural" distribution:
+/// full range for integers and `bool`, the half-open unit interval for
+/// floats.
+pub trait Standard: Sized {
+    /// Draws one value from `rng`.
+    fn sample_standard<R: Rng + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard for u64 {
+    fn sample_standard<R: Rng + ?Sized>(rng: &mut R) -> u64 {
+        rng.next_u64()
+    }
+}
+
+impl Standard for u32 {
+    fn sample_standard<R: Rng + ?Sized>(rng: &mut R) -> u32 {
+        (rng.next_u64() >> 32) as u32
+    }
+}
+
+impl Standard for bool {
+    fn sample_standard<R: Rng + ?Sized>(rng: &mut R) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Standard for f64 {
+    fn sample_standard<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+        // 53 uniform mantissa bits in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for f32 {
+    fn sample_standard<R: Rng + ?Sized>(rng: &mut R) -> f32 {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+/// Ranges that [`Rng::random_range`] can sample from.
+pub trait SampleRange<T> {
+    /// Draws one value from `rng`, uniform over the range.
+    fn sample_in<R: Rng + ?Sized>(self, rng: &mut R) -> T;
+}
+
+/// Scalars with a uniform sampler over a bounded range. The blanket
+/// [`SampleRange`] impls below are generic over this trait — that shape
+/// matters: it ties the range's element type to `random_range`'s return
+/// type during inference, so `base_i64 + rng.random_range(0..60)`
+/// resolves the literal range to `Range<i64>` exactly as real rand does.
+pub trait SampleUniform: Sized + PartialOrd + Copy {
+    /// Uniform sample from `[start, end)`; panics when empty.
+    fn sample_half_open<R: Rng + ?Sized>(rng: &mut R, start: Self, end: Self) -> Self;
+    /// Uniform sample from `[start, end]`; panics when empty.
+    fn sample_inclusive<R: Rng + ?Sized>(rng: &mut R, start: Self, end: Self) -> Self;
+}
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    fn sample_in<R: Rng + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_half_open(rng, self.start, self.end)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+    fn sample_in<R: Rng + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_inclusive(rng, *self.start(), *self.end())
+    }
+}
+
+/// Debiased uniform sample in `[0, n)` via Lemire's widening-multiply
+/// rejection method. `n` must be non-zero.
+fn uniform_below<R: Rng + ?Sized>(rng: &mut R, n: u64) -> u64 {
+    debug_assert!(n > 0);
+    loop {
+        let x = rng.next_u64();
+        let m = (x as u128) * (n as u128);
+        let low = m as u64;
+        if low >= n || low >= n.wrapping_neg() % n {
+            return (m >> 64) as u64;
+        }
+    }
+}
+
+macro_rules! int_sample_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_half_open<R: Rng + ?Sized>(rng: &mut R, start: $t, end: $t) -> $t {
+                assert!(
+                    start < end,
+                    "cannot sample from empty range {start}..{end}"
+                );
+                let span = (end as i128 - start as i128) as u64;
+                start.wrapping_add(uniform_below(rng, span) as $t)
+            }
+
+            fn sample_inclusive<R: Rng + ?Sized>(rng: &mut R, start: $t, end: $t) -> $t {
+                assert!(
+                    start <= end,
+                    "cannot sample from empty range {start}..={end}"
+                );
+                let span = (end as i128 - start as i128) as u128 + 1;
+                if span > u64::MAX as u128 {
+                    return rng.next_u64() as $t;
+                }
+                start.wrapping_add(uniform_below(rng, span as u64) as $t)
+            }
+        }
+    )*};
+}
+
+int_sample_uniform!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! float_sample_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_half_open<R: Rng + ?Sized>(rng: &mut R, start: $t, end: $t) -> $t {
+                assert!(
+                    start < end,
+                    "cannot sample from empty range {start}..{end}"
+                );
+                let unit: $t = <$t as Standard>::sample_standard(rng);
+                let v = start + (end - start) * unit;
+                // Guard the open upper bound against rounding.
+                if v < end { v } else { start }
+            }
+
+            fn sample_inclusive<R: Rng + ?Sized>(rng: &mut R, start: $t, end: $t) -> $t {
+                assert!(
+                    start <= end,
+                    "cannot sample from empty range {start}..={end}"
+                );
+                let unit: $t = <$t as Standard>::sample_standard(rng);
+                start + (end - start) * unit
+            }
+        }
+    )*};
+}
+
+float_sample_uniform!(f32, f64);
+
+/// The provided generators.
+pub mod rngs {
+    use super::{Rng, SeedableRng};
+
+    /// The standard generator: xoshiro256++, seeded through SplitMix64.
+    ///
+    /// ```
+    /// use rand::{rngs::StdRng, Rng, SeedableRng};
+    /// let mut a = StdRng::seed_from_u64(7);
+    /// let mut b = StdRng::seed_from_u64(7);
+    /// assert_eq!(a.next_u64(), b.next_u64());
+    /// ```
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        state: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> StdRng {
+            // SplitMix64 expansion, the reference seeding procedure for the
+            // xoshiro family.
+            let mut sm = seed;
+            let mut next = || {
+                sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = sm;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            let state = [next(), next(), next(), next()];
+            StdRng { state }
+        }
+    }
+
+    impl Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let [s0, s1, s2, s3] = self.state;
+            let result = s0.wrapping_add(s3).rotate_left(23).wrapping_add(s0);
+            let t = s1 << 17;
+            let mut s = [s0, s1, s2, s3];
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            self.state = s;
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(43);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let x = rng.random_range(3..17);
+            assert!((3..17).contains(&x));
+            let y = rng.random_range(-8..=9);
+            assert!((-8..=9).contains(&y));
+            let f = rng.random_range(0.25f64..0.75);
+            assert!((0.25..0.75).contains(&f));
+            let u: f64 = rng.random();
+            assert!((0.0..1.0).contains(&u));
+        }
+    }
+
+    #[test]
+    fn range_is_roughly_uniform() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut counts = [0u32; 10];
+        for _ in 0..100_000 {
+            counts[rng.random_range(0..10usize)] += 1;
+        }
+        for &c in &counts {
+            assert!((8_000..12_000).contains(&c), "bucket count {c}");
+        }
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut v: Vec<u32> = (0..50).collect();
+        rng.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn index_and_chance() {
+        let mut rng = StdRng::seed_from_u64(11);
+        for _ in 0..1000 {
+            assert!(rng.index(7) < 7);
+        }
+        assert!(!rng.chance(0.0));
+        assert!(rng.chance(1.0));
+    }
+
+    #[test]
+    fn works_through_mut_references() {
+        fn takes_impl(rng: &mut impl Rng) -> u64 {
+            // Re-borrowing must also satisfy `impl Rng`.
+            fn nested(rng: &mut impl Rng) -> u64 {
+                rng.random_range(0..100u64)
+            }
+            nested(rng)
+        }
+        let mut rng = StdRng::seed_from_u64(2);
+        assert!(takes_impl(&mut rng) < 100);
+    }
+}
