@@ -131,10 +131,7 @@ pub fn lemmatization_ablation(ctx: &Ctx) -> String {
     let known_raw = raw_builder.build(&ctx.world.reddit.originals_corpus);
     let ae_raw = raw_builder.build(&ctx.world.reddit.alter_egos_corpus);
     let n = w1.len();
-    let ae_raw = Dataset {
-        name: "w1_raw".into(),
-        records: ae_raw.records[..n.min(ae_raw.len())].to_vec(),
-    };
+    let ae_raw = Dataset::new("w1_raw", ae_raw.records[..n.min(ae_raw.len())].to_vec());
     let engine = TwoStage::new(ctx.engine_config.clone());
     let mut t = Table::new(["lemmatization", "acc@1", "acc@10"]);
     let on = wrap_stage1(engine.reduce(known, &w1));
@@ -157,10 +154,7 @@ pub fn batch_size_sweep(ctx: &Ctx) -> String {
     let known = &ctx.world.reddit.originals;
     let (w1, _) = ctx.w_splits();
     // Use a subsample for tractability.
-    let sample = Dataset {
-        name: "batch_sweep".into(),
-        records: w1.records[..w1.len().min(120)].to_vec(),
-    };
+    let sample = Dataset::new("batch_sweep", w1.records[..w1.len().min(120)].to_vec());
     let engine = TwoStage::new(ctx.engine_config.clone());
     let reference = engine.run(known, &sample);
     let mut t = Table::new(["batch size B", "top-match agreement", "acc@1"]);
@@ -212,10 +206,10 @@ pub fn obfuscation_defence(ctx: &Ctx) -> String {
         }
     }
     let scrubbed_all = DatasetBuilder::new().build(&scrubbed_corpus);
-    let scrubbed = Dataset {
-        name: "w1_scrubbed".into(),
-        records: scrubbed_all.records[..w1.len().min(scrubbed_all.len())].to_vec(),
-    };
+    let scrubbed = Dataset::new(
+        "w1_scrubbed",
+        scrubbed_all.records[..w1.len().min(scrubbed_all.len())].to_vec(),
+    );
     let obf = wrap_stage1(engine.reduce(known, &scrubbed));
     t.row([
         "obfuscated".to_string(),
@@ -265,9 +259,6 @@ impl DatasetBuilderNoLemma {
                 }
             })
             .collect();
-        Dataset {
-            name: corpus.name.clone(),
-            records,
-        }
+        Dataset::new(corpus.name.clone(), records)
     }
 }

@@ -32,10 +32,7 @@ fn main() {
     let known = &world.reddit.originals;
     let ae = &world.reddit.alter_egos;
     let n_unknown = ae.len().min(300);
-    let unknown = darklight_core::dataset::Dataset {
-        name: "probe".into(),
-        records: ae.records[..n_unknown].to_vec(),
-    };
+    let unknown = darklight_core::dataset::Dataset::new("probe", ae.records[..n_unknown].to_vec());
 
     let act_w: f32 = std::env::var("CAL_ACT_W")
         .ok()

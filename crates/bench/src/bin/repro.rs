@@ -2,7 +2,7 @@
 //! synthetic world.
 //!
 //! ```text
-//! repro [experiment...] [--metrics <path>]
+//! repro [experiment...] [--metrics <path>] [--threads N]
 //!   experiments: table1 table2 table3 table4 table5 table6
 //!                fig1 fig2 fig3 fig4 fig5
 //!                darkweb batch results-dark results-open john-doe
@@ -10,13 +10,16 @@
 //! Environment:
 //!   DARKLIGHT_SCALE=small|default|paper   scenario scale
 //!   DARKLIGHT_OUT=<dir>                   write per-experiment .md files
+//!   DARKLIGHT_THREADS=N                   worker-pool override (0/unset = auto)
 //! ```
 //!
-//! Every run also times one metrics-instrumented batched DarkWeb link and
-//! writes `BENCH_repro.json` (into `DARKLIGHT_OUT` or the working
-//! directory): wall-clock per phase, messages/sec of the instrumented
-//! link, and peak candidate-set sizes. `--metrics <path>` additionally
-//! dumps the full darklight-obs registry snapshot of that run.
+//! Every run also times the batched DarkWeb link twice — once serially
+//! (threads = 1) and once on the configured worker pool — and writes
+//! `BENCH_repro.json` (into `DARKLIGHT_OUT` or the working directory):
+//! wall-clock per phase, before/after messages-per-second, the resulting
+//! parallel speedup, and peak candidate-set sizes. `--metrics <path>`
+//! additionally dumps the full darklight-obs registry snapshot of the
+//! parallel run. `--threads N` sets the pool explicitly (0 = auto).
 
 use darklight_bench::experiments as exp;
 use darklight_bench::{prepare_world, scale_from_env};
@@ -66,6 +69,22 @@ fn main() {
         args.remove(i);
         path
     });
+    let threads: usize = args
+        .iter()
+        .position(|a| a == "--threads")
+        .map(|i| {
+            if i + 1 >= args.len() {
+                eprintln!("--threads requires a count (0 = auto)");
+                std::process::exit(2);
+            }
+            let value = args.remove(i + 1);
+            args.remove(i);
+            value.parse().unwrap_or_else(|_| {
+                eprintln!("--threads must be an integer, got {value:?}");
+                std::process::exit(2);
+            })
+        })
+        .unwrap_or(0);
     let wanted: Vec<&str> = if args.is_empty() || args.iter().any(|a| a == "all") {
         ALL.to_vec()
     } else {
@@ -154,13 +173,34 @@ fn main() {
         }
     }
 
-    // One instrumented batched DarkWeb link drives the throughput and
-    // candidate-pool numbers in BENCH_repro.json (and the full registry
-    // dump behind --metrics). Metrics never change attribution output,
-    // so this run is representative of the uninstrumented pipeline.
+    // The batched DarkWeb link runs twice: a serial baseline (threads = 1,
+    // no instrumentation) and then the instrumented run on the configured
+    // worker pool. Their wall-clocks give the before/after throughput and
+    // speedup in BENCH_repro.json. Metrics never change attribution
+    // output, and neither does the thread count (pinned by
+    // `tests/thread_parity.rs`), so both runs score identically.
+    let resolved_threads = darklight_par::resolve_threads(threads);
+    let serial_engine = TwoStage::new(TwoStageConfig {
+        threads: 1,
+        ..TwoStageConfig::default()
+    });
+    let t_serial = Instant::now();
+    let serial_ranked = run_batched(
+        &serial_engine,
+        &BatchConfig::default(),
+        &dw_known,
+        &dw_unknown,
+    );
+    let serial_s = t_serial.elapsed().as_secs_f64();
+    phases.push(("serial_link".to_string(), serial_s));
+    eprintln!(
+        "[serial darkweb link done in {serial_s:.1}s: {} unknowns, 1 thread]",
+        serial_ranked.len()
+    );
     let metrics = PipelineMetrics::enabled();
     let engine = TwoStage::new(TwoStageConfig {
         metrics: metrics.clone(),
+        threads: resolved_threads,
         ..TwoStageConfig::default()
     });
     let t_link = Instant::now();
@@ -175,9 +215,11 @@ fn main() {
         .filter(|m| m.best().is_some_and(|r| r.score >= threshold))
         .count();
     eprintln!(
-        "[instrumented darkweb link done in {link_s:.1}s: {} unknowns, {} messages]",
+        "[instrumented darkweb link done in {link_s:.1}s: {} unknowns, {} messages, \
+         {resolved_threads} thread(s), {:.2}x vs serial]",
         ranked.len(),
-        messages
+        messages,
+        if link_s > 0.0 { serial_s / link_s } else { 0.0 },
     );
 
     let bench_path = out_dir
@@ -187,7 +229,9 @@ fn main() {
     let report = bench_report(
         &phases,
         messages,
+        serial_s,
         link_s,
+        resolved_threads,
         accepted,
         ranked.len() - accepted,
         &metrics,
@@ -201,12 +245,16 @@ fn main() {
     }
 }
 
-/// Renders the benchmark summary: wall-clock per phase, instrumented-link
-/// throughput, and peak candidate-set sizes from the batched pipeline.
+/// Renders the benchmark summary: wall-clock per phase, serial vs
+/// parallel link throughput (and their ratio), and peak candidate-set
+/// sizes from the batched pipeline.
+#[allow(clippy::too_many_arguments)]
 fn bench_report(
     phases: &[(String, f64)],
     messages: usize,
+    serial_s: f64,
     link_s: f64,
+    threads: usize,
     accepted: usize,
     rejected: usize,
     metrics: &PipelineMetrics,
@@ -218,6 +266,15 @@ fn bench_report(
     let pools = metrics.histogram("batch.final_pool_size");
     let mut link = Json::object();
     link.set("messages", Json::UInt(messages as u64));
+    link.set("threads", Json::UInt(threads as u64));
+    link.set(
+        "messages_per_sec_serial",
+        Json::Float(if serial_s > 0.0 {
+            messages as f64 / serial_s
+        } else {
+            0.0
+        }),
+    );
     link.set(
         "messages_per_sec",
         Json::Float(if link_s > 0.0 {
@@ -225,6 +282,10 @@ fn bench_report(
         } else {
             0.0
         }),
+    );
+    link.set(
+        "speedup",
+        Json::Float(if link_s > 0.0 { serial_s / link_s } else { 0.0 }),
     );
     link.set(
         "stage1_ns",

@@ -55,14 +55,8 @@ impl Ctx {
         let ae = &self.world.reddit.alter_egos;
         let n = ae.len().min(self.max_unknowns);
         let half = n / 2;
-        let w1 = Dataset {
-            name: "w1".into(),
-            records: ae.records[..half].to_vec(),
-        };
-        let w2 = Dataset {
-            name: "w2".into(),
-            records: ae.records[half..n].to_vec(),
-        };
+        let w1 = Dataset::new("w1", ae.records[..half].to_vec());
+        let w2 = Dataset::new("w2", ae.records[half..n].to_vec());
         (w1, w2)
     }
 
@@ -400,10 +394,7 @@ pub fn fig2(ctx: &Ctx) -> String {
 pub fn fig3(ctx: &Ctx, max_unknowns: usize) -> String {
     let known = &ctx.world.reddit.originals;
     let (w1, _) = ctx.w_splits();
-    let unknown = Dataset {
-        name: "fig3".into(),
-        records: w1.records[..w1.len().min(max_unknowns)].to_vec(),
-    };
+    let unknown = Dataset::new("fig3", w1.records[..w1.len().min(max_unknowns)].to_vec());
     let mut out = String::from("## Fig. 3 — baseline comparison\n\n");
     let mut t = Table::new(["Method", "AUC", "wall-clock (s)"]);
 
@@ -851,10 +842,7 @@ pub fn render_figures(ctx: &Ctx, dir: &std::path::Path) -> String {
     {
         let known = &ctx.world.reddit.originals;
         let (w1, _) = ctx.w_splits();
-        let probe = Dataset {
-            name: "fig3svg".into(),
-            records: w1.records[..w1.len().min(300)].to_vec(),
-        };
+        let probe = Dataset::new("fig3svg", w1.records[..w1.len().min(300)].to_vec());
         let std_curve = PrCurve::from_labeled(&{
             let ranked = StandardBaseline::default().run(known, &probe);
             let results = wrap_stage1(ranked);
@@ -989,10 +977,7 @@ pub fn scale_trend(probe_unknowns: usize) -> String {
         let world = crate::prepare_world(&config);
         let known = &world.reddit.originals;
         let n = world.reddit.alter_egos.len().min(probe_unknowns);
-        let unknown = Dataset {
-            name: "probe".into(),
-            records: world.reddit.alter_egos.records[..n].to_vec(),
-        };
+        let unknown = Dataset::new("probe", world.reddit.alter_egos.records[..n].to_vec());
         let engine = TwoStage::new(TwoStageConfig::default());
         let ours_results = engine.run(known, &unknown);
         let ours_auc =

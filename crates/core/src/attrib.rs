@@ -127,7 +127,9 @@ impl CandidateIndex {
     }
 
     /// Scores a batch of queries across `threads` worker threads,
-    /// preserving input order.
+    /// preserving input order (the shared [`darklight_par::par_map`]
+    /// helper guarantees slot `i` holds query `i`'s result for every
+    /// thread count, ragged tails included).
     pub fn top_k_batch(
         &self,
         queries: &[SparseVector],
@@ -136,26 +138,7 @@ impl CandidateIndex {
     ) -> Vec<Vec<Ranked>> {
         let _batch = self.instruments.batch_time.start();
         self.instruments.batch_queries.add(queries.len() as u64);
-        let threads = threads.max(1).min(queries.len().max(1));
-        if threads == 1 || queries.len() < 4 {
-            return queries.iter().map(|q| self.top_k(q, k)).collect();
-        }
-        let chunk = queries.len().div_ceil(threads);
-        let mut results: Vec<Vec<Ranked>> = vec![Vec::new(); queries.len()];
-        std::thread::scope(|scope| {
-            // `chunks_mut` and `chunks` split at the same boundaries, so
-            // zipping them pairs each result slot with its query — no
-            // start-offset arithmetic that could drift out of sync when
-            // the last chunk is short (e.g. 7 queries on 3 threads).
-            for (slot, qs) in results.chunks_mut(chunk).zip(queries.chunks(chunk)) {
-                scope.spawn(move || {
-                    for (out, q) in slot.iter_mut().zip(qs) {
-                        *out = self.top_k(q, k);
-                    }
-                });
-            }
-        });
-        results
+        darklight_par::par_map(queries, threads, |_, q| self.top_k(q, k))
     }
 }
 

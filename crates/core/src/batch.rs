@@ -48,7 +48,12 @@ pub fn run_batched(
     // Per-unknown surviving candidate indices (into `known`).
     let mut survivors: Vec<Vec<usize>> = vec![(0..known.len()).collect(); unknown.len()];
     // Iterate rounds until every unknown's pool fits in one batch. Each
-    // round applies k-attribution within batches of B.
+    // round applies k-attribution within batches of B. A round maps each
+    // pool to a subset of itself, so pools shrink monotonically — but
+    // when `batch_size <= k` every batch keeps all its members and the
+    // pool is a fixed point. A round that changes nothing would repeat
+    // forever (the map is deterministic), so bail out and let the final
+    // stage rescore the oversized pools instead of hanging.
     loop {
         let max_pool = survivors.iter().map(Vec::len).max().unwrap_or(0);
         peak_pool.set_max(max_pool as i64);
@@ -56,6 +61,7 @@ pub fn run_batched(
             break;
         }
         rounds.incr();
+        let before = survivors.clone();
         // All unknowns share rounds but pools can differ after round one;
         // in round one all pools are identical, afterwards k·ceil(n/B)
         // shrinks fast. Process per unknown-group with identical pools to
@@ -67,14 +73,22 @@ pub fn run_batched(
             let new_pools = batched_round(engine, config, known, unknown, &pool, None);
             survivors = new_pools;
         } else {
-            let mut next: Vec<Vec<usize>> = Vec::with_capacity(survivors.len());
-            for (u, pool) in survivors.iter().enumerate() {
-                let round = batched_round(engine, config, known, unknown, pool, Some(u));
-                next.push(round.into_iter().next().expect("one unknown processed"));
-            }
-            survivors = next;
+            // Divergent pools: each unknown reduces against its own pool,
+            // independently of the others — fan the per-unknown rounds out
+            // over the worker pool, keeping pool order by construction.
+            let threads = engine.config().effective_threads();
+            survivors = darklight_par::par_map(&survivors, threads, |u, pool| {
+                batched_round(engine, config, known, unknown, pool, Some(u))
+                    .into_iter()
+                    .next()
+                    .expect("one unknown processed")
+            });
         }
         let _ = k;
+        if survivors == before {
+            metrics.counter("batch.stalled").incr();
+            break;
+        }
     }
     let pool_sizes = metrics.histogram("batch.final_pool_size");
     for pool in &survivors {
@@ -138,10 +152,13 @@ fn batched_round(
 }
 
 fn subset(ds: &Dataset, indices: &[usize]) -> Dataset {
-    Dataset {
-        name: ds.name.clone(),
-        records: indices.iter().map(|&i| ds.records[i].clone()).collect(),
-    }
+    let (max_word_n, max_char_n) = ds.ngram_orders();
+    Dataset::with_orders(
+        ds.name.clone(),
+        indices.iter().map(|&i| ds.records[i].clone()).collect(),
+        max_word_n,
+        max_char_n,
+    )
 }
 
 fn subset_one(ds: &Dataset, index: usize) -> Dataset {
@@ -271,6 +288,33 @@ mod tests {
             unknown.len() as u64
         );
         assert_eq!(metrics.timer("batch.total").count(), 1);
+    }
+
+    #[test]
+    fn batch_no_larger_than_k_terminates() {
+        // With batch_size <= k every batch keeps all its members, so no
+        // round can shrink the pool; the stall guard must break out
+        // instead of looping forever, and the final stage still ranks
+        // every unknown against its (oversized) pool.
+        use darklight_obs::PipelineMetrics;
+        let (known, unknown) = world();
+        let metrics = PipelineMetrics::enabled();
+        let e = TwoStage::new(TwoStageConfig {
+            k: 3,
+            threads: 2,
+            metrics: metrics.clone(),
+            ..TwoStageConfig::default()
+        });
+        let results = run_batched(&e, &BatchConfig { batch_size: 3 }, &known, &unknown);
+        assert_eq!(metrics.counter("batch.stalled").get(), 1);
+        assert_eq!(results.len(), unknown.len());
+        for m in &results {
+            let best = m.best().expect("candidates exist");
+            assert_eq!(
+                known.records[best.index].persona,
+                unknown.records[m.unknown].persona
+            );
+        }
     }
 
     #[test]

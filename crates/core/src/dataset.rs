@@ -7,10 +7,13 @@
 //! (persona ids, leaked facts) rides along untouched for the evaluation
 //! layer.
 
+use std::collections::HashMap;
+
 use darklight_activity::profile::{DailyActivityProfile, ProfileBuilder, ProfilePolicy};
 use darklight_corpus::model::{Corpus, Fact};
 use darklight_corpus::refine::select_text;
 use darklight_features::pipeline::{CountedDoc, PreparedDoc};
+use darklight_obs::PipelineMetrics;
 use darklight_text::lemma::Lemmatizer;
 
 /// One attribution-ready alias.
@@ -33,15 +36,61 @@ pub struct Record {
 }
 
 /// A named set of attribution-ready records.
+///
+/// Construct with [`Dataset::new`] (or
+/// [`Dataset::with_orders`] when the records were counted at non-default
+/// n-gram maxima); construction builds the alias → index map that backs
+/// O(1) [`index_of`](Dataset::index_of) lookups, so `records` should not
+/// be mutated afterwards — derive new datasets through
+/// [`with_word_budget`](Dataset::with_word_budget) /
+/// [`merged_with`](Dataset::merged_with) instead.
 #[derive(Debug, Clone)]
 pub struct Dataset {
     /// Dataset name (usually the forum name).
     pub name: String,
     /// The records.
     pub records: Vec<Record>,
+    /// The n-gram maxima the records' [`CountedDoc`]s were counted at.
+    max_word_n: usize,
+    max_char_n: usize,
+    /// alias → index of its *first* occurrence, built once at construction.
+    alias_index: HashMap<String, usize>,
 }
 
 impl Dataset {
+    /// A dataset whose records were counted at the paper's n-gram maxima
+    /// (word 1–3, char 1–5).
+    pub fn new(name: impl Into<String>, records: Vec<Record>) -> Dataset {
+        Dataset::with_orders(
+            name,
+            records,
+            crate::PAPER_MAX_WORD_N,
+            crate::PAPER_MAX_CHAR_N,
+        )
+    }
+
+    /// A dataset whose records were counted at the given n-gram maxima.
+    pub fn with_orders(
+        name: impl Into<String>,
+        records: Vec<Record>,
+        max_word_n: usize,
+        max_char_n: usize,
+    ) -> Dataset {
+        let mut alias_index = HashMap::with_capacity(records.len());
+        for (i, r) in records.iter().enumerate() {
+            // First occurrence wins, matching the linear-scan semantics the
+            // map replaced (merged datasets can hold duplicate aliases).
+            alias_index.entry(r.alias.clone()).or_insert(i);
+        }
+        Dataset {
+            name: name.into(),
+            records,
+            max_word_n,
+            max_char_n,
+            alias_index,
+        }
+    }
+
     /// Number of records.
     pub fn len(&self) -> usize {
         self.records.len()
@@ -52,21 +101,28 @@ impl Dataset {
         self.records.is_empty()
     }
 
-    /// Index of an alias, if present.
+    /// The `(max_word_n, max_char_n)` the records were counted at.
+    pub fn ngram_orders(&self) -> (usize, usize) {
+        (self.max_word_n, self.max_char_n)
+    }
+
+    /// Index of an alias, if present (first occurrence for duplicates).
+    /// O(1): backed by a map built once at construction.
     pub fn index_of(&self, alias: &str) -> Option<usize> {
-        self.records.iter().position(|r| r.alias == alias)
+        self.alias_index.get(alias).copied()
     }
 
     /// Restricts every record's document to the first `words` word tokens
     /// (the Table III word-budget sweep). Profiles are kept as they are —
-    /// the sweep varies text, not timestamps.
+    /// the sweep varies text, not timestamps. Recounting preserves the
+    /// dataset's configured n-gram maxima.
     pub fn with_word_budget(&self, words: usize) -> Dataset {
         let records = self
             .records
             .iter()
             .map(|r| {
                 let doc = r.doc.truncate_words(words);
-                let counted = CountedDoc::from_prepared(&doc, 3, 5);
+                let counted = CountedDoc::from_prepared(&doc, self.max_word_n, self.max_char_n);
                 Record {
                     alias: r.alias.clone(),
                     persona: r.persona,
@@ -78,21 +134,21 @@ impl Dataset {
                 }
             })
             .collect();
-        Dataset {
-            name: self.name.clone(),
-            records,
-        }
+        Dataset::with_orders(self.name.clone(), records, self.max_word_n, self.max_char_n)
     }
 
     /// Concatenates two datasets (the paper merges TMG and DM into a
-    /// single DarkWeb dataset in §IV-G).
+    /// single DarkWeb dataset in §IV-G). The merged dataset advertises the
+    /// larger n-gram maxima of the two halves.
     pub fn merged_with(&self, other: &Dataset, name: impl Into<String>) -> Dataset {
         let mut records = self.records.clone();
         records.extend(other.records.iter().cloned());
-        Dataset {
-            name: name.into(),
+        Dataset::with_orders(
+            name,
             records,
-        }
+            self.max_word_n.max(other.max_word_n),
+            self.max_char_n.max(other.max_char_n),
+        )
     }
 }
 
@@ -104,7 +160,18 @@ pub struct DatasetBuilder {
     /// Profile policy (paper defaults: UTC, 30 timestamps, weekends and
     /// holidays excluded).
     pub profile_policy: ProfilePolicy,
+    /// Maximum word n-gram length to precount (paper: 3). Must cover the
+    /// largest `max_word_n` of any [`FeatureConfig`] fitted on the
+    /// records — see [`with_ngram_orders`](DatasetBuilder::with_ngram_orders).
+    ///
+    /// [`FeatureConfig`]: darklight_features::pipeline::FeatureConfig
+    pub max_word_n: usize,
+    /// Maximum char n-gram length to precount (paper: 5).
+    pub max_char_n: usize,
+    /// Worker threads for per-alias preparation (0 = auto).
+    pub threads: usize,
     lemmatizer: Lemmatizer,
+    metrics: PipelineMetrics,
 }
 
 impl DatasetBuilder {
@@ -113,7 +180,11 @@ impl DatasetBuilder {
         DatasetBuilder {
             word_budget: crate::PAPER_WORD_BUDGET,
             profile_policy: ProfilePolicy::default(),
+            max_word_n: crate::PAPER_MAX_WORD_N,
+            max_char_n: crate::PAPER_MAX_CHAR_N,
+            threads: 0,
             lemmatizer: Lemmatizer::new(),
+            metrics: PipelineMetrics::disabled(),
         }
     }
 
@@ -123,35 +194,70 @@ impl DatasetBuilder {
         self
     }
 
+    /// Sets the n-gram maxima records are precounted at. Pass the largest
+    /// `max_word_n`/`max_char_n` over every stage configuration that will
+    /// score the records — counting at larger maxima only adds longer
+    /// grams, which compete in the frequency ranking as the paper's do,
+    /// while counting at *smaller* maxima silently drops whole n-gram
+    /// families from scoring.
+    pub fn with_ngram_orders(mut self, max_word_n: usize, max_char_n: usize) -> DatasetBuilder {
+        assert!(max_word_n >= 1, "word n-gram order must be at least 1");
+        assert!(max_char_n >= 1, "char n-gram order must be at least 1");
+        self.max_word_n = max_word_n;
+        self.max_char_n = max_char_n;
+        self
+    }
+
+    /// Sets the worker-thread count for [`build`](DatasetBuilder::build)
+    /// (0 = auto-detect; see [`darklight_par::resolve_threads`]).
+    pub fn with_threads(mut self, threads: usize) -> DatasetBuilder {
+        self.threads = threads;
+        self
+    }
+
+    /// Records build timing and thread counts into `metrics`.
+    pub fn with_metrics(mut self, metrics: PipelineMetrics) -> DatasetBuilder {
+        self.metrics = metrics;
+        self
+    }
+
     /// Builds the dataset: selects text, prepares and counts documents,
     /// builds activity profiles. Aliases whose profile cannot be built
     /// keep `profile = None` (their vectors simply lack the activity
     /// block).
+    ///
+    /// Per-alias preparation (tokenize → lemmatize → count) is
+    /// independent across aliases and runs on the configured worker pool;
+    /// output order is the corpus order regardless of thread count.
     pub fn build(&self, corpus: &Corpus) -> Dataset {
+        let _build = self.metrics.timer("dataset.build").start();
+        let threads = darklight_par::resolve_threads(self.threads);
+        self.metrics.gauge("dataset.threads").set(threads as i64);
         let profiles = ProfileBuilder::new(self.profile_policy);
-        let records = corpus
-            .users
-            .iter()
-            .map(|user| {
-                let text = select_text(user, self.word_budget);
-                let doc = PreparedDoc::prepare(&text, Some(&self.lemmatizer));
-                let counted = CountedDoc::from_prepared(&doc, 3, 5);
-                let profile = profiles.build(&user.timestamps()).ok();
-                Record {
-                    alias: user.alias.clone(),
-                    persona: user.persona,
-                    facts: user.facts.clone(),
-                    text,
-                    doc,
-                    counted,
-                    profile,
-                }
-            })
-            .collect();
-        Dataset {
-            name: corpus.name.clone(),
+        let records = darklight_par::par_map(&corpus.users, threads, |_, user| {
+            let text = select_text(user, self.word_budget);
+            let doc = PreparedDoc::prepare(&text, Some(&self.lemmatizer));
+            let counted = CountedDoc::from_prepared(&doc, self.max_word_n, self.max_char_n);
+            let profile = profiles.build(&user.timestamps()).ok();
+            Record {
+                alias: user.alias.clone(),
+                persona: user.persona,
+                facts: user.facts.clone(),
+                text,
+                doc,
+                counted,
+                profile,
+            }
+        });
+        self.metrics
+            .counter("dataset.records_built")
+            .add(records.len() as u64);
+        Dataset::with_orders(
+            corpus.name.clone(),
             records,
-        }
+            self.max_word_n,
+            self.max_char_n,
+        )
     }
 }
 
@@ -235,5 +341,72 @@ mod tests {
         let ds = DatasetBuilder::new().build(&c);
         assert_eq!(ds.records[0].persona, Some(9));
         assert_eq!(ds.records[0].facts.len(), 1);
+    }
+
+    #[test]
+    fn index_of_finds_every_alias_and_first_duplicate() {
+        let ds = DatasetBuilder::new().build(&corpus());
+        assert_eq!(ds.index_of("writer"), Some(0));
+        assert_eq!(ds.index_of("thin"), Some(1));
+        assert_eq!(ds.index_of("missing"), None);
+        // Self-merge duplicates every alias; the map must report the first
+        // occurrence, like the linear scan it replaced.
+        let merged = ds.merged_with(&ds, "double");
+        assert_eq!(merged.index_of("writer"), Some(0));
+        assert_eq!(merged.index_of("thin"), Some(1));
+    }
+
+    /// Regression: `build` and `with_word_budget` used to hardcode the
+    /// paper's `(3, 5)` n-gram maxima, silently ignoring configured
+    /// orders. With `max_word_n = 2`, no counted 3-gram may exist; with
+    /// `max_word_n = 4`, 4-grams must.
+    #[test]
+    fn configured_ngram_orders_respected() {
+        let word_order = |key: &str| key.split(' ').count();
+        let bigrams_only = DatasetBuilder::new()
+            .with_ngram_orders(2, 3)
+            .build(&corpus());
+        assert_eq!(bigrams_only.ngram_orders(), (2, 3));
+        let counted = &bigrams_only.records[0].counted;
+        assert!(counted.word_counts().keys().any(|k| word_order(k) == 2));
+        assert!(
+            counted.word_counts().keys().all(|k| word_order(k) <= 2),
+            "an order-2 dataset must not count word 3-grams"
+        );
+        assert!(counted.char_counts().keys().all(|k| k.chars().count() <= 3));
+
+        let four = DatasetBuilder::new()
+            .with_ngram_orders(4, 5)
+            .build(&corpus());
+        assert!(four.records[0]
+            .counted
+            .word_counts()
+            .keys()
+            .any(|k| word_order(k) == 4));
+
+        // The budget sweep recounts at the dataset's orders, not (3, 5).
+        let cut = bigrams_only.with_word_budget(30);
+        assert_eq!(cut.ngram_orders(), (2, 3));
+        assert!(cut.records[0]
+            .counted
+            .word_counts()
+            .keys()
+            .all(|k| word_order(k) <= 2));
+    }
+
+    #[test]
+    fn build_is_deterministic_across_thread_counts() {
+        let c = corpus();
+        let serial = DatasetBuilder::new().with_threads(1).build(&c);
+        for threads in [2, 7] {
+            let par = DatasetBuilder::new().with_threads(threads).build(&c);
+            assert_eq!(serial.len(), par.len());
+            for (a, b) in serial.records.iter().zip(&par.records) {
+                assert_eq!(a.alias, b.alias, "threads = {threads}");
+                assert_eq!(a.text, b.text);
+                assert_eq!(a.counted.word_counts(), b.counted.word_counts());
+                assert_eq!(a.counted.char_counts(), b.counted.char_counts());
+            }
+        }
     }
 }

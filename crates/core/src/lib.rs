@@ -55,3 +55,9 @@ pub const PAPER_K: usize = 10;
 
 /// The paper's per-alias word budget (§IV-C1/Table III).
 pub const PAPER_WORD_BUDGET: usize = 1_500;
+
+/// The paper's maximum word n-gram length (§IV-A, Table II).
+pub const PAPER_MAX_WORD_N: usize = 3;
+
+/// The paper's maximum char n-gram length (§IV-A, Table II).
+pub const PAPER_MAX_CHAR_N: usize = 5;

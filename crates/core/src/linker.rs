@@ -47,14 +47,27 @@ pub struct Linker {
 }
 
 impl Linker {
-    /// Creates a linker.
+    /// Creates a linker. The `two_stage.threads` knob is the single
+    /// thread-count source for the whole pipeline: polishing, dataset
+    /// building, and both attribution stages all resolve their worker
+    /// pools from it.
     pub fn new(config: LinkerConfig) -> Linker {
-        let polisher = Polisher::new(config.polish.clone());
+        let threads = config.two_stage.threads;
+        let polisher = Polisher::new(config.polish.clone()).with_threads(threads);
+        // Precount at the largest n-gram maxima any stage will score with;
+        // a smaller count silently drops whole n-gram families (the old
+        // hardcoded (3, 5) bug).
+        let ts = &config.two_stage;
+        let max_word_n = ts.reduction.max_word_n.max(ts.final_stage.max_word_n);
+        let max_char_n = ts.reduction.max_char_n.max(ts.final_stage.max_char_n);
+        let builder = DatasetBuilder::new()
+            .with_ngram_orders(max_word_n, max_char_n)
+            .with_threads(threads);
         Linker {
             config,
             metrics: PipelineMetrics::disabled(),
             polisher,
-            builder: DatasetBuilder::new(),
+            builder,
         }
     }
 
@@ -63,7 +76,10 @@ impl Linker {
     /// Metrics only observe; enabling them does not change which pairs
     /// are emitted (pinned by `tests/metrics_parity.rs`).
     pub fn with_metrics(mut self, metrics: PipelineMetrics) -> Linker {
-        self.polisher = Polisher::new(self.config.polish.clone()).with_metrics(metrics.clone());
+        self.polisher = Polisher::new(self.config.polish.clone())
+            .with_threads(self.config.two_stage.threads)
+            .with_metrics(metrics.clone());
+        self.builder = self.builder.with_metrics(metrics.clone());
         self.config.two_stage.metrics = metrics.clone();
         self.metrics = metrics;
         self

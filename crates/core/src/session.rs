@@ -29,20 +29,32 @@ impl LinkSession {
     /// Fits the stage-1 space and index on `known`. Everything expensive
     /// happens here.
     pub fn new(config: TwoStageConfig, known: Dataset) -> LinkSession {
+        let threads = config.effective_threads();
         let space = FeatureExtractor::new(config.reduction.clone())
+            .with_threads(threads)
             .fit_counted(known.records.iter().map(|r| &r.counted));
-        let vectors: Vec<SparseVector> = known
-            .records
-            .iter()
-            .map(|r| space.vectorize_counted(&r.counted, r.profile.as_ref()))
-            .collect();
+        let vectors: Vec<SparseVector> = darklight_par::par_map(&known.records, threads, |_, r| {
+            space.vectorize_counted(&r.counted, r.profile.as_ref())
+        });
         let index = CandidateIndex::build(&vectors, space.dim());
+        // Ad-hoc query users must be counted at the n-gram maxima the
+        // session's stage configurations score with.
+        let max_word_n = config
+            .reduction
+            .max_word_n
+            .max(config.final_stage.max_word_n);
+        let max_char_n = config
+            .reduction
+            .max_char_n
+            .max(config.final_stage.max_char_n);
         LinkSession {
             engine: TwoStage::new(config),
             known,
             space,
             index,
-            builder: DatasetBuilder::new(),
+            builder: DatasetBuilder::new()
+                .with_ngram_orders(max_word_n, max_char_n)
+                .with_threads(threads),
         }
     }
 
@@ -68,10 +80,8 @@ impl LinkSession {
             .space
             .vectorize_counted(&record.counted, record.profile.as_ref());
         let candidates = self.index.top_k(&v, self.engine.config().k);
-        let unknown = Dataset {
-            name: "query".into(),
-            records: vec![record.clone()],
-        };
+        let (max_word_n, max_char_n) = self.known.ngram_orders();
+        let unknown = Dataset::with_orders("query", vec![record.clone()], max_word_n, max_char_n);
         self.engine
             .rescore(&self.known, &unknown, vec![candidates])
             .into_iter()

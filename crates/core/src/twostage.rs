@@ -60,14 +60,22 @@ impl TwoStageConfig {
         self
     }
 
-    fn effective_threads(&self) -> usize {
-        if self.threads > 0 {
-            self.threads
-        } else {
-            std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(4)
-        }
+    /// The resolved worker count: `threads` when positive, otherwise
+    /// auto-detected (`DARKLIGHT_THREADS` override, then
+    /// `available_parallelism`, falling back to 1 — serial, always
+    /// correct — when detection fails). The resolved count is recorded in
+    /// the `twostage.threads` gauge by every entry point so snapshots show
+    /// what actually ran.
+    pub fn effective_threads(&self) -> usize {
+        darklight_par::resolve_threads(self.threads)
+    }
+
+    /// Records the resolved worker count in the `twostage.threads` gauge
+    /// and returns it.
+    fn observed_threads(&self) -> usize {
+        let threads = self.effective_threads();
+        self.metrics.gauge("twostage.threads").set(threads as i64);
+        threads
     }
 }
 
@@ -116,21 +124,21 @@ impl TwoStage {
     pub fn reduce(&self, known: &Dataset, unknown: &Dataset) -> Vec<Vec<Ranked>> {
         let metrics = &self.config.metrics;
         let _stage1 = metrics.timer("twostage.stage1").start();
+        let threads = self.config.observed_threads();
         let space = FeatureExtractor::new(self.config.reduction.clone())
             .with_metrics(metrics.clone())
+            .with_threads(threads)
             .fit_counted(known.records.iter().map(|r| &r.counted));
-        let known_vecs: Vec<SparseVector> = known
-            .records
-            .iter()
-            .map(|r| space.vectorize_counted(&r.counted, r.profile.as_ref()))
-            .collect();
+        let known_vecs: Vec<SparseVector> =
+            darklight_par::par_map(&known.records, threads, |_, r| {
+                space.vectorize_counted(&r.counted, r.profile.as_ref())
+            });
         let index = CandidateIndex::build_with_metrics(&known_vecs, space.dim(), metrics);
-        let queries: Vec<SparseVector> = unknown
-            .records
-            .iter()
-            .map(|r| space.vectorize_counted(&r.counted, r.profile.as_ref()))
-            .collect();
-        index.top_k_batch(&queries, self.config.k, self.config.effective_threads())
+        let queries: Vec<SparseVector> =
+            darklight_par::par_map(&unknown.records, threads, |_, r| {
+                space.vectorize_counted(&r.counted, r.profile.as_ref())
+            });
+        index.top_k_batch(&queries, self.config.k, threads)
     }
 
     /// Both stages for every unknown alias.
@@ -155,33 +163,16 @@ impl TwoStage {
         );
         let metrics = &self.config.metrics;
         let _stage2 = metrics.timer("twostage.stage2").start();
-        let threads = self.config.effective_threads().max(1);
-        let n = unknown.records.len();
-        metrics.counter("twostage.rescored_unknowns").add(n as u64);
-        let mut results: Vec<Option<RankedMatch>> = vec![None; n];
-        let chunk = n.div_ceil(threads).max(1);
-        let stage1_ref = &stage1;
-        std::thread::scope(|scope| {
-            // The global index of each slot follows from the actual chunk
-            // lengths (a running offset), not from `chunk × position` —
-            // the two agree today, but only the former survives a change
-            // to how `chunks_mut` splits the tail.
-            let mut start = 0usize;
-            for slot in results.chunks_mut(chunk) {
-                let begin = start;
-                start += slot.len();
-                scope.spawn(move || {
-                    for (off, out) in slot.iter_mut().enumerate() {
-                        let u = begin + off;
-                        *out = Some(self.rescore_one(known, unknown, u, &stage1_ref[u]));
-                    }
-                });
-            }
-        });
-        results
-            .into_iter()
-            .map(|r| r.expect("every slot filled"))
-            .collect()
+        let threads = self.config.observed_threads();
+        metrics
+            .counter("twostage.rescored_unknowns")
+            .add(unknown.records.len() as u64);
+        // Each unknown's refit/re-rank is independent; the shared helper
+        // guarantees slot `u` of the output is unknown `u`'s result for
+        // every thread count.
+        darklight_par::par_map(&stage1, threads, |u, candidates| {
+            self.rescore_one(known, unknown, u, candidates)
+        })
     }
 
     /// Runs stage 2 for a single unknown: refit on the candidate set,
@@ -249,21 +240,21 @@ impl TwoStage {
         depth: usize,
     ) -> Vec<RankedMatch> {
         let metrics = &self.config.metrics;
+        let threads = self.config.observed_threads();
         let space = FeatureExtractor::new(self.config.final_stage.clone())
             .with_metrics(metrics.clone())
+            .with_threads(threads)
             .fit_counted(known.records.iter().map(|r| &r.counted));
-        let known_vecs: Vec<SparseVector> = known
-            .records
-            .iter()
-            .map(|r| space.vectorize_counted(&r.counted, r.profile.as_ref()))
-            .collect();
+        let known_vecs: Vec<SparseVector> =
+            darklight_par::par_map(&known.records, threads, |_, r| {
+                space.vectorize_counted(&r.counted, r.profile.as_ref())
+            });
         let index = CandidateIndex::build_with_metrics(&known_vecs, space.dim(), metrics);
-        let queries: Vec<SparseVector> = unknown
-            .records
-            .iter()
-            .map(|r| space.vectorize_counted(&r.counted, r.profile.as_ref()))
-            .collect();
-        let tops = index.top_k_batch(&queries, depth, self.config.effective_threads());
+        let queries: Vec<SparseVector> =
+            darklight_par::par_map(&unknown.records, threads, |_, r| {
+                space.vectorize_counted(&r.counted, r.profile.as_ref())
+            });
+        let tops = index.top_k_batch(&queries, depth, threads);
         tops.into_iter()
             .enumerate()
             .map(|(u, ranked)| RankedMatch {
@@ -465,10 +456,7 @@ mod tests {
     #[test]
     fn empty_unknown_set() {
         let (known, _) = world();
-        let empty = Dataset {
-            name: "empty".into(),
-            records: Vec::new(),
-        };
+        let empty = Dataset::new("empty", Vec::new());
         let engine = TwoStage::new(config());
         assert!(engine.run(&known, &empty).is_empty());
     }

@@ -108,6 +108,19 @@ impl PolishReport {
             + self.low_diversity_messages
             + self.non_english_messages
     }
+
+    /// Sums another report into this one. Every field is a count, so the
+    /// fold over per-user partial reports is order-independent — the
+    /// merged report is identical for any worker count.
+    fn absorb(&mut self, other: &PolishReport) {
+        self.bot_accounts += other.bot_accounts;
+        self.duplicate_messages += other.duplicate_messages;
+        self.short_messages += other.short_messages;
+        self.low_diversity_messages += other.low_diversity_messages;
+        self.non_english_messages += other.non_english_messages;
+        self.emptied_users += other.emptied_users;
+        self.kept_messages += other.kept_messages;
+    }
 }
 
 /// Locally accumulated per-step nanoseconds, flushed to the metrics
@@ -120,6 +133,18 @@ struct StepNanos {
     length: u64,
     diversity: u64,
     language: u64,
+}
+
+impl StepNanos {
+    /// Sums another accumulator into this one (total CPU-time per step
+    /// across workers, like the serial accumulation it generalizes).
+    fn absorb(&mut self, other: &StepNanos) {
+        self.dedup += other.dedup;
+        self.transforms += other.transforms;
+        self.length += other.length;
+        self.diversity += other.diversity;
+        self.language += other.language;
+    }
 }
 
 /// Runs `f`, adding its wall-clock to `acc` when `enabled`. Compiles to
@@ -142,6 +167,8 @@ pub struct Polisher {
     config: PolishConfig,
     metrics: PipelineMetrics,
     detector: LanguageDetector,
+    /// Worker threads for per-user polishing (0 = auto).
+    threads: usize,
 }
 
 impl Polisher {
@@ -151,12 +178,22 @@ impl Polisher {
             config,
             metrics: PipelineMetrics::disabled(),
             detector: LanguageDetector::new(),
+            threads: 0,
         }
     }
 
     /// Records per-step message counts and durations into `metrics`.
     pub fn with_metrics(mut self, metrics: PipelineMetrics) -> Polisher {
         self.metrics = metrics;
+        self
+    }
+
+    /// Polishes on up to `threads` worker threads (0 = auto-detect; see
+    /// [`darklight_par::resolve_threads`]). Users are independent — the
+    /// only stateful step, deduplication, is scoped per user — so the
+    /// polished corpus and report are identical for every thread count.
+    pub fn with_threads(mut self, threads: usize) -> Polisher {
+        self.threads = threads;
         self
     }
 
@@ -173,24 +210,40 @@ impl Polisher {
 
     /// Applies all twelve steps, returning the cleaned corpus and the
     /// removal report.
+    ///
+    /// Users are polished in parallel on the configured worker pool (the
+    /// per-message steps are independent across users; deduplication, the
+    /// only stateful step, is scoped per user). Kept users stay in corpus
+    /// order and the report is a sum of per-user counts, so output is
+    /// identical for every thread count.
     pub fn polish(&self, corpus: &Corpus) -> (Corpus, PolishReport) {
         let _total = self.metrics.timer("polish.total").start();
-        let mut report = PolishReport::default();
-        let mut steps = StepNanos::default();
-        let mut out = Corpus::new(corpus.name.clone());
-        let mut input_messages = 0u64;
-        for user in &corpus.users {
-            input_messages += user.posts.len() as u64;
+        let threads = darklight_par::resolve_threads(self.threads);
+        self.metrics.gauge("polish.threads").set(threads as i64);
+        let per_user = darklight_par::par_map(&corpus.users, threads, |_, user| {
+            let mut report = PolishReport::default();
+            let mut steps = StepNanos::default();
             if self.config.drop_bots && Self::is_bot_name(&user.alias) {
-                report.bot_accounts += 1;
-                continue;
+                report.bot_accounts = 1;
+                return (None, report, steps);
             }
             let cleaned = self.polish_user(user, &mut report, &mut steps);
             if self.config.drop_empty_users && cleaned.posts.is_empty() {
-                report.emptied_users += 1;
-                continue;
+                report.emptied_users = 1;
+                return (None, report, steps);
             }
-            out.users.push(cleaned);
+            (Some(cleaned), report, steps)
+        });
+        let mut report = PolishReport::default();
+        let mut steps = StepNanos::default();
+        let mut out = Corpus::new(corpus.name.clone());
+        let input_messages: u64 = corpus.users.iter().map(|u| u.posts.len() as u64).sum();
+        for (cleaned, user_report, user_steps) in per_user {
+            report.absorb(&user_report);
+            steps.absorb(&user_steps);
+            if let Some(user) = cleaned {
+                out.users.push(user);
+            }
         }
         self.flush_metrics(&report, &steps, input_messages);
         (out, report)
@@ -447,6 +500,29 @@ mod tests {
             .polish(&c);
         assert_eq!(plain_out, metered_out);
         assert_eq!(plain_report, metered_report);
+    }
+
+    #[test]
+    fn parallel_polish_identical_to_serial() {
+        let mut c = Corpus::new("mixed");
+        for (i, name) in ["alice", "spambot", "bob", "carol", "dave", "erin", "frank"]
+            .iter()
+            .enumerate()
+        {
+            let mut u = User::new(*name, Some(i as u64));
+            u.posts.push(Post::new(GOOD, i as i64));
+            u.posts.push(Post::new(GOOD, i as i64 + 1)); // duplicate
+            u.posts.push(Post::new("too short", i as i64 + 2));
+            u.posts
+                .push(Post::new(format!("{GOOD} variant {i}"), i as i64 + 3));
+            c.users.push(u);
+        }
+        let (serial_out, serial_report) = Polisher::default().with_threads(1).polish(&c);
+        for threads in [2, 3, 7] {
+            let (out, report) = Polisher::default().with_threads(threads).polish(&c);
+            assert_eq!(out, serial_out, "threads = {threads}");
+            assert_eq!(report, serial_report, "threads = {threads}");
+        }
     }
 
     #[test]

@@ -148,14 +148,14 @@ mod tests {
     }
 
     fn known() -> Dataset {
-        Dataset {
-            name: "known".into(),
-            records: vec![
+        Dataset::new(
+            "known",
+            vec![
                 record("a", Some(1)),
                 record("b", Some(2)),
                 record("c", None),
             ],
-        }
+        )
     }
 
     fn ranked(pairs: &[(usize, f64)]) -> Vec<Ranked> {
@@ -288,14 +288,8 @@ mod all_pairs_tests {
 
     #[test]
     fn all_pairs_expand_candidates() {
-        let known = Dataset {
-            name: "k".into(),
-            records: vec![record(Some(1)), record(Some(2))],
-        };
-        let unknown = Dataset {
-            name: "u".into(),
-            records: vec![record(Some(1))],
-        };
+        let known = Dataset::new("k", vec![record(Some(1)), record(Some(2))]);
+        let unknown = Dataset::new("u", vec![record(Some(1))]);
         let results = vec![RankedMatch {
             unknown: 0,
             stage1: Vec::new(),

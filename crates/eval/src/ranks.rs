@@ -121,10 +121,7 @@ mod tests {
     }
 
     fn dataset(personas: &[Option<u64>]) -> Dataset {
-        Dataset {
-            name: "d".into(),
-            records: personas.iter().map(|&p| record(p)).collect(),
-        }
+        Dataset::new("d", personas.iter().map(|&p| record(p)).collect())
     }
 
     fn rm(unknown: usize, candidates: &[usize]) -> RankedMatch {

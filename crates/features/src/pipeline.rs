@@ -248,6 +248,10 @@ pub struct FeatureSpace {
 pub struct FeatureExtractor {
     config: FeatureConfig,
     metrics: PipelineMetrics,
+    /// Worker threads for fitting (0/1 = serial). Callers pass an already
+    /// resolved count; the two-stage engine's per-unknown refits stay
+    /// serial to avoid nesting pools inside its own worker threads.
+    threads: usize,
 }
 
 impl FeatureExtractor {
@@ -256,6 +260,7 @@ impl FeatureExtractor {
         FeatureExtractor {
             config,
             metrics: PipelineMetrics::disabled(),
+            threads: 1,
         }
     }
 
@@ -263,6 +268,14 @@ impl FeatureExtractor {
     /// fitted afterwards inherit the handle.
     pub fn with_metrics(mut self, metrics: PipelineMetrics) -> FeatureExtractor {
         self.metrics = metrics;
+        self
+    }
+
+    /// Fits on up to `threads` worker threads (map-reduce over document
+    /// shards; the fitted vocabulary is identical to a serial fit for
+    /// every thread count). `0` is treated as 1 (serial).
+    pub fn with_threads(mut self, threads: usize) -> FeatureExtractor {
+        self.threads = threads.max(1);
         self
     }
 
@@ -307,21 +320,52 @@ impl FeatureExtractor {
         I: IntoIterator<Item = &'a PreparedDoc>,
     {
         let _fit = self.metrics.timer("features.fit").start();
-        let mut word_builder = VocabBuilder::new();
-        let mut char_builder = VocabBuilder::new();
-        for doc in docs {
-            word_builder.add_doc_counts(&count_terms(word_ngrams_up_to(
+        let docs: Vec<&PreparedDoc> = docs.into_iter().collect();
+        let (word_builder, char_builder) = self.accumulate(&docs, |doc, wb, cb| {
+            wb.add_doc_counts(&count_terms(word_ngrams_up_to(
                 &doc.words,
                 self.config.max_word_n,
             )));
-            char_builder.add_doc_counts(&count_terms(char_ngrams_up_to(
+            cb.add_doc_counts(&count_terms(char_ngrams_up_to(
                 &doc.char_text,
                 self.config.max_char_n,
             )));
-        }
+        });
         let word_vocab = word_builder.select_top(self.config.top_word_ngrams);
         let char_vocab = char_builder.select_top(self.config.top_char_ngrams);
         self.finish_space(word_vocab, char_vocab)
+    }
+
+    /// The map-reduce core of both fit paths: each worker accumulates a
+    /// private pair of [`VocabBuilder`]s over its contiguous document
+    /// shard, and the shards are merged serially in shard order. Term
+    /// totals, document frequencies, and document counts all sum, and
+    /// top-N selection ranks by (total, term) alone, so the fitted
+    /// vocabularies are identical to a serial pass for every thread count.
+    fn accumulate<D, F>(&self, docs: &[D], add: F) -> (VocabBuilder, VocabBuilder)
+    where
+        D: Sync,
+        F: Fn(&D, &mut VocabBuilder, &mut VocabBuilder) + Sync,
+    {
+        let threads = self.threads.max(1).min(docs.len().max(1));
+        self.metrics
+            .gauge("features.fit_threads")
+            .set(threads as i64);
+        let shards = darklight_par::par_map_chunks(docs, threads, |shard| {
+            let mut wb = VocabBuilder::new();
+            let mut cb = VocabBuilder::new();
+            for doc in shard {
+                add(doc, &mut wb, &mut cb);
+            }
+            (wb, cb)
+        });
+        let mut word_builder = VocabBuilder::new();
+        let mut char_builder = VocabBuilder::new();
+        for (wb, cb) in shards {
+            word_builder.merge(wb);
+            char_builder.merge(cb);
+        }
+        (word_builder, char_builder)
     }
 
     /// Fits from precomputed [`CountedDoc`]s. The counts must have been
@@ -333,12 +377,11 @@ impl FeatureExtractor {
         I: IntoIterator<Item = &'a CountedDoc>,
     {
         let _fit = self.metrics.timer("features.fit").start();
-        let mut word_builder = VocabBuilder::new();
-        let mut char_builder = VocabBuilder::new();
-        for doc in docs {
-            word_builder.add_doc_counts(&doc.word_counts);
-            char_builder.add_doc_counts(&doc.char_counts);
-        }
+        let docs: Vec<&CountedDoc> = docs.into_iter().collect();
+        let (word_builder, char_builder) = self.accumulate(&docs, |doc, wb, cb| {
+            wb.add_doc_counts(&doc.word_counts);
+            cb.add_doc_counts(&doc.char_counts);
+        });
         let word_vocab = word_builder.select_top(self.config.top_word_ngrams);
         let char_vocab = char_builder.select_top(self.config.top_char_ngrams);
         self.finish_space(word_vocab, char_vocab)
@@ -596,6 +639,41 @@ mod tests {
         assert_eq!(metrics.counter("features.vectors").get(), 1);
         assert_eq!(metrics.counter("features.vector_nnz").get(), v.nnz() as u64);
         assert_eq!(metrics.timer("features.vectorize").count(), 1);
+    }
+
+    #[test]
+    fn threaded_fit_matches_serial_exactly() {
+        let texts = [
+            "alpha beta gamma delta epsilon zeta eta theta",
+            "alpha beta something else entirely different here",
+            "unrelated words that share nothing at all today",
+            "beta gamma delta words appearing again and again",
+            "a fifth document so shards stay ragged on two threads",
+        ];
+        let docs: Vec<PreparedDoc> = texts.iter().map(|t| prep(t)).collect();
+        let counted: Vec<CountedDoc> = docs
+            .iter()
+            .map(|d| CountedDoc::from_prepared(d, 3, 5))
+            .collect();
+        let cfg = FeatureConfig::space_reduction();
+        let serial = FeatureExtractor::new(cfg.clone()).fit_counted(&counted);
+        for threads in [2, 3, 7] {
+            let par = FeatureExtractor::new(cfg.clone())
+                .with_threads(threads)
+                .fit_counted(&counted);
+            assert_eq!(par.dim(), serial.dim(), "threads = {threads}");
+            // Identical vocabularies ⇒ identical vectors for any doc.
+            for (d, c) in docs.iter().zip(&counted) {
+                let a = serial.vectorize_counted(c, None);
+                let b = par.vectorize_counted(c, None);
+                assert!((a.cosine(&b) - 1.0).abs() < 1e-9, "doc {:?}", d.words());
+            }
+            // And the prepared-doc fit path agrees too.
+            let par_fit = FeatureExtractor::new(cfg.clone())
+                .with_threads(threads)
+                .fit(&docs);
+            assert_eq!(par_fit.dim(), serial.dim());
+        }
     }
 
     #[test]

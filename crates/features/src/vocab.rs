@@ -40,6 +40,23 @@ impl VocabBuilder {
         self.add_doc_counts(&counts);
     }
 
+    /// Absorbs another builder's accumulated statistics, as if its
+    /// documents had been added to `self` directly. Term totals, document
+    /// frequencies, and the document count all sum, so folding any
+    /// partition of a corpus — in any order — yields a builder whose
+    /// [`select_top`](VocabBuilder::select_top) output is identical to a
+    /// single serial pass: selection ranks by (total, term) only, and
+    /// addition is commutative. This is the reduce step of the parallel
+    /// fit in `darklight-features::pipeline`.
+    pub fn merge(&mut self, other: VocabBuilder) {
+        self.docs += other.docs;
+        for (term, (total, df)) in other.stats {
+            let entry = self.stats.entry(term).or_insert((0, 0));
+            entry.0 += total;
+            entry.1 += df;
+        }
+    }
+
     /// Number of documents seen.
     pub fn num_docs(&self) -> u32 {
         self.docs
@@ -179,6 +196,36 @@ mod tests {
         assert_eq!(v.doc_freq(common), 3);
         assert_eq!(v.doc_freq(rare), 1);
         assert_eq!(v.num_docs(), 3);
+    }
+
+    #[test]
+    fn merge_equals_serial_accumulation() {
+        let docs = [
+            doc(&["x", "x", "y"]),
+            doc(&["x", "y", "z"]),
+            doc(&["z", "z", "w"]),
+        ];
+        let mut serial = VocabBuilder::new();
+        for d in &docs {
+            serial.add_doc_counts(d);
+        }
+        // Partition the docs 2 + 1 and merge the partial builders.
+        let mut left = VocabBuilder::new();
+        left.add_doc_counts(&docs[0]);
+        left.add_doc_counts(&docs[1]);
+        let mut right = VocabBuilder::new();
+        right.add_doc_counts(&docs[2]);
+        let mut merged = VocabBuilder::new();
+        merged.merge(left);
+        merged.merge(right);
+        assert_eq!(merged.num_docs(), serial.num_docs());
+        assert_eq!(merged.num_terms(), serial.num_terms());
+        let a = serial.select_top(10);
+        let b = merged.select_top(10);
+        for (term, i) in a.iter() {
+            assert_eq!(b.index_of(term), Some(i), "term {term:?}");
+            assert_eq!(b.doc_freq(i), a.doc_freq(i));
+        }
     }
 
     #[test]

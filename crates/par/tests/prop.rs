@@ -1,0 +1,64 @@
+//! Property tests for the shared worker-pool helper.
+//!
+//! The contract under test: for every input length and thread count —
+//! including the ragged cases (empty, singleton, fewer items than
+//! threads, length not divisible by the thread count) — `par_map`
+//! returns exactly the serial map, in order, with correct indices, and
+//! `par_map_chunks` partitions the slice into contiguous shards that
+//! reassemble to the input.
+
+use proptest::prelude::*;
+
+proptest! {
+    /// `par_map` equals the serial map for arbitrary lengths (0..=97,
+    /// biased to straddle the thread count) and thread counts (0..=16,
+    /// where 0 exercises the clamp-to-1 path).
+    #[test]
+    fn par_map_matches_serial(items in proptest::collection::vec(0i64..1000, 0..97), threads in 0usize..16) {
+        let serial: Vec<(usize, i64)> = items.iter().enumerate().map(|(i, &x)| (i, x * 3 - 7)).collect();
+        let parallel = darklight_par::par_map(&items, threads, |i, &x| (i, x * 3 - 7));
+        prop_assert_eq!(parallel, serial);
+    }
+
+    /// Every item's closure sees its own global index, regardless of
+    /// which chunk (and thread) it lands on.
+    #[test]
+    fn par_map_indices_are_global(len in 0usize..64, threads in 1usize..9) {
+        let items: Vec<usize> = (0..len).collect();
+        let indices = darklight_par::par_map(&items, threads, |i, &x| {
+            prop_assert_eq!(i, x);
+            Ok(i)
+        });
+        for (expect, got) in indices.into_iter().enumerate() {
+            prop_assert_eq!(got?, expect);
+        }
+    }
+
+    /// `par_map_chunks` shards are contiguous, ordered, and cover the
+    /// input exactly once — so any associative per-shard fold merged in
+    /// shard order equals the serial fold.
+    #[test]
+    fn par_map_chunks_reassembles_input(items in proptest::collection::vec(any::<u32>(), 0..80), threads in 0usize..12) {
+        let shards = darklight_par::par_map_chunks(&items, threads, |shard| shard.to_vec());
+        let reassembled: Vec<u32> = shards.iter().flatten().copied().collect();
+        prop_assert_eq!(reassembled, items.clone());
+        // No empty shards: every spawned worker had real work.
+        if !items.is_empty() {
+            prop_assert!(shards.iter().all(|s| !s.is_empty()));
+        }
+    }
+}
+
+/// The named ragged shapes from the issue, pinned explicitly so a
+/// shrinking failure elsewhere cannot hide them: 0 items, 1 item,
+/// fewer items than threads, and a length not divisible by the
+/// thread count.
+#[test]
+fn ragged_shapes_pinned() {
+    for (len, threads) in [(0usize, 4usize), (1, 4), (3, 8), (7, 3), (10, 4), (11, 3)] {
+        let items: Vec<usize> = (0..len).collect();
+        let out = darklight_par::par_map(&items, threads, |i, &x| i + x);
+        let expect: Vec<usize> = (0..len).map(|i| i * 2).collect();
+        assert_eq!(out, expect, "len={len} threads={threads}");
+    }
+}

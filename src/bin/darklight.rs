@@ -11,11 +11,14 @@
 //!     Corpus statistics: users, posts, words-per-user CDF.
 //!
 //! darklight link <known.tsv> <unknown.tsv> [--threshold T] [--k K]
-//!               [--metrics out.json]
+//!               [--threads N] [--metrics out.json]
 //!     Polish, refine, and link the two corpora; print matched alias
 //!     pairs as TSV (unknown_alias, known_alias, score). With
 //!     --metrics, also write a JSON snapshot of pipeline counters,
 //!     stage timers, and latency histograms (see darklight-obs).
+//!     --threads 0 (the default) sizes the worker pool from the
+//!     machine (or the DARKLIGHT_THREADS environment variable);
+//!     output is identical at every thread count.
 //!
 //! darklight profile <corpus.tsv> <alias>
 //!     Activity profile and leaked-fact dossier for one alias.
@@ -64,7 +67,7 @@ const USAGE: &str = "usage: darklight <gen|polish|stats|link|profile|obfuscate> 
   gen <out-dir> [--scale small|default|paper] [--seed N]\n\
   polish <in.tsv> <out.tsv>\n\
   stats <in.tsv>\n\
-  link <known.tsv> <unknown.tsv> [--threshold T] [--k K] [--metrics out.json]\n\
+  link <known.tsv> <unknown.tsv> [--threshold T] [--k K] [--threads N] [--metrics out.json]\n\
   profile <corpus.tsv> <alias>\n\
   obfuscate <in.tsv> <out.tsv>";
 
@@ -170,12 +173,18 @@ fn cmd_link(args: &[String]) -> Result<(), String> {
     if let Some(k) = flag_value(args, "--k") {
         config.two_stage.k = k.parse().map_err(|_| "--k must be an integer")?;
     }
+    if let Some(t) = flag_value(args, "--threads") {
+        config.two_stage.threads = t
+            .parse()
+            .map_err(|_| "--threads must be an integer (0 = auto)")?;
+    }
     eprintln!(
-        "linking {} unknowns against {} knowns (k={}, threshold={})...",
+        "linking {} unknowns against {} knowns (k={}, threshold={}, threads={})...",
         unknown.len(),
         known.len(),
         config.two_stage.k,
-        config.two_stage.threshold
+        config.two_stage.threshold,
+        config.two_stage.effective_threads(),
     );
     let metrics_path = flag_value(args, "--metrics");
     let mut linker = Linker::new(config);

@@ -23,7 +23,9 @@
 //! * [`eval`] — precision/recall curves, AUC, accuracy@k, verdict
 //!   simulation, and personal-profile aggregation;
 //! * [`obs`] — opt-in pipeline metrics (counters, gauges, stage timers,
-//!   latency histograms) with a dependency-free JSON snapshot.
+//!   latency histograms) with a dependency-free JSON snapshot;
+//! * [`par`] — the shared scoped-thread worker-pool helpers every parallel
+//!   stage routes through (deterministic indexed parallel map).
 //!
 //! # Quickstart
 //!
@@ -63,6 +65,7 @@ pub use darklight_corpus as corpus;
 pub use darklight_eval as eval;
 pub use darklight_features as features;
 pub use darklight_obs as obs;
+pub use darklight_par as par;
 pub use darklight_synth as synth;
 pub use darklight_text as text;
 

@@ -75,10 +75,10 @@ fn all_methods_sane_at_toy_scale() {
 fn method_ordering_at_default_scale() {
     let world = prepare_world(&ScenarioConfig::default_scale());
     let known = &world.reddit.originals;
-    let sample = darklight::core::dataset::Dataset {
-        name: "fig3_test".into(),
-        records: world.reddit.alter_egos.records[..300].to_vec(),
-    };
+    let sample = darklight::core::dataset::Dataset::new(
+        "fig3_test",
+        world.reddit.alter_egos.records[..300].to_vec(),
+    );
     let label =
         |r: &[RankedMatch]| PrCurve::from_labeled(&labeled_best_matches(r, known, &sample)).auc();
     let ours = label(&engine().run(known, &sample));
@@ -146,10 +146,10 @@ fn batched_pipeline_close_to_unbatched() {
 fn koppel_scores_are_vote_shares() {
     let w = world();
     let known = &w.reddit.originals;
-    let sample = darklight_core::dataset::Dataset {
-        name: "s".into(),
-        records: w.reddit.alter_egos.records[..5.min(w.reddit.alter_egos.len())].to_vec(),
-    };
+    let sample = darklight_core::dataset::Dataset::new(
+        "s",
+        w.reddit.alter_egos.records[..5.min(w.reddit.alter_egos.len())].to_vec(),
+    );
     let ranked = KoppelBaseline {
         iterations: 10,
         ..KoppelBaseline::default()

@@ -234,8 +234,5 @@ fn prelude_is_usable() {
     let _polish: PolishConfig = PolishConfig::default();
     let _fc: FeatureConfig = FeatureConfig::final_stage();
     let _v: Verdict = Verdict::Unclear;
-    let _ = Dataset {
-        name: "x".into(),
-        records: Vec::new(),
-    };
+    let _ = Dataset::new("x", Vec::new());
 }

@@ -119,6 +119,7 @@ fn snapshot_schema_is_pinned() {
             "attrib.batch_queries",
             "attrib.index_postings",
             "attrib.queries_scored",
+            "dataset.records_built",
             "features.fits",
             "features.vector_nnz",
             "features.vectors",
@@ -140,9 +141,13 @@ fn snapshot_schema_is_pinned() {
         vec![
             "attrib.index_dim",
             "attrib.index_users",
+            "dataset.threads",
             "features.char_vocab",
             "features.dim",
+            "features.fit_threads",
             "features.word_vocab",
+            "polish.threads",
+            "twostage.threads",
             "twostage.threshold_micros",
         ]
     );
@@ -155,6 +160,7 @@ fn snapshot_schema_is_pinned() {
         vec![
             "attrib.batch_scoring",
             "attrib.index_build",
+            "dataset.build",
             "features.fit",
             "features.vectorize",
             "linker.link",
