@@ -50,12 +50,15 @@ fn bench_batched(c: &mut Criterion) {
     let e = engine();
     c.bench_function("batched_b20_small", |b| {
         b.iter(|| {
-            black_box(run_batched(
-                &e,
-                &BatchConfig { batch_size: 20 },
-                &w.reddit.originals,
-                &w.reddit.alter_egos,
-            ))
+            black_box(
+                run_batched(
+                    &e,
+                    &BatchConfig { batch_size: 20 },
+                    &w.reddit.originals,
+                    &w.reddit.alter_egos,
+                )
+                .expect("valid batch config"),
+            )
         })
     });
 }

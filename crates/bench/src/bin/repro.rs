@@ -190,7 +190,8 @@ fn main() {
         &BatchConfig::default(),
         &dw_known,
         &dw_unknown,
-    );
+    )
+    .expect("valid batch config");
     let serial_s = t_serial.elapsed().as_secs_f64();
     phases.push(("serial_link".to_string(), serial_s));
     eprintln!(
@@ -204,7 +205,8 @@ fn main() {
         ..TwoStageConfig::default()
     });
     let t_link = Instant::now();
-    let ranked = run_batched(&engine, &BatchConfig::default(), &dw_known, &dw_unknown);
+    let ranked = run_batched(&engine, &BatchConfig::default(), &dw_known, &dw_unknown)
+        .expect("valid batch config");
     let link_s = t_link.elapsed().as_secs_f64();
     phases.push(("instrumented_link".to_string(), link_s));
     // `run_batched` stops before thresholding (that is `TwoStage::link`),

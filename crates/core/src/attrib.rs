@@ -316,6 +316,47 @@ mod tests {
     }
 
     #[test]
+    fn cmp_desc_is_total_under_non_finite_scores() {
+        // A sort comparator that is not a total order panics in the
+        // standard library sort; mixing NaN and both infinities is the
+        // worst case a zero-norm document can feed it.
+        let scores = [
+            f64::NAN,
+            f64::NEG_INFINITY,
+            0.5,
+            f64::INFINITY,
+            f64::NAN,
+            0.0,
+        ];
+        let top = top_k_of(&scores, scores.len());
+        let order: Vec<usize> = top.iter().map(|r| r.index).collect();
+        // +inf first, then finite descending, -inf, NaNs last by index.
+        assert_eq!(order, vec![3, 2, 5, 1, 0, 4]);
+    }
+
+    #[test]
+    fn top_k_batch_tolerates_zero_norm_vectors() {
+        // A document emptied by polishing vectorizes to the zero vector;
+        // as index entry and as query it must score, not panic.
+        let vectors = vec![
+            vec_of(&[(0, 1.0), (1, 1.0)]),
+            SparseVector::new(), // zero-norm known
+            vec_of(&[(1, 2.0)]),
+        ];
+        let index = CandidateIndex::build(&vectors, 4);
+        let queries = vec![vec_of(&[(1, 1.0)]), SparseVector::new()];
+        let tops = index.top_k_batch(&queries, 3, 2);
+        assert_eq!(tops.len(), 2);
+        // Real query: the zero-norm candidate never outranks a scored one.
+        assert!(tops[0].iter().all(|r| r.score.is_finite()));
+        // Zero-norm query: nothing to score; whatever comes back is
+        // finite or empty, never a panic.
+        for r in &tops[1] {
+            assert!(!r.score.is_nan(), "NaN leaked from zero-norm query");
+        }
+    }
+
+    #[test]
     fn rank_of_agrees_with_top_k_under_nan() {
         let scores = [f64::NAN, 0.2, 0.8, f64::NAN, 0.2];
         let full = top_k_of(&scores, scores.len());

@@ -6,10 +6,20 @@
 //! the final two-stage step then runs on that reduced set. Validated in
 //! the paper with `B = 100`, giving precision 91% / recall 81% at the
 //! global threshold — within a few points of the unbatched pipeline.
+//!
+//! Long batched runs are exactly the ones that get killed mid-flight, so
+//! [`run_batched_checkpointed`] persists the survivor pools after every
+//! round (see [`crate::checkpoint`]) and resumes from the last completed
+//! round. Resumption is refused when the run fingerprint — config plus
+//! dataset contents — does not match the checkpoint, because stale pools
+//! against a changed corpus would rank confidently and wrongly.
 
 use crate::attrib::Ranked;
+use crate::checkpoint::{self, Checkpoint, CheckpointError, Fnv1a};
 use crate::dataset::Dataset;
 use crate::twostage::{RankedMatch, TwoStage};
+use std::fmt;
+use std::path::PathBuf;
 
 /// Batched attribution configuration.
 #[derive(Debug, Clone, PartialEq)]
@@ -24,29 +34,297 @@ impl Default for BatchConfig {
     }
 }
 
+impl BatchConfig {
+    /// Checks the configuration is runnable.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BatchError::InvalidConfig`] when `batch_size` is zero —
+    /// a zero batch can never admit a candidate, so the round loop could
+    /// not terminate.
+    pub fn validate(&self) -> Result<(), BatchError> {
+        if self.batch_size == 0 {
+            return Err(BatchError::InvalidConfig(
+                "batch size must be positive".to_string(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Errors from batched attribution.
+#[derive(Debug)]
+pub enum BatchError {
+    /// The [`BatchConfig`] fails [`BatchConfig::validate`].
+    InvalidConfig(String),
+    /// Loading or saving the checkpoint failed, or the checkpoint belongs
+    /// to a different run.
+    Checkpoint(CheckpointError),
+    /// The run stopped after [`CheckpointSpec::interrupt_after_rounds`]
+    /// rounds; the checkpoint on disk holds the state reached so far.
+    Interrupted {
+        /// Total rounds completed (including any resumed ones).
+        rounds_done: u64,
+    },
+}
+
+impl fmt::Display for BatchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BatchError::InvalidConfig(why) => write!(f, "invalid batch config: {why}"),
+            BatchError::Checkpoint(e) => write!(f, "{e}"),
+            BatchError::Interrupted { rounds_done } => {
+                write!(
+                    f,
+                    "interrupted after {rounds_done} rounds (checkpoint saved)"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for BatchError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            BatchError::Checkpoint(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CheckpointError> for BatchError {
+    fn from(e: CheckpointError) -> BatchError {
+        BatchError::Checkpoint(e)
+    }
+}
+
+/// Where (and whether) a checkpointed run persists its state.
+#[derive(Debug, Clone)]
+pub struct CheckpointSpec {
+    /// Checkpoint file; written after every round, removed on success.
+    pub path: PathBuf,
+    /// Fault-injection hook: stop with [`BatchError::Interrupted`] after
+    /// this many rounds *in this process* (the round's checkpoint is
+    /// saved first). Simulates a kill mid-run for resume tests; `None`
+    /// in production.
+    pub interrupt_after_rounds: Option<u64>,
+}
+
+impl CheckpointSpec {
+    /// A production spec: checkpoint at `path`, never self-interrupt.
+    pub fn new(path: impl Into<PathBuf>) -> CheckpointSpec {
+        CheckpointSpec {
+            path: path.into(),
+            interrupt_after_rounds: None,
+        }
+    }
+}
+
 /// Runs the hierarchical batched pipeline: batched k-attribution rounds
 /// until the candidate pool fits one batch, then the standard second stage.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if `config.batch_size` is zero.
+/// Returns [`BatchError::InvalidConfig`] when `config` fails validation;
+/// no other error is possible without a checkpoint.
 pub fn run_batched(
     engine: &TwoStage,
     config: &BatchConfig,
     known: &Dataset,
     unknown: &Dataset,
-) -> Vec<RankedMatch> {
-    assert!(config.batch_size > 0, "batch size must be positive");
+) -> Result<Vec<RankedMatch>, BatchError> {
+    config.validate()?;
     let metrics = &engine.config().metrics;
     let _total = metrics.timer("batch.total").start();
     metrics
         .gauge("batch.batch_size")
         .set(config.batch_size as i64);
+    let mut survivors: Vec<Vec<usize>> = fresh_pools(known, unknown);
+    let mut rounds_done = 0u64;
+    run_rounds(
+        engine,
+        config,
+        known,
+        unknown,
+        &mut survivors,
+        &mut rounds_done,
+        |_, _| Ok(()),
+    )?;
+    Ok(finalize(engine, known, unknown, &survivors))
+}
+
+/// [`run_batched`] with crash recovery: the survivor pools are persisted
+/// to `spec.path` after every round, and a valid checkpoint there is
+/// resumed instead of starting over. On success the checkpoint file is
+/// removed.
+///
+/// # Errors
+///
+/// Returns [`BatchError::InvalidConfig`] on a bad config;
+/// [`BatchError::Checkpoint`] when the checkpoint cannot be read or
+/// written, or when its fingerprint does not match this run (config or
+/// corpus changed — delete the file to start fresh); and
+/// [`BatchError::Interrupted`] when the test-only interrupt hook fires.
+pub fn run_batched_checkpointed(
+    engine: &TwoStage,
+    config: &BatchConfig,
+    known: &Dataset,
+    unknown: &Dataset,
+    spec: &CheckpointSpec,
+) -> Result<Vec<RankedMatch>, BatchError> {
+    config.validate()?;
+    let fingerprint = run_fingerprint(engine, config, known, unknown);
+    let metrics = &engine.config().metrics;
+    let _total = metrics.timer("batch.total").start();
+    metrics
+        .gauge("batch.batch_size")
+        .set(config.batch_size as i64);
+    let (mut survivors, mut rounds_done) = match checkpoint::load(&spec.path)? {
+        Some(ck) => {
+            if ck.fingerprint != fingerprint {
+                return Err(BatchError::Checkpoint(
+                    CheckpointError::FingerprintMismatch {
+                        expected: fingerprint,
+                        found: ck.fingerprint,
+                    },
+                ));
+            }
+            if ck.survivors.len() != unknown.len()
+                || ck.survivors.iter().flatten().any(|&i| i >= known.len())
+            {
+                return Err(BatchError::Checkpoint(CheckpointError::Malformed(format!(
+                    "checkpoint pools do not fit the datasets ({} pools for {} unknowns)",
+                    ck.survivors.len(),
+                    unknown.len()
+                ))));
+            }
+            metrics.counter("batch.resumed").incr();
+            metrics
+                .gauge("batch.resumed_round")
+                .set(ck.rounds_done as i64);
+            (ck.survivors, ck.rounds_done)
+        }
+        None => (fresh_pools(known, unknown), 0),
+    };
+    let resumed_at = rounds_done;
+    run_rounds(
+        engine,
+        config,
+        known,
+        unknown,
+        &mut survivors,
+        &mut rounds_done,
+        |done, pools| {
+            checkpoint::save(
+                &spec.path,
+                &Checkpoint {
+                    fingerprint,
+                    rounds_done: done,
+                    survivors: pools.to_vec(),
+                },
+            )?;
+            if let Some(limit) = spec.interrupt_after_rounds {
+                if done - resumed_at >= limit {
+                    return Err(BatchError::Interrupted { rounds_done: done });
+                }
+            }
+            Ok(())
+        },
+    )?;
+    let out = finalize(engine, known, unknown, &survivors);
+    checkpoint::remove(&spec.path);
+    Ok(out)
+}
+
+/// Fingerprint identifying a batched run: engine config (`k`, threshold,
+/// both feature stages), batch size, and both datasets' contents (names,
+/// n-gram orders, aliases, personas, selected text, activity profiles).
+///
+/// Deliberately excluded: the metrics handle (enabling `--metrics` never
+/// changes output — pinned by `tests/metrics_parity.rs` — so it must not
+/// invalidate a checkpoint) and the thread count (output is
+/// thread-count-invariant — pinned by `tests/thread_parity.rs`).
+pub fn run_fingerprint(
+    engine: &TwoStage,
+    config: &BatchConfig,
+    known: &Dataset,
+    unknown: &Dataset,
+) -> u64 {
+    let mut h = Fnv1a::new();
+    h.write_u64(checkpoint::CHECKPOINT_VERSION);
+    h.write_u64(config.batch_size as u64);
+    let ec = engine.config();
+    h.write_u64(ec.k as u64);
+    h.write(&ec.threshold.to_bits().to_le_bytes());
+    hash_feature_config(&mut h, &ec.reduction);
+    hash_feature_config(&mut h, &ec.final_stage);
+    hash_dataset(&mut h, known);
+    hash_dataset(&mut h, unknown);
+    h.finish()
+}
+
+fn hash_feature_config(h: &mut Fnv1a, fc: &darklight_features::pipeline::FeatureConfig) {
+    h.write_u64(fc.max_word_n as u64);
+    h.write_u64(fc.max_char_n as u64);
+    h.write_u64(fc.top_word_ngrams as u64);
+    h.write_u64(fc.top_char_ngrams as u64);
+    for w in [
+        fc.word_weight,
+        fc.char_weight,
+        fc.char_class_weight,
+        fc.activity_weight,
+    ] {
+        h.write(&w.to_bits().to_le_bytes());
+    }
+}
+
+fn hash_dataset(h: &mut Fnv1a, ds: &Dataset) {
+    h.write_str(&ds.name);
+    let (max_word_n, max_char_n) = ds.ngram_orders();
+    h.write_u64(max_word_n as u64);
+    h.write_u64(max_char_n as u64);
+    h.write_u64(ds.len() as u64);
+    for r in &ds.records {
+        h.write_str(&r.alias);
+        match r.persona {
+            Some(p) => {
+                h.write(&[1]);
+                h.write_u64(p);
+            }
+            None => h.write(&[0]),
+        }
+        h.write_str(&r.text);
+        // The derived Debug form is deterministic and covers every field
+        // that feeds the activity feature block.
+        match &r.profile {
+            Some(p) => h.write_str(&format!("{p:?}")),
+            None => h.write(&[0]),
+        }
+    }
+}
+
+fn fresh_pools(known: &Dataset, unknown: &Dataset) -> Vec<Vec<usize>> {
+    vec![(0..known.len()).collect(); unknown.len()]
+}
+
+/// The round loop shared by the plain and checkpointed entry points.
+/// `after_round` runs once per completed round (checkpointing hook);
+/// its error aborts the run with the pools already updated in place.
+fn run_rounds<F>(
+    engine: &TwoStage,
+    config: &BatchConfig,
+    known: &Dataset,
+    unknown: &Dataset,
+    survivors: &mut Vec<Vec<usize>>,
+    rounds_done: &mut u64,
+    mut after_round: F,
+) -> Result<(), BatchError>
+where
+    F: FnMut(u64, &[Vec<usize>]) -> Result<(), BatchError>,
+{
+    let metrics = &engine.config().metrics;
     let rounds = metrics.counter("batch.rounds");
     let peak_pool = metrics.gauge("batch.peak_pool");
-    let k = engine.config().k;
-    // Per-unknown surviving candidate indices (into `known`).
-    let mut survivors: Vec<Vec<usize>> = vec![(0..known.len()).collect(); unknown.len()];
     // Iterate rounds until every unknown's pool fits in one batch. Each
     // round applies k-attribution within batches of B. A round maps each
     // pool to a subset of itself, so pools shrink monotonically — but
@@ -70,31 +348,44 @@ pub fn run_batched(
         let identical = survivors.windows(2).all(|w| w[0] == w[1]);
         if identical && !survivors.is_empty() {
             let pool = survivors[0].clone();
-            let new_pools = batched_round(engine, config, known, unknown, &pool, None);
-            survivors = new_pools;
+            *survivors = batched_round(engine, config, known, unknown, &pool, None);
         } else {
             // Divergent pools: each unknown reduces against its own pool,
             // independently of the others — fan the per-unknown rounds out
             // over the worker pool, keeping pool order by construction.
             let threads = engine.config().effective_threads();
-            survivors = darklight_par::par_map(&survivors, threads, |u, pool| {
+            *survivors = darklight_par::par_map(survivors, threads, |u, pool| {
                 batched_round(engine, config, known, unknown, pool, Some(u))
                     .into_iter()
                     .next()
                     .expect("one unknown processed")
             });
         }
-        let _ = k;
-        if survivors == before {
+        let stalled = *survivors == before;
+        if stalled {
             metrics.counter("batch.stalled").incr();
+        }
+        *rounds_done += 1;
+        after_round(*rounds_done, survivors)?;
+        if stalled {
             break;
         }
     }
+    Ok(())
+}
+
+/// Final stage: rescore each unknown against its surviving pool.
+fn finalize(
+    engine: &TwoStage,
+    known: &Dataset,
+    unknown: &Dataset,
+    survivors: &[Vec<usize>],
+) -> Vec<RankedMatch> {
+    let metrics = &engine.config().metrics;
     let pool_sizes = metrics.histogram("batch.final_pool_size");
-    for pool in &survivors {
+    for pool in survivors {
         pool_sizes.record(pool.len() as u64);
     }
-    // Final stage: rescore each unknown against its surviving pool.
     let stage1: Vec<Vec<Ranked>> = survivors
         .iter()
         .enumerate()
@@ -219,10 +510,17 @@ mod tests {
         })
     }
 
+    fn ckpt_path(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("darklight_batch_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
     #[test]
     fn batched_matches_true_authors() {
         let (known, unknown) = world();
-        let results = run_batched(&engine(), &BatchConfig { batch_size: 4 }, &known, &unknown);
+        let results =
+            run_batched(&engine(), &BatchConfig { batch_size: 4 }, &known, &unknown).unwrap();
         for m in &results {
             let best = m.best().expect("candidates exist");
             assert_eq!(
@@ -238,7 +536,7 @@ mod tests {
         let (known, unknown) = world();
         let e = engine();
         let unbatched = e.run(&known, &unknown);
-        let batched = run_batched(&e, &BatchConfig { batch_size: 5 }, &known, &unknown);
+        let batched = run_batched(&e, &BatchConfig { batch_size: 5 }, &known, &unknown).unwrap();
         for (a, b) in unbatched.iter().zip(&batched) {
             assert_eq!(
                 a.best().map(|r| r.index),
@@ -260,7 +558,8 @@ mod tests {
             },
             &known,
             &unknown,
-        );
+        )
+        .unwrap();
         let unbatched = e.run(&known, &unknown);
         for (a, b) in unbatched.iter().zip(&batched) {
             assert_eq!(a.best().map(|r| r.index), b.best().map(|r| r.index));
@@ -278,7 +577,7 @@ mod tests {
             metrics: metrics.clone(),
             ..TwoStageConfig::default()
         });
-        run_batched(&e, &BatchConfig { batch_size: 4 }, &known, &unknown);
+        run_batched(&e, &BatchConfig { batch_size: 4 }, &known, &unknown).unwrap();
         // Twelve known aliases in batches of four need at least one
         // reduction round before pools fit a single batch.
         assert!(metrics.counter("batch.rounds").get() >= 1);
@@ -305,7 +604,7 @@ mod tests {
             metrics: metrics.clone(),
             ..TwoStageConfig::default()
         });
-        let results = run_batched(&e, &BatchConfig { batch_size: 3 }, &known, &unknown);
+        let results = run_batched(&e, &BatchConfig { batch_size: 3 }, &known, &unknown).unwrap();
         assert_eq!(metrics.counter("batch.stalled").get(), 1);
         assert_eq!(results.len(), unknown.len());
         for m in &results {
@@ -318,9 +617,162 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "batch size must be positive")]
-    fn zero_batch_rejected() {
+    fn empty_documents_flow_through_batched_pipeline() {
+        // An alias whose every post is empty vectorizes to the zero
+        // vector (no n-grams, no activity profile) — the classic NaN
+        // factory. It must ride through reduction, rescoring, and the
+        // batched driver without panicking, in both roles.
+        let (mut known_c, mut unknown_c) = (Corpus::new("known"), Corpus::new("unknown"));
+        let base = 1_486_375_200i64;
+        let vocabs = [
+            "kayak paddle rapids portage",
+            "espresso grinder portafilter crema",
+            "orchid repotting perlite humidity",
+        ];
+        for (pid, vocab) in vocabs.iter().enumerate() {
+            let words: Vec<&str> = vocab.split(' ').collect();
+            for (half, corpus) in [(0usize, &mut known_c), (1, &mut unknown_c)] {
+                let mut u = User::new(format!("user{pid}_{half}"), Some(pid as u64));
+                for i in 0..20i64 {
+                    let ts = base + i * 86_400;
+                    let w = words[i as usize % words.len()];
+                    u.posts
+                        .push(Post::new(format!("more notes about {w} today"), ts));
+                }
+                corpus.users.push(u);
+            }
+        }
+        for (alias, corpus) in [
+            ("ghost_known", &mut known_c),
+            ("ghost_unknown", &mut unknown_c),
+        ] {
+            let mut ghost = User::new(alias, None);
+            ghost.posts.push(Post::new("", base));
+            corpus.users.push(ghost);
+        }
+        let b = DatasetBuilder::new();
+        let (known, unknown) = (b.build(&known_c), b.build(&unknown_c));
+        let e = engine();
+        let ranked = run_batched(&e, &BatchConfig { batch_size: 2 }, &known, &unknown).unwrap();
+        assert_eq!(ranked.len(), unknown.len());
+        // No NaN escapes into the final rankings' accepted candidates,
+        // and every real unknown still finds its true author.
+        for m in &ranked {
+            for r in &m.stage2 {
+                assert!(!r.score.is_nan(), "NaN leaked for unknown {}", m.unknown);
+            }
+        }
+        for m in ranked.iter().take(vocabs.len()) {
+            let best = m.best().expect("candidates exist");
+            assert_eq!(
+                known.records[best.index].persona,
+                unknown.records[m.unknown].persona
+            );
+        }
+    }
+
+    #[test]
+    fn zero_batch_is_a_typed_error() {
         let (known, unknown) = world();
-        run_batched(&engine(), &BatchConfig { batch_size: 0 }, &known, &unknown);
+        let err =
+            run_batched(&engine(), &BatchConfig { batch_size: 0 }, &known, &unknown).unwrap_err();
+        assert!(
+            matches!(&err, BatchError::InvalidConfig(why) if why.contains("positive")),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn checkpointed_run_matches_plain_and_cleans_up() {
+        let (known, unknown) = world();
+        let e = engine();
+        let config = BatchConfig { batch_size: 4 };
+        let plain = run_batched(&e, &config, &known, &unknown).unwrap();
+        let spec = CheckpointSpec::new(ckpt_path("clean_run.json"));
+        let ck = run_batched_checkpointed(&e, &config, &known, &unknown, &spec).unwrap();
+        assert_eq!(plain, ck);
+        assert!(!spec.path.exists(), "checkpoint removed on success");
+    }
+
+    #[test]
+    fn interrupted_run_resumes_to_identical_output() {
+        let (known, unknown) = world();
+        let e = engine();
+        // batch_size 2 with k=3 stalls after one round, which still
+        // exercises save + resume; batch_size 4 gives real multi-round
+        // shrinkage. Use 4 and interrupt after the first round.
+        let config = BatchConfig { batch_size: 4 };
+        let plain = run_batched(&e, &config, &known, &unknown).unwrap();
+        let mut spec = CheckpointSpec::new(ckpt_path("kill_resume.json"));
+        checkpoint::remove(&spec.path);
+        spec.interrupt_after_rounds = Some(1);
+        let err = run_batched_checkpointed(&e, &config, &known, &unknown, &spec).unwrap_err();
+        assert!(
+            matches!(err, BatchError::Interrupted { rounds_done: 1 }),
+            "{err}"
+        );
+        assert!(spec.path.exists(), "checkpoint persisted at the kill point");
+        spec.interrupt_after_rounds = None;
+        let resumed = run_batched_checkpointed(&e, &config, &known, &unknown, &spec).unwrap();
+        assert_eq!(plain, resumed, "resumed output must be identical");
+        assert!(!spec.path.exists());
+    }
+
+    #[test]
+    fn mismatched_fingerprint_is_refused() {
+        let (known, unknown) = world();
+        let e = engine();
+        let mut spec = CheckpointSpec::new(ckpt_path("mismatch.json"));
+        checkpoint::remove(&spec.path);
+        spec.interrupt_after_rounds = Some(1);
+        let _ =
+            run_batched_checkpointed(&e, &BatchConfig { batch_size: 4 }, &known, &unknown, &spec)
+                .unwrap_err();
+        // Same checkpoint, different batch size: a different run.
+        spec.interrupt_after_rounds = None;
+        let err =
+            run_batched_checkpointed(&e, &BatchConfig { batch_size: 5 }, &known, &unknown, &spec)
+                .unwrap_err();
+        assert!(
+            matches!(
+                err,
+                BatchError::Checkpoint(CheckpointError::FingerprintMismatch { .. })
+            ),
+            "{err}"
+        );
+        checkpoint::remove(&spec.path);
+    }
+
+    #[test]
+    fn fingerprint_tracks_content_not_metrics() {
+        use darklight_obs::PipelineMetrics;
+        let (known, unknown) = world();
+        let config = BatchConfig { batch_size: 4 };
+        let plain = engine();
+        let with_metrics = TwoStage::new(TwoStageConfig {
+            k: 3,
+            threads: 7,
+            metrics: PipelineMetrics::enabled(),
+            ..TwoStageConfig::default()
+        });
+        // Metrics and thread count must not invalidate a checkpoint...
+        assert_eq!(
+            run_fingerprint(&plain, &config, &known, &unknown),
+            run_fingerprint(&with_metrics, &config, &known, &unknown)
+        );
+        // ...but config and corpus changes must.
+        let other_k = TwoStage::new(TwoStageConfig {
+            k: 4,
+            threads: 2,
+            ..TwoStageConfig::default()
+        });
+        assert_ne!(
+            run_fingerprint(&plain, &config, &known, &unknown),
+            run_fingerprint(&other_k, &config, &known, &unknown)
+        );
+        assert_ne!(
+            run_fingerprint(&plain, &config, &known, &unknown),
+            run_fingerprint(&plain, &config, &unknown, &known)
+        );
     }
 }

@@ -22,6 +22,7 @@
 //! * [`baseline`] — the Standard (char free-space 4-gram) and Koppel
 //!   (feature-subsampling vote) baselines of §IV-F;
 //! * [`batch`] — the RAM-bounded hierarchical batching of §IV-J;
+//! * [`checkpoint`] — crash-recovery state for batched runs;
 //! * [`linker`] — the high-level corpus-to-corpus linking API.
 
 #![forbid(unsafe_code)]
@@ -31,6 +32,7 @@ pub mod attrib;
 pub mod baseline;
 pub mod batch;
 pub mod calibrate;
+pub mod checkpoint;
 pub mod confidence;
 pub mod dataset;
 pub mod explain;
@@ -39,6 +41,7 @@ pub mod session;
 pub mod twostage;
 
 pub use attrib::CandidateIndex;
+pub use batch::{BatchConfig, BatchError, CheckpointSpec};
 pub use calibrate::{calibrate_threshold, Calibration};
 pub use confidence::MatchConfidence;
 pub use dataset::{Dataset, DatasetBuilder, Record};

@@ -5,6 +5,9 @@
 //! run the two-stage pipeline, and emit alias pairs above the threshold.
 //! This is the API a downstream investigator would call.
 
+use crate::batch::{
+    run_batched, run_batched_checkpointed, BatchConfig, BatchError, CheckpointSpec,
+};
 use crate::dataset::{Dataset, DatasetBuilder};
 use crate::twostage::{TwoStage, TwoStageConfig};
 use darklight_activity::profile::{ProfileBuilder, ProfilePolicy};
@@ -12,6 +15,7 @@ use darklight_corpus::model::Corpus;
 use darklight_corpus::polish::{PolishConfig, Polisher};
 use darklight_corpus::refine::{refine, RefineConfig};
 use darklight_obs::PipelineMetrics;
+use std::path::PathBuf;
 
 /// One emitted alias pair.
 #[derive(Debug, Clone, PartialEq)]
@@ -35,6 +39,12 @@ pub struct LinkerConfig {
     pub two_stage: TwoStageConfig,
     /// Skip polishing (for pre-polished corpora).
     pub already_polished: bool,
+    /// Run the RAM-bounded batched driver (§IV-J) instead of the
+    /// unbatched pipeline. `None` (the default) links unbatched.
+    pub batch: Option<BatchConfig>,
+    /// Persist batched state here after every round and resume from it on
+    /// restart (see [`crate::checkpoint`]). Only meaningful with `batch`.
+    pub checkpoint: Option<PathBuf>,
 }
 
 /// The end-to-end linker.
@@ -111,28 +121,85 @@ impl Linker {
 
     /// Links `unknown`'s aliases to `known`'s: every emitted pair says
     /// "this unknown alias is the same person as this known alias".
+    ///
+    /// Infallible convenience for the unbatched configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics when a batched configuration fails (invalid batch size,
+    /// checkpoint error) — use [`try_link`](Linker::try_link) to handle
+    /// those as values.
     pub fn link(&self, known: &Corpus, unknown: &Corpus) -> Vec<AliasMatch> {
-        let known_ds = self.prepare(known);
-        let unknown_ds = self.prepare(unknown);
-        self.link_datasets(&known_ds, &unknown_ds)
+        self.try_link(known, unknown)
+            .unwrap_or_else(|e| panic!("link failed: {e}"))
     }
 
-    /// Links two prepared datasets.
+    /// Links two prepared datasets (see [`link`](Linker::link) for the
+    /// panic contract).
     pub fn link_datasets(&self, known: &Dataset, unknown: &Dataset) -> Vec<AliasMatch> {
+        self.try_link_datasets(known, unknown)
+            .unwrap_or_else(|e| panic!("link failed: {e}"))
+    }
+
+    /// [`link`](Linker::link) with typed errors: invalid batch configs
+    /// and checkpoint failures surface as [`BatchError`] instead of
+    /// panicking.
+    ///
+    /// # Errors
+    ///
+    /// See [`run_batched_checkpointed`]; unbatched runs cannot fail.
+    pub fn try_link(
+        &self,
+        known: &Corpus,
+        unknown: &Corpus,
+    ) -> Result<Vec<AliasMatch>, BatchError> {
+        let known_ds = self.prepare(known);
+        let unknown_ds = self.prepare(unknown);
+        self.try_link_datasets(&known_ds, &unknown_ds)
+    }
+
+    /// Links two prepared datasets with typed errors.
+    ///
+    /// # Errors
+    ///
+    /// See [`try_link`](Linker::try_link).
+    pub fn try_link_datasets(
+        &self,
+        known: &Dataset,
+        unknown: &Dataset,
+    ) -> Result<Vec<AliasMatch>, BatchError> {
+        if let Some(batch) = &self.config.batch {
+            batch.validate()?;
+        }
         let _link = self.metrics.timer("linker.link").start();
         if known.is_empty() || unknown.is_empty() {
-            return Vec::new();
+            return Ok(Vec::new());
         }
         let engine = TwoStage::new(self.config.two_stage.clone());
-        engine
-            .link(known, unknown)
+        let pairs = match &self.config.batch {
+            None => engine.link(known, unknown),
+            Some(batch) => {
+                let ranked = match &self.config.checkpoint {
+                    Some(path) => run_batched_checkpointed(
+                        &engine,
+                        batch,
+                        known,
+                        unknown,
+                        &CheckpointSpec::new(path.clone()),
+                    )?,
+                    None => run_batched(&engine, batch, known, unknown)?,
+                };
+                engine.threshold_links(ranked)
+            }
+        };
+        Ok(pairs
             .into_iter()
             .map(|(u, k, score)| AliasMatch {
                 known_alias: known.records[k].alias.clone(),
                 unknown_alias: unknown.records[u].alias.clone(),
                 score,
             })
-            .collect()
+            .collect())
     }
 }
 
@@ -206,6 +273,33 @@ mod tests {
             assert_eq!(ka, ua, "{m:?}");
             assert!(m.score >= 0.3);
         }
+    }
+
+    #[test]
+    fn batched_link_agrees_with_unbatched() {
+        let known = corpus("forum_a", 0);
+        let unknown = corpus("forum_b", 1800);
+        let mut cfg = LinkerConfig::default();
+        cfg.two_stage.k = 2;
+        cfg.two_stage.threshold = 0.3;
+        cfg.two_stage.threads = 2;
+        let plain = Linker::new(cfg.clone()).link(&known, &unknown);
+        // A batch larger than the known set degenerates to a single round
+        // over the full pool, so the outputs must agree exactly.
+        cfg.batch = Some(BatchConfig { batch_size: 16 });
+        let batched = Linker::new(cfg).try_link(&known, &unknown).unwrap();
+        assert_eq!(plain, batched);
+    }
+
+    #[test]
+    fn zero_batch_size_is_a_typed_error_through_the_linker() {
+        let known = corpus("forum_a", 0);
+        let unknown = corpus("forum_b", 1800);
+        let mut cfg = LinkerConfig::default();
+        cfg.two_stage.threads = 2;
+        cfg.batch = Some(BatchConfig { batch_size: 0 });
+        let err = Linker::new(cfg).try_link(&known, &unknown).unwrap_err();
+        assert!(matches!(err, BatchError::InvalidConfig(_)), "{err}");
     }
 
     #[test]

@@ -121,6 +121,14 @@ impl TwoStage {
 
     /// Stage 1 only: the k-attribution candidates for every unknown
     /// (§IV-C). Returned per unknown, best first.
+    ///
+    /// Vectorization is a *skip-tolerant* stage: a record whose
+    /// vectorization panics degrades to the zero vector (it can never
+    /// rank, and as a query it returns an all-zero candidate scoring)
+    /// instead of killing the run; each caught panic increments
+    /// `par.worker_panics` and `twostage.vectorize_panics`. Panics depend
+    /// only on the record, so degraded output stays thread-count
+    /// deterministic.
     pub fn reduce(&self, known: &Dataset, unknown: &Dataset) -> Vec<Vec<Ranked>> {
         let metrics = &self.config.metrics;
         let _stage1 = metrics.timer("twostage.stage1").start();
@@ -129,16 +137,40 @@ impl TwoStage {
             .with_metrics(metrics.clone())
             .with_threads(threads)
             .fit_counted(known.records.iter().map(|r| &r.counted));
-        let known_vecs: Vec<SparseVector> =
-            darklight_par::par_map(&known.records, threads, |_, r| {
-                space.vectorize_counted(&r.counted, r.profile.as_ref())
-            });
+        let known_vecs =
+            self.vectorize_tolerant(&known.records, threads, &space, "twostage.vectorize_known");
         let index = CandidateIndex::build_with_metrics(&known_vecs, space.dim(), metrics);
-        let queries: Vec<SparseVector> =
-            darklight_par::par_map(&unknown.records, threads, |_, r| {
-                space.vectorize_counted(&r.counted, r.profile.as_ref())
-            });
+        let queries = self.vectorize_tolerant(
+            &unknown.records,
+            threads,
+            &space,
+            "twostage.vectorize_query",
+        );
         index.top_k_batch(&queries, self.config.k, threads)
+    }
+
+    /// Vectorizes `records` in parallel, degrading panicking records to
+    /// the zero vector (skip-and-record policy; see [`reduce`](Self::reduce)).
+    fn vectorize_tolerant(
+        &self,
+        records: &[crate::dataset::Record],
+        threads: usize,
+        space: &darklight_features::pipeline::FeatureSpace,
+        site: &str,
+    ) -> Vec<SparseVector> {
+        let metrics = &self.config.metrics;
+        darklight_par::try_par_map(records, threads, metrics, |i, r| {
+            darklight_par::fault::maybe_panic(site, i);
+            space.vectorize_counted(&r.counted, r.profile.as_ref())
+        })
+        .into_iter()
+        .map(|slot| {
+            slot.unwrap_or_else(|_| {
+                metrics.counter("twostage.vectorize_panics").incr();
+                SparseVector::new()
+            })
+        })
+        .collect()
     }
 
     /// Both stages for every unknown alias.
@@ -170,9 +202,24 @@ impl TwoStage {
         // Each unknown's refit/re-rank is independent; the shared helper
         // guarantees slot `u` of the output is unknown `u`'s result for
         // every thread count.
-        darklight_par::par_map(&stage1, threads, |u, candidates| {
+        //
+        // Rescoring is deliberately *fail-fast*: a hole in the stage-2
+        // results would silently change the final rankings (an absent
+        // candidate list reads as "no match" downstream), so a panicking
+        // worker is caught — isolated from its siblings, which all finish,
+        // and counted in `par.worker_panics` — then re-raised here with
+        // its payload preserved.
+        let slots = darklight_par::try_par_map(&stage1, threads, metrics, |u, candidates| {
+            darklight_par::fault::maybe_panic("twostage.rescore", u);
             self.rescore_one(known, unknown, u, candidates)
-        })
+        });
+        slots
+            .into_iter()
+            .map(|slot| match slot {
+                Ok(m) => m,
+                Err(p) => panic!("stage-2 rescore failed (fail-fast stage): {p}"),
+            })
+            .collect()
     }
 
     /// Runs stage 2 for a single unknown: refit on the candidate set,
@@ -268,6 +315,13 @@ impl TwoStage {
     /// Convenience: accepted pairs `(unknown, candidate, score)` at the
     /// configured threshold.
     pub fn link(&self, known: &Dataset, unknown: &Dataset) -> Vec<(usize, usize, f64)> {
+        let ranked = self.run(known, unknown);
+        self.threshold_links(ranked)
+    }
+
+    /// Applies the configured acceptance threshold to ranked matches
+    /// (shared by the unbatched and batched drivers).
+    pub fn threshold_links(&self, ranked: Vec<RankedMatch>) -> Vec<(usize, usize, f64)> {
         let metrics = &self.config.metrics;
         // Micro-units because gauges are integers; together with the two
         // counters this gives acceptance rate as a function of threshold.
@@ -276,7 +330,7 @@ impl TwoStage {
             .set((self.config.threshold * 1e6) as i64);
         let accepted = metrics.counter("twostage.links_accepted");
         let rejected = metrics.counter("twostage.links_rejected");
-        self.run(known, unknown)
+        ranked
             .into_iter()
             .filter_map(|m| {
                 let Some(best) = m.best() else {

@@ -14,6 +14,7 @@
 //! ```
 
 use crate::model::{Corpus, Fact, FactKind, Post, User};
+use darklight_obs::PipelineMetrics;
 use std::error::Error;
 use std::fmt;
 use std::io::{BufRead, Write};
@@ -32,6 +33,17 @@ pub enum ReadError {
         /// Explanation of the problem.
         reason: String,
     },
+    /// Lenient ingestion quarantined more than the configured share of
+    /// lines — the input is too dirty to trust, and returning a mostly
+    /// empty corpus would make silent total data loss look like success.
+    TooManyBadLines {
+        /// Lines quarantined.
+        quarantined: usize,
+        /// Non-empty lines read (header included).
+        total: usize,
+        /// The configured tolerance (fraction of lines, 0.0–1.0).
+        max_bad_ratio: f64,
+    },
 }
 
 impl fmt::Display for ReadError {
@@ -42,6 +54,16 @@ impl fmt::Display for ReadError {
             ReadError::BadRecord { line, reason } => {
                 write!(f, "bad corpus record at line {line}: {reason}")
             }
+            ReadError::TooManyBadLines {
+                quarantined,
+                total,
+                max_bad_ratio,
+            } => write!(
+                f,
+                "quarantined {quarantined} of {total} lines, over the {:.1}% budget — \
+                 input too dirty to ingest",
+                max_bad_ratio * 100.0
+            ),
         }
     }
 }
@@ -127,7 +149,177 @@ pub fn write_corpus<W: Write>(corpus: &Corpus, mut w: W) -> std::io::Result<()> 
     Ok(())
 }
 
-/// Reads a corpus from the TSV format.
+/// Category of a line rejected during ingestion.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum IssueKind {
+    /// The header line is missing or has the wrong version.
+    BadHeader,
+    /// A record line with an unknown type tag or missing fields.
+    BadRecord,
+    /// An `F`/`P` record with no user to attach to (none seen yet, or the
+    /// preceding `U` line was itself quarantined).
+    OrphanRecord,
+    /// A record whose shape is right but a field does not parse (persona
+    /// or timestamp not an integer, unknown fact kind).
+    UnparseableField,
+}
+
+impl IssueKind {
+    /// Stable lowercase name, used in reports and metric suffixes.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            IssueKind::BadHeader => "bad_header",
+            IssueKind::BadRecord => "bad_record",
+            IssueKind::OrphanRecord => "orphan_record",
+            IssueKind::UnparseableField => "unparseable_field",
+        }
+    }
+}
+
+/// One quarantined line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IngestIssue {
+    /// 1-based line number in the input.
+    pub line: usize,
+    /// Issue category.
+    pub kind: IssueKind,
+    /// Explanation of the problem.
+    pub reason: String,
+}
+
+impl fmt::Display for IngestIssue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "line {}: [{}] {}",
+            self.line,
+            self.kind.as_str(),
+            self.reason
+        )
+    }
+}
+
+/// What lenient ingestion kept and what it quarantined.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct IngestReport {
+    /// Every quarantined line, in input order.
+    pub issues: Vec<IngestIssue>,
+    /// Non-empty lines read, header included.
+    pub lines_total: usize,
+    /// Record lines that made it into the corpus.
+    pub records_kept: usize,
+}
+
+impl IngestReport {
+    /// Number of quarantined lines.
+    pub fn quarantined(&self) -> usize {
+        self.issues.len()
+    }
+
+    /// Number of quarantined lines of one category.
+    pub fn count(&self, kind: IssueKind) -> usize {
+        self.issues.iter().filter(|i| i.kind == kind).count()
+    }
+
+    /// `true` when nothing was quarantined.
+    pub fn is_clean(&self) -> bool {
+        self.issues.is_empty()
+    }
+
+    /// Quarantined share of all non-empty lines (0.0 for empty input).
+    pub fn bad_ratio(&self) -> f64 {
+        if self.lines_total == 0 {
+            0.0
+        } else {
+            self.quarantined() as f64 / self.lines_total as f64
+        }
+    }
+}
+
+/// Tolerance settings for [`read_corpus_lenient`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct LenientConfig {
+    /// Fail with [`ReadError::TooManyBadLines`] when more than this
+    /// fraction of non-empty lines is quarantined (default 0.5). `1.0`
+    /// never fails on dirty data; `0.0` quarantines nothing silently —
+    /// any bad line over the budget aborts, like strict mode with a
+    /// better report.
+    pub max_bad_ratio: f64,
+    /// Quarantine counters are recorded here (`ingest.*`); disabled by
+    /// default.
+    pub metrics: PipelineMetrics,
+}
+
+impl Default for LenientConfig {
+    fn default() -> LenientConfig {
+        LenientConfig {
+            max_bad_ratio: 0.5,
+            metrics: PipelineMetrics::disabled(),
+        }
+    }
+}
+
+/// One successfully parsed record line.
+enum RecordLine {
+    User(User),
+    Fact(Fact),
+    Post(Post),
+}
+
+/// Parses one non-empty record line. `has_user` says whether an `F`/`P`
+/// line has a live user to attach to. Shared by the strict and lenient
+/// readers so the two modes cannot drift on what counts as malformed.
+fn parse_record_line(line: &str, has_user: bool) -> Result<RecordLine, (IssueKind, String)> {
+    let bad = |reason: &str| (IssueKind::BadRecord, reason.to_string());
+    let unparseable = |reason: &str| (IssueKind::UnparseableField, reason.to_string());
+    let mut fields = line.split('\t');
+    match fields.next() {
+        Some("U") => {
+            let alias = fields.next().ok_or_else(|| bad("missing alias"))?;
+            let persona = fields.next().ok_or_else(|| bad("missing persona"))?;
+            let persona = if persona == "-" {
+                None
+            } else {
+                Some(
+                    persona
+                        .parse::<u64>()
+                        .map_err(|_| unparseable("persona is not an integer"))?,
+                )
+            };
+            Ok(RecordLine::User(User::new(unescape(alias), persona)))
+        }
+        Some("F") => {
+            if !has_user {
+                return Err((IssueKind::OrphanRecord, "fact before any user".to_string()));
+            }
+            let kind = fields.next().ok_or_else(|| bad("missing fact kind"))?;
+            let kind = FactKind::parse(kind).ok_or_else(|| unparseable("unknown fact kind"))?;
+            let value = fields.next().ok_or_else(|| bad("missing fact value"))?;
+            Ok(RecordLine::Fact(Fact::new(kind, unescape(value))))
+        }
+        Some("P") => {
+            if !has_user {
+                return Err((IssueKind::OrphanRecord, "post before any user".to_string()));
+            }
+            let ts = fields
+                .next()
+                .ok_or_else(|| bad("missing timestamp"))?
+                .parse::<i64>()
+                .map_err(|_| unparseable("timestamp is not an integer"))?;
+            let topic = fields.next().ok_or_else(|| bad("missing topic"))?;
+            let text = fields.next().ok_or_else(|| bad("missing text"))?;
+            Ok(RecordLine::Post(Post::with_topic(
+                unescape(text),
+                ts,
+                unescape(topic),
+            )))
+        }
+        Some(other) => Err(bad(&format!("unknown record type {other:?}"))),
+        None => unreachable!("split always yields at least one item"),
+    }
+}
+
+/// Reads a corpus from the TSV format, aborting on the first problem.
 ///
 /// # Errors
 ///
@@ -145,60 +337,195 @@ pub fn read_corpus<R: BufRead>(r: R) -> Result<Corpus, ReadError> {
     let mut corpus = Corpus::new(unescape(name));
     for (idx, line) in lines {
         let line = line?;
+        // `idx` counts from the header at 0, so the 1-based file line of
+        // this record is `idx + 1` — with no further increment (a record
+        // on file line 2 is reported as line 2, pinned by a regression
+        // test).
         let lineno = idx + 1;
         if line.is_empty() {
             continue;
         }
-        let bad = |reason: &str| ReadError::BadRecord {
-            line: lineno + 1,
-            reason: reason.to_string(),
-        };
-        let mut fields = line.split('\t');
-        match fields.next() {
-            Some("U") => {
-                let alias = fields.next().ok_or_else(|| bad("missing alias"))?;
-                let persona = fields.next().ok_or_else(|| bad("missing persona"))?;
-                let persona = if persona == "-" {
-                    None
-                } else {
-                    Some(
-                        persona
-                            .parse::<u64>()
-                            .map_err(|_| bad("persona is not an integer"))?,
-                    )
-                };
-                corpus.users.push(User::new(unescape(alias), persona));
-            }
-            Some("F") => {
-                let user = corpus
+        match parse_record_line(&line, !corpus.users.is_empty()) {
+            Ok(RecordLine::User(user)) => corpus.users.push(user),
+            Ok(RecordLine::Fact(fact)) => {
+                corpus
                     .users
                     .last_mut()
-                    .ok_or_else(|| bad("fact before any user"))?;
-                let kind = fields.next().ok_or_else(|| bad("missing fact kind"))?;
-                let kind = FactKind::parse(kind).ok_or_else(|| bad("unknown fact kind"))?;
-                let value = fields.next().ok_or_else(|| bad("missing fact value"))?;
-                user.facts.push(Fact::new(kind, unescape(value)));
+                    .expect("has_user checked")
+                    .facts
+                    .push(fact);
             }
-            Some("P") => {
-                let user = corpus
+            Ok(RecordLine::Post(post)) => {
+                corpus
                     .users
                     .last_mut()
-                    .ok_or_else(|| bad("post before any user"))?;
-                let ts = fields
-                    .next()
-                    .ok_or_else(|| bad("missing timestamp"))?
-                    .parse::<i64>()
-                    .map_err(|_| bad("timestamp is not an integer"))?;
-                let topic = fields.next().ok_or_else(|| bad("missing topic"))?;
-                let text = fields.next().ok_or_else(|| bad("missing text"))?;
-                user.posts
-                    .push(Post::with_topic(unescape(text), ts, unescape(topic)));
+                    .expect("has_user checked")
+                    .posts
+                    .push(post);
             }
-            Some(other) => return Err(bad(&format!("unknown record type {other:?}"))),
-            None => unreachable!("split always yields at least one item"),
+            Err((_, reason)) => {
+                return Err(ReadError::BadRecord {
+                    line: lineno,
+                    reason,
+                })
+            }
         }
     }
     Ok(corpus)
+}
+
+/// Reads a corpus from the TSV format, quarantining malformed lines
+/// instead of aborting.
+///
+/// Every rejected line lands in the returned [`IngestReport`] with its
+/// 1-based line number and an [`IssueKind`]; well-formed lines are kept.
+/// A bad or missing header is itself quarantined (the corpus is named
+/// `<unnamed>` and line 1 is retried as a record line). `F`/`P` lines
+/// following a *quarantined* `U` line are quarantined as orphans rather
+/// than mis-attached to the previous user. Quarantine activity is
+/// recorded in `config.metrics` under `ingest.*`.
+///
+/// # Errors
+///
+/// Returns [`ReadError::TooManyBadLines`] when the quarantined share
+/// exceeds `config.max_bad_ratio` — silent near-total data loss must not
+/// look like a clean load. I/O failures mid-stream are quarantined as a
+/// truncated tail (everything read so far is kept), because a scrape cut
+/// off mid-record is exactly the dirty input this mode exists for.
+pub fn read_corpus_lenient<R: BufRead>(
+    r: R,
+    config: &LenientConfig,
+) -> Result<(Corpus, IngestReport), ReadError> {
+    let mut report = IngestReport::default();
+    let mut corpus = Corpus::new("<unnamed>");
+    // `true` once a U line has been accepted; set back to false when a U
+    // line is quarantined so its F/P lines orphan instead of attaching to
+    // the wrong user.
+    let mut last_user_ok = false;
+    let mut lines = r.lines().enumerate();
+    let mut pending_first: Option<(usize, String)> = None;
+    match lines.next() {
+        None => report.issues.push(IngestIssue {
+            line: 1,
+            kind: IssueKind::BadHeader,
+            reason: "empty input".to_string(),
+        }),
+        Some((_, Err(e))) => report.issues.push(IngestIssue {
+            line: 1,
+            kind: IssueKind::BadHeader,
+            reason: format!("i/o error: {e}"),
+        }),
+        Some((_, Ok(header))) => {
+            report.lines_total += 1;
+            match header.strip_prefix("#darklight-corpus v1 ") {
+                Some(name) => corpus.name = unescape(name),
+                None => {
+                    report.issues.push(IngestIssue {
+                        line: 1,
+                        kind: IssueKind::BadHeader,
+                        reason: format!("bad corpus header: {header:?}"),
+                    });
+                    // The file may simply lack a header; retry line 1 as a
+                    // record below.
+                    pending_first = Some((1, header));
+                }
+            }
+        }
+    }
+    let first = pending_first.into_iter().map(|(n, l)| (n, Ok(l)));
+    for (lineno, line) in first.chain(lines.map(|(idx, l)| (idx + 1, l))) {
+        let line = match line {
+            Ok(line) => line,
+            Err(e) => {
+                // Truncated / unreadable tail: keep what we have.
+                report.issues.push(IngestIssue {
+                    line: lineno,
+                    kind: IssueKind::BadRecord,
+                    reason: format!("i/o error, input truncated here: {e}"),
+                });
+                break;
+            }
+        };
+        if line.is_empty() {
+            continue;
+        }
+        report.lines_total += 1;
+        match parse_record_line(&line, last_user_ok) {
+            Ok(RecordLine::User(user)) => {
+                corpus.users.push(user);
+                last_user_ok = true;
+                report.records_kept += 1;
+            }
+            Ok(RecordLine::Fact(fact)) => {
+                corpus
+                    .users
+                    .last_mut()
+                    .expect("last_user_ok")
+                    .facts
+                    .push(fact);
+                report.records_kept += 1;
+            }
+            Ok(RecordLine::Post(post)) => {
+                corpus
+                    .users
+                    .last_mut()
+                    .expect("last_user_ok")
+                    .posts
+                    .push(post);
+                report.records_kept += 1;
+            }
+            Err((kind, reason)) => {
+                // A quarantined U line must not leave its F/P lines
+                // attaching to the previous user.
+                if line == "U" || line.starts_with("U\t") {
+                    last_user_ok = false;
+                }
+                report.issues.push(IngestIssue {
+                    line: lineno,
+                    kind,
+                    reason,
+                });
+            }
+        }
+    }
+    record_ingest_metrics(&config.metrics, &report);
+    if report.bad_ratio() > config.max_bad_ratio {
+        return Err(ReadError::TooManyBadLines {
+            quarantined: report.quarantined(),
+            total: report.lines_total,
+            max_bad_ratio: config.max_bad_ratio,
+        });
+    }
+    Ok((corpus, report))
+}
+
+/// Flushes one ingest run's quarantine counts into `metrics`.
+fn record_ingest_metrics(metrics: &PipelineMetrics, report: &IngestReport) {
+    if !metrics.is_enabled() {
+        return;
+    }
+    metrics
+        .counter("ingest.lines_total")
+        .add(report.lines_total as u64);
+    metrics
+        .counter("ingest.records_kept")
+        .add(report.records_kept as u64);
+    metrics
+        .counter("ingest.quarantined_lines")
+        .add(report.quarantined() as u64);
+    for kind in [
+        IssueKind::BadHeader,
+        IssueKind::BadRecord,
+        IssueKind::OrphanRecord,
+        IssueKind::UnparseableField,
+    ] {
+        let n = report.count(kind) as u64;
+        if n > 0 {
+            metrics
+                .counter(&format!("ingest.quarantined.{}", kind.as_str()))
+                .add(n);
+        }
+    }
 }
 
 /// Writes `corpus` to a file path.
@@ -219,6 +546,20 @@ pub fn save_corpus(corpus: &Corpus, path: &std::path::Path) -> std::io::Result<(
 pub fn load_corpus(path: &std::path::Path) -> Result<Corpus, ReadError> {
     let f = std::fs::File::open(path)?;
     read_corpus(std::io::BufReader::new(f))
+}
+
+/// Reads a corpus from a file path leniently; see [`read_corpus_lenient`].
+///
+/// # Errors
+///
+/// Returns [`ReadError::Io`] when the file cannot be opened, and
+/// [`ReadError::TooManyBadLines`] when the quarantine budget is blown.
+pub fn load_corpus_lenient(
+    path: &std::path::Path,
+    config: &LenientConfig,
+) -> Result<(Corpus, IngestReport), ReadError> {
+    let f = std::fs::File::open(path)?;
+    read_corpus_lenient(std::io::BufReader::new(f), config)
 }
 
 #[cfg(test)]
@@ -309,6 +650,186 @@ mod tests {
         let data = "#darklight-corpus v1 x\n\nU\ta\t-\n\n";
         let c = read_corpus(data.as_bytes()).unwrap();
         assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn bad_record_reports_exact_line_number() {
+        // Header is line 1; the malformed U record sits on file line 2 and
+        // must be reported as line 2, not 3 (regression: the reader used
+        // to double-increment the line number).
+        let data = "#darklight-corpus v1 x\nU\ta\tnot_a_number\n";
+        let err = read_corpus(data.as_bytes()).unwrap_err();
+        match err {
+            ReadError::BadRecord { line, .. } => assert_eq!(line, 2),
+            other => panic!("expected BadRecord, got {other:?}"),
+        }
+        // With a blank line in between, the bad record moves to line 4.
+        let data = "#darklight-corpus v1 x\nU\ta\t-\n\nZ\tbogus\n";
+        let err = read_corpus(data.as_bytes()).unwrap_err();
+        match err {
+            ReadError::BadRecord { line, .. } => assert_eq!(line, 4),
+            other => panic!("expected BadRecord, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn lenient_quarantines_each_taxonomy_kind() {
+        // line 1: good header          line 2: orphan post (no user yet)
+        // line 3: good user            line 4: unparseable fact kind
+        // line 5: unknown record type  line 6: good post
+        // line 7: U with bad persona   line 8: post orphaned by line 7
+        let data = "#darklight-corpus v1 dirty\n\
+                    P\t1\ttopic\tearly\n\
+                    U\talice\t7\n\
+                    F\tbogus_kind\tv\n\
+                    Z\twhat\n\
+                    P\t99\tmarket\thello world\n\
+                    U\tbob\tNaN\n\
+                    P\t100\tmarket\tlost\n";
+        let lax = LenientConfig {
+            max_bad_ratio: 0.8, // 5 of 8 lines are dirty by design
+            ..LenientConfig::default()
+        };
+        let (corpus, report) =
+            read_corpus_lenient(data.as_bytes(), &lax).expect("under the 80% budget");
+        assert_eq!(corpus.name, "dirty");
+        assert_eq!(corpus.len(), 1);
+        assert_eq!(corpus.users[0].alias, "alice");
+        assert_eq!(corpus.users[0].posts.len(), 1);
+        assert!(corpus.users[0].facts.is_empty());
+        assert_eq!(report.lines_total, 8);
+        assert_eq!(report.records_kept, 2); // alice + her surviving post
+        assert_eq!(report.quarantined(), 5);
+        assert_eq!(report.count(IssueKind::OrphanRecord), 2); // lines 2, 8
+        assert_eq!(report.count(IssueKind::UnparseableField), 2); // lines 4, 7
+        assert_eq!(report.count(IssueKind::BadRecord), 1); // line 5
+        assert_eq!(report.count(IssueKind::BadHeader), 0);
+        let lines: Vec<usize> = report.issues.iter().map(|i| i.line).collect();
+        assert_eq!(lines, vec![2, 4, 5, 7, 8]);
+    }
+
+    #[test]
+    fn lenient_matches_strict_on_clean_input() {
+        let c = sample();
+        let mut buf = Vec::new();
+        write_corpus(&c, &mut buf).unwrap();
+        let (back, report) =
+            read_corpus_lenient(buf.as_slice(), &LenientConfig::default()).unwrap();
+        assert_eq!(back, c);
+        assert!(report.is_clean());
+        assert_eq!(report.lines_total, 7);
+        assert_eq!(report.records_kept, 6);
+    }
+
+    #[test]
+    fn lenient_missing_header_retries_line_one_as_record() {
+        let data = "U\ta\t-\nP\t5\tt\thello\n";
+        let (corpus, report) =
+            read_corpus_lenient(data.as_bytes(), &LenientConfig::default()).unwrap();
+        assert_eq!(corpus.name, "<unnamed>");
+        assert_eq!(corpus.len(), 1);
+        assert_eq!(corpus.users[0].posts.len(), 1);
+        assert_eq!(report.count(IssueKind::BadHeader), 1);
+        assert_eq!(report.issues[0].line, 1);
+    }
+
+    #[test]
+    fn lenient_budget_blown_fails_loudly() {
+        // 1 good header + 1 good user + 4 garbage lines: 4/6 > 50%.
+        let data = "#darklight-corpus v1 x\nU\ta\t-\nZ\n?\nZ\tx\n!\n";
+        let err = read_corpus_lenient(data.as_bytes(), &LenientConfig::default()).unwrap_err();
+        match err {
+            ReadError::TooManyBadLines {
+                quarantined, total, ..
+            } => {
+                assert_eq!(quarantined, 4);
+                assert_eq!(total, 6);
+            }
+            other => panic!("expected TooManyBadLines, got {other:?}"),
+        }
+        // The same input loads under a 100% budget.
+        let lax = LenientConfig {
+            max_bad_ratio: 1.0,
+            ..LenientConfig::default()
+        };
+        let (corpus, report) = read_corpus_lenient(data.as_bytes(), &lax).unwrap();
+        assert_eq!(corpus.len(), 1);
+        assert_eq!(report.quarantined(), 4);
+    }
+
+    /// A reader that yields `limit` bytes then fails — a scrape truncated
+    /// mid-transfer.
+    struct FlakyReader<'a> {
+        data: &'a [u8],
+        pos: usize,
+        limit: usize,
+    }
+
+    impl std::io::Read for FlakyReader<'_> {
+        fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+            if self.pos >= self.limit {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "connection reset mid-record",
+                ));
+            }
+            let n = buf
+                .len()
+                .min(self.limit - self.pos)
+                .min(self.data.len() - self.pos);
+            buf[..n].copy_from_slice(&self.data[self.pos..self.pos + n]);
+            self.pos += n;
+            Ok(n)
+        }
+    }
+
+    #[test]
+    fn lenient_keeps_prefix_of_truncated_stream() {
+        let c = sample();
+        let mut buf = Vec::new();
+        write_corpus(&c, &mut buf).unwrap();
+        // Cut the stream in the middle of the last post line.
+        let limit = buf.len() - 10;
+        let reader = std::io::BufReader::new(FlakyReader {
+            data: &buf,
+            pos: 0,
+            limit,
+        });
+        let (corpus, report) = read_corpus_lenient(reader, &LenientConfig::default()).unwrap();
+        assert_eq!(corpus.name, c.name);
+        assert!(!corpus.users.is_empty());
+        assert_eq!(
+            report
+                .issues
+                .iter()
+                .filter(|i| i.reason.contains("truncated"))
+                .count(),
+            1
+        );
+        // Strict mode on the same stream aborts with an I/O error.
+        let reader = std::io::BufReader::new(FlakyReader {
+            data: &buf,
+            pos: 0,
+            limit,
+        });
+        assert!(matches!(read_corpus(reader).unwrap_err(), ReadError::Io(_)));
+    }
+
+    #[test]
+    fn lenient_records_metrics() {
+        use darklight_obs::PipelineMetrics;
+        let metrics = PipelineMetrics::enabled();
+        let config = LenientConfig {
+            max_bad_ratio: 1.0,
+            metrics: metrics.clone(),
+        };
+        let data = "#darklight-corpus v1 x\nU\ta\t-\nZ\tbogus\nP\t1\tt\thello\n";
+        let (_, report) = read_corpus_lenient(data.as_bytes(), &config).unwrap();
+        assert_eq!(report.quarantined(), 1);
+        assert_eq!(metrics.counter("ingest.lines_total").get(), 4);
+        assert_eq!(metrics.counter("ingest.records_kept").get(), 2);
+        assert_eq!(metrics.counter("ingest.quarantined_lines").get(), 1);
+        assert_eq!(metrics.counter("ingest.quarantined.bad_record").get(), 1);
     }
 
     #[test]

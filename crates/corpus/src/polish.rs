@@ -96,6 +96,9 @@ pub struct PolishReport {
     pub non_english_messages: usize,
     /// Users dropped because no posts survived.
     pub emptied_users: usize,
+    /// Users dropped because their polishing worker panicked (the panic
+    /// is caught and quarantined rather than killing the run).
+    pub panicked_users: usize,
     /// Messages surviving all steps.
     pub kept_messages: usize,
 }
@@ -119,6 +122,7 @@ impl PolishReport {
         self.low_diversity_messages += other.low_diversity_messages;
         self.non_english_messages += other.non_english_messages;
         self.emptied_users += other.emptied_users;
+        self.panicked_users += other.panicked_users;
         self.kept_messages += other.kept_messages;
     }
 }
@@ -216,33 +220,48 @@ impl Polisher {
     /// only stateful step, is scoped per user). Kept users stay in corpus
     /// order and the report is a sum of per-user counts, so output is
     /// identical for every thread count.
+    ///
+    /// Polishing is a *skip-tolerant* stage: a panic while polishing one
+    /// user (a poisoned record tripping a bug deep in a text transform) is
+    /// caught by [`darklight_par::try_par_map`], that user alone is
+    /// dropped — counted in [`PolishReport::panicked_users`] and the
+    /// `par.worker_panics` counter — and every other user completes.
+    /// Whether a user panics depends only on the user, so degraded output
+    /// is still identical for every thread count.
     pub fn polish(&self, corpus: &Corpus) -> (Corpus, PolishReport) {
         let _total = self.metrics.timer("polish.total").start();
         let threads = darklight_par::resolve_threads(self.threads);
         self.metrics.gauge("polish.threads").set(threads as i64);
-        let per_user = darklight_par::par_map(&corpus.users, threads, |_, user| {
-            let mut report = PolishReport::default();
-            let mut steps = StepNanos::default();
-            if self.config.drop_bots && Self::is_bot_name(&user.alias) {
-                report.bot_accounts = 1;
-                return (None, report, steps);
-            }
-            let cleaned = self.polish_user(user, &mut report, &mut steps);
-            if self.config.drop_empty_users && cleaned.posts.is_empty() {
-                report.emptied_users = 1;
-                return (None, report, steps);
-            }
-            (Some(cleaned), report, steps)
-        });
+        let per_user =
+            darklight_par::try_par_map(&corpus.users, threads, &self.metrics, |i, user| {
+                darklight_par::fault::maybe_panic("polish.user", i);
+                let mut report = PolishReport::default();
+                let mut steps = StepNanos::default();
+                if self.config.drop_bots && Self::is_bot_name(&user.alias) {
+                    report.bot_accounts = 1;
+                    return (None, report, steps);
+                }
+                let cleaned = self.polish_user(user, &mut report, &mut steps);
+                if self.config.drop_empty_users && cleaned.posts.is_empty() {
+                    report.emptied_users = 1;
+                    return (None, report, steps);
+                }
+                (Some(cleaned), report, steps)
+            });
         let mut report = PolishReport::default();
         let mut steps = StepNanos::default();
         let mut out = Corpus::new(corpus.name.clone());
         let input_messages: u64 = corpus.users.iter().map(|u| u.posts.len() as u64).sum();
-        for (cleaned, user_report, user_steps) in per_user {
-            report.absorb(&user_report);
-            steps.absorb(&user_steps);
-            if let Some(user) = cleaned {
-                out.users.push(user);
+        for slot in per_user {
+            match slot {
+                Ok((cleaned, user_report, user_steps)) => {
+                    report.absorb(&user_report);
+                    steps.absorb(&user_steps);
+                    if let Some(user) = cleaned {
+                        out.users.push(user);
+                    }
+                }
+                Err(_) => report.panicked_users += 1,
             }
         }
         self.flush_metrics(&report, &steps, input_messages);
@@ -271,6 +290,8 @@ impl Polisher {
             .add(report.non_english_messages as u64);
         m.counter("polish.dropped.emptied_users")
             .add(report.emptied_users as u64);
+        m.counter("polish.dropped.panicked_users")
+            .add(report.panicked_users as u64);
         m.timer("polish.step.dedup").record_ns(steps.dedup);
         m.timer("polish.step.transforms")
             .record_ns(steps.transforms);

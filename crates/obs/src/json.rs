@@ -1,10 +1,13 @@
-//! A minimal JSON value tree and serializer.
+//! A minimal JSON value tree, serializer, and parser.
 //!
 //! The observability subsystem must not pull in serde (the build
 //! environment is offline), so metric snapshots are rendered through this
 //! hand-rolled writer. Objects use [`BTreeMap`] so key order — and
 //! therefore the serialized bytes — are deterministic, which the golden
-//! schema tests rely on.
+//! schema tests rely on. [`Json::parse`] is the matching reader: the
+//! batch-attribution checkpoint files are written with this writer and
+//! read back with this parser on resume, so neither side needs an
+//! external crate.
 
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
@@ -149,6 +152,252 @@ impl Json {
     }
 }
 
+/// A parse failure: byte offset plus a short explanation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct JsonParseError {
+    /// Byte offset of the failure in the input.
+    pub offset: usize,
+    /// What went wrong.
+    pub reason: String,
+}
+
+impl std::fmt::Display for JsonParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "json parse error at byte {}: {}",
+            self.offset, self.reason
+        )
+    }
+}
+
+impl std::error::Error for JsonParseError {}
+
+impl Json {
+    /// Parses a JSON document.
+    ///
+    /// Numbers parse as [`Json::UInt`] when they are non-negative
+    /// integers, [`Json::Int`] for negative integers, and [`Json::Float`]
+    /// otherwise — the same partition the writer emits (a `Float` always
+    /// carries a `.` or exponent). Trailing non-whitespace is an error.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`JsonParseError`] with the byte offset of the first
+    /// malformed construct.
+    pub fn parse(input: &str) -> Result<Json, JsonParseError> {
+        let mut p = Parser {
+            bytes: input.as_bytes(),
+            pos: 0,
+        };
+        p.skip_ws();
+        let value = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(p.error("trailing characters after document"));
+        }
+        Ok(value)
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn error(&self, reason: &str) -> JsonParseError {
+        JsonParseError {
+            offset: self.pos,
+            reason: reason.to_string(),
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, byte: u8) -> Result<(), JsonParseError> {
+        if self.peek() == Some(byte) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.error(&format!("expected {:?}", byte as char)))
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Json) -> Result<Json, JsonParseError> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(self.error(&format!("expected {word:?}")))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, JsonParseError> {
+        match self.peek() {
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(_) => Err(self.error("unexpected character")),
+            None => Err(self.error("unexpected end of input")),
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, JsonParseError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Array(items));
+                }
+                _ => return Err(self.error("expected ',' or ']' in array")),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, JsonParseError> {
+        self.expect(b'{')?;
+        let mut map = BTreeMap::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Object(map));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            map.insert(key, self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Object(map));
+                }
+                _ => return Err(self.error("expected ',' or '}' in object")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, JsonParseError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let start = self.pos;
+            // Fast path: run of plain bytes up to the next quote/escape.
+            while !matches!(self.peek(), Some(b'"' | b'\\') | None) {
+                self.pos += 1;
+            }
+            out.push_str(
+                std::str::from_utf8(&self.bytes[start..self.pos])
+                    .map_err(|_| self.error("invalid utf-8 in string"))?,
+            );
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{08}'),
+                        Some(b'f') => out.push('\u{0c}'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .ok_or_else(|| self.error("truncated \\u escape"))?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| self.error("bad \\u escape"))?;
+                            // Surrogates never appear in writer output
+                            // (it emits \u only for control characters).
+                            out.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| self.error("\\u escape is not a scalar"))?,
+                            );
+                            self.pos += 4;
+                        }
+                        _ => return Err(self.error("bad escape sequence")),
+                    }
+                    self.pos += 1;
+                }
+                None => return Err(self.error("unterminated string")),
+                Some(_) => unreachable!("fast-path loop stops only at quote/escape/end"),
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, JsonParseError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut fractional = false;
+        while let Some(b) = self.peek() {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' => {
+                    fractional = true;
+                    self.pos += 1;
+                }
+                b'-' if fractional => self.pos += 1, // exponent sign
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii digits");
+        if fractional {
+            let x: f64 = text
+                .parse()
+                .map_err(|_| self.error("malformed float literal"))?;
+            return Ok(Json::Float(x));
+        }
+        if text.starts_with('-') {
+            let n: i64 = text
+                .parse()
+                .map_err(|_| self.error("integer out of range"))?;
+            Ok(Json::Int(n))
+        } else {
+            let n: u64 = text
+                .parse()
+                .map_err(|_| self.error("integer out of range"))?;
+            Ok(Json::UInt(n))
+        }
+    }
+}
+
 fn indent(out: &mut String, depth: usize) {
     for _ in 0..depth {
         out.push_str("  ");
@@ -230,6 +479,52 @@ mod tests {
     #[test]
     fn control_characters_are_escaped() {
         assert_eq!(Json::Str("\u{01}".into()).render(), "\"\\u0001\"");
+    }
+
+    #[test]
+    fn parse_round_trips_writer_output() {
+        let mut inner = Json::object();
+        inner.set("count", Json::UInt(3));
+        inner.set("delta", Json::Int(-7));
+        inner.set("rate", Json::Float(0.25));
+        inner.set("big", Json::Float(3.0));
+        inner.set("label", Json::Str("tab\there \"quoted\" \u{01}".into()));
+        let root = Json::Array(vec![
+            inner,
+            Json::Null,
+            Json::Bool(true),
+            Json::Array(vec![]),
+            Json::object(),
+        ]);
+        assert_eq!(Json::parse(&root.render()).unwrap(), root);
+        assert_eq!(Json::parse(&root.render_pretty()).unwrap(), root);
+    }
+
+    #[test]
+    fn parse_number_partition_matches_writer() {
+        assert_eq!(Json::parse("42").unwrap(), Json::UInt(42));
+        assert_eq!(Json::parse("-42").unwrap(), Json::Int(-42));
+        assert_eq!(Json::parse("42.0").unwrap(), Json::Float(42.0));
+        assert_eq!(Json::parse("-1.5e3").unwrap(), Json::Float(-1500.0));
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        for bad in [
+            "", "{", "[1,", "{\"a\"}", "nul", "1 2", "\"open", "{\"a\":}",
+        ] {
+            assert!(Json::parse(bad).is_err(), "{bad:?} should not parse");
+        }
+        let err = Json::parse("[1, @]").unwrap_err();
+        assert_eq!(err.offset, 4);
+    }
+
+    #[test]
+    fn parse_unicode_escape() {
+        assert_eq!(
+            Json::parse("\"\\u0041\\u00e9\"").unwrap(),
+            Json::Str("Aé".into())
+        );
     }
 
     #[test]

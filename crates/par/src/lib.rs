@@ -27,9 +27,30 @@
 //! overrides auto-detection, which CI uses to run the whole test suite
 //! once pinned to one worker and once unpinned; any divergence between the
 //! two runs is a scheduling-dependent output bug.
+//!
+//! ## Panic isolation
+//!
+//! A panic inside a `par_map` closure unwinds its scoped thread and
+//! re-raises when the scope joins, killing the whole process mid-run —
+//! acceptable for a bug, ruinous for an hours-long attribution run felled
+//! by one poisoned record. [`try_par_map`] and [`try_par_map_chunks`]
+//! wrap every closure call in `catch_unwind`: a panicking item becomes an
+//! `Err(`[`WorkerPanic`]`)` slot carrying the item index and the panic
+//! payload, every other slot completes normally, and each caught panic
+//! increments the `par.worker_panics` counter of the metrics handle the
+//! caller passes in. Callers then choose the failure policy per stage:
+//! skip-and-record (drop the item, keep the run alive) or fail-fast
+//! (re-raise, where a silent hole would corrupt downstream results).
+//!
+//! The [`fault`] module provides the deterministic fault-injection hook
+//! the resilience test-suite drives: `DARKLIGHT_FAULT_PANICS` names
+//! `site:index` pairs at which instrumented call sites panic on purpose.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+use darklight_obs::PipelineMetrics;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 
 /// Environment variable overriding auto-detected parallelism (`threads ==
 /// 0`). Ignored when a caller asks for an explicit thread count.
@@ -145,6 +166,166 @@ where
     par_map(&shards, threads, |_, shard| f(shard))
 }
 
+/// A panic caught inside a worker closure, reported as the `Err` slot of
+/// [`try_par_map`] / [`try_par_map_chunks`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WorkerPanic {
+    /// Index of the item (or shard) whose closure panicked.
+    pub index: usize,
+    /// The panic payload, stringified (`&str` and `String` payloads are
+    /// preserved verbatim; anything else is a placeholder).
+    pub payload: String,
+}
+
+impl std::fmt::Display for WorkerPanic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "worker panicked on item {}: {}",
+            self.index, self.payload
+        )
+    }
+}
+
+impl std::error::Error for WorkerPanic {}
+
+/// Stringifies a `catch_unwind` payload, preserving the common cases.
+fn payload_to_string(payload: Box<dyn std::any::Any + Send>) -> String {
+    match payload.downcast::<String>() {
+        Ok(s) => *s,
+        Err(payload) => match payload.downcast::<&'static str>() {
+            Ok(s) => (*s).to_string(),
+            Err(_) => "<non-string panic payload>".to_string(),
+        },
+    }
+}
+
+/// Like [`par_map`], but every closure call is isolated with
+/// `catch_unwind`: a panicking item yields `Err(WorkerPanic)` in its slot
+/// while every other item completes, and each caught panic increments the
+/// `par.worker_panics` counter of `metrics`.
+///
+/// The output is positional and deterministic exactly like [`par_map`]'s:
+/// whether an item panics depends only on `f` and the item, never on
+/// scheduling, so degraded runs are bit-identical across thread counts.
+///
+/// ```
+/// use darklight_obs::PipelineMetrics;
+/// let metrics = PipelineMetrics::enabled();
+/// let out = darklight_par::try_par_map(&[1, 2, 3], 2, &metrics, |_, &x| {
+///     assert!(x != 2, "poisoned item");
+///     x * 10
+/// });
+/// assert_eq!(out[0].as_ref().unwrap(), &10);
+/// assert!(out[1].is_err());
+/// assert_eq!(metrics.counter("par.worker_panics").get(), 1);
+/// ```
+pub fn try_par_map<T, R, F>(
+    items: &[T],
+    threads: usize,
+    metrics: &PipelineMetrics,
+    f: F,
+) -> Vec<Result<R, WorkerPanic>>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let panics = metrics.counter("par.worker_panics");
+    let out = par_map(items, threads, |i, item| {
+        catch_unwind(AssertUnwindSafe(|| f(i, item))).map_err(|payload| WorkerPanic {
+            index: i,
+            payload: payload_to_string(payload),
+        })
+    });
+    for slot in &out {
+        if slot.is_err() {
+            panics.incr();
+        }
+    }
+    out
+}
+
+/// Like [`par_map_chunks`], but each shard closure is isolated with
+/// `catch_unwind`; a panicking shard yields `Err(WorkerPanic)` (index =
+/// shard number) and increments `par.worker_panics`. Note the blast
+/// radius is the whole shard: callers that need per-item isolation should
+/// use [`try_par_map`].
+pub fn try_par_map_chunks<T, R, F>(
+    items: &[T],
+    threads: usize,
+    metrics: &PipelineMetrics,
+    f: F,
+) -> Vec<Result<R, WorkerPanic>>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&[T]) -> R + Sync,
+{
+    let panics = metrics.counter("par.worker_panics");
+    let out = par_map_chunks(items, threads, |shard| {
+        catch_unwind(AssertUnwindSafe(|| f(shard))).map_err(payload_to_string)
+    });
+    out.into_iter()
+        .enumerate()
+        .map(|(i, r)| {
+            r.map_err(|payload| {
+                panics.incr();
+                WorkerPanic { index: i, payload }
+            })
+        })
+        .collect()
+}
+
+pub mod fault {
+    //! Deterministic fault injection for resilience tests.
+    //!
+    //! The `DARKLIGHT_FAULT_PANICS` environment variable names injection
+    //! points as comma-separated `site:index` pairs, e.g.
+    //! `twostage.vectorize_known:1,polish.user:3`. Instrumented call
+    //! sites invoke [`maybe_panic`] with their site name and item index;
+    //! when the pair is listed, the call panics with a recognizable
+    //! message. Faults depend only on (site, index) — never on thread
+    //! count or scheduling — so a degraded run is still deterministic,
+    //! which the CI injected-panic thread-parity leg pins.
+    //!
+    //! The spec is parsed once per process; with the variable unset the
+    //! hook is one atomic load and a `None` check.
+
+    use std::sync::OnceLock;
+
+    /// Environment variable listing `site:index` injection points.
+    pub const FAULT_ENV: &str = "DARKLIGHT_FAULT_PANICS";
+
+    fn spec() -> &'static [(String, usize)] {
+        static SPEC: OnceLock<Vec<(String, usize)>> = OnceLock::new();
+        SPEC.get_or_init(|| {
+            let Ok(raw) = std::env::var(FAULT_ENV) else {
+                return Vec::new();
+            };
+            raw.split(',')
+                .filter_map(|entry| {
+                    let (site, index) = entry.trim().rsplit_once(':')?;
+                    Some((site.to_string(), index.parse().ok()?))
+                })
+                .collect()
+        })
+    }
+
+    /// `true` when `site:index` is listed in `DARKLIGHT_FAULT_PANICS`.
+    pub fn is_injected(site: &str, index: usize) -> bool {
+        spec().iter().any(|(s, i)| s == site && *i == index)
+    }
+
+    /// Panics iff `site:index` is an injection point. Call from inside a
+    /// worker closure that a `try_par_map` wrapper isolates.
+    pub fn maybe_panic(site: &str, index: usize) {
+        if is_injected(site, index) {
+            panic!("injected fault at {site}:{index}");
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -198,6 +379,81 @@ mod tests {
     fn par_map_chunks_empty() {
         let empty: Vec<u8> = Vec::new();
         assert!(par_map_chunks(&empty, 4, |s| s.len()).is_empty());
+    }
+
+    #[test]
+    fn try_par_map_isolates_panics_per_item() {
+        let items: Vec<usize> = (0..23).collect();
+        let metrics = PipelineMetrics::enabled();
+        for threads in [1, 2, 5, 64] {
+            let out = try_par_map(&items, threads, &metrics, |_, &x| {
+                assert!(x % 7 != 3, "poisoned item {x}");
+                x * 2
+            });
+            for (i, slot) in out.iter().enumerate() {
+                if i % 7 == 3 {
+                    let err = slot.as_ref().unwrap_err();
+                    assert_eq!(err.index, i);
+                    assert!(err.payload.contains("poisoned item"), "{}", err.payload);
+                } else {
+                    assert_eq!(*slot.as_ref().unwrap(), i * 2, "threads = {threads}");
+                }
+            }
+        }
+        // 23 items, indices 3, 10, 17 poisoned, across four thread counts.
+        assert_eq!(metrics.counter("par.worker_panics").get(), 12);
+    }
+
+    #[test]
+    fn try_par_map_all_ok_matches_par_map() {
+        let items: Vec<u32> = (0..9).collect();
+        let metrics = PipelineMetrics::disabled();
+        let out = try_par_map(&items, 3, &metrics, |i, &x| (i, x + 1));
+        let want: Vec<_> = par_map(&items, 3, |i, &x| (i, x + 1));
+        assert_eq!(
+            out.into_iter().map(Result::unwrap).collect::<Vec<_>>(),
+            want
+        );
+    }
+
+    #[test]
+    fn try_par_map_preserves_string_payloads() {
+        let metrics = PipelineMetrics::disabled();
+        let out = try_par_map(&[0u8], 1, &metrics, |_, _| -> u8 {
+            panic!("owned {} payload", "string");
+        });
+        assert_eq!(out[0].as_ref().unwrap_err().payload, "owned string payload");
+        let out = try_par_map(&[0u8], 1, &metrics, |_, _| -> u8 {
+            std::panic::panic_any(42i32);
+        });
+        assert_eq!(
+            out[0].as_ref().unwrap_err().payload,
+            "<non-string panic payload>"
+        );
+    }
+
+    #[test]
+    fn try_par_map_chunks_isolates_whole_shards() {
+        let items: Vec<u64> = (1..=10).collect();
+        let metrics = PipelineMetrics::enabled();
+        let out = try_par_map_chunks(&items, 5, &metrics, |s| {
+            assert!(!s.contains(&4), "poisoned shard");
+            s.iter().sum::<u64>()
+        });
+        assert_eq!(out.len(), 5);
+        let sum: u64 = out.iter().filter_map(|r| r.as_ref().ok()).sum();
+        assert_eq!(sum, 55 - 3 - 4); // the (3, 4) shard is lost whole
+        assert_eq!(out.iter().filter(|r| r.is_err()).count(), 1);
+        assert_eq!(metrics.counter("par.worker_panics").get(), 1);
+    }
+
+    #[test]
+    fn fault_hook_is_inert_without_env() {
+        // The test process never sets DARKLIGHT_FAULT_PANICS, so every
+        // lookup must be a no-op (env-driven behavior is exercised in the
+        // fault-injection integration suite, which owns its own process).
+        assert!(!fault::is_injected("any.site", 0));
+        fault::maybe_panic("any.site", 0);
     }
 
     #[test]

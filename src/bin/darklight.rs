@@ -4,14 +4,15 @@
 //! darklight gen <out-dir> [--scale small|default|paper] [--seed N]
 //!     Generate a synthetic three-forum world as TSV corpora.
 //!
-//! darklight polish <in.tsv> <out.tsv>
+//! darklight polish <in.tsv> <out.tsv> [--lenient|--strict]
 //!     Run the 12 polishing steps; print the per-step removal report.
 //!
-//! darklight stats <in.tsv>
+//! darklight stats <in.tsv> [--lenient|--strict]
 //!     Corpus statistics: users, posts, words-per-user CDF.
 //!
 //! darklight link <known.tsv> <unknown.tsv> [--threshold T] [--k K]
-//!               [--threads N] [--metrics out.json]
+//!               [--threads N] [--metrics out.json] [--lenient|--strict]
+//!               [--batch-size B] [--checkpoint state.json]
 //!     Polish, refine, and link the two corpora; print matched alias
 //!     pairs as TSV (unknown_alias, known_alias, score). With
 //!     --metrics, also write a JSON snapshot of pipeline counters,
@@ -19,6 +20,11 @@
 //!     --threads 0 (the default) sizes the worker pool from the
 //!     machine (or the DARKLIGHT_THREADS environment variable);
 //!     output is identical at every thread count.
+//!     --batch-size runs the RAM-bounded batched driver (§IV-J);
+//!     --checkpoint persists batched state after every round and
+//!     resumes from it on restart (implies --batch-size 100 unless
+//!     given). A checkpoint written by a different config/corpus is
+//!     refused rather than silently resumed.
 //!
 //! darklight profile <corpus.tsv> <alias>
 //!     Activity profile and leaked-fact dossier for one alias.
@@ -26,18 +32,42 @@
 //! darklight obfuscate <in.tsv> <out.tsv>
 //!     Scrub writing style from every post (adversarial stylometry).
 //! ```
+//!
+//! Corpus-reading commands default to **strict** ingestion: the first
+//! malformed line aborts. `--lenient` quarantines malformed lines
+//! instead (printing a per-line report to stderr) and fails only when
+//! more than half the input is bad.
+//!
+//! Exit codes: 0 success, 1 data/IO error, 2 usage error.
 
 use darklight::activity::profile::{ProfileBuilder, ProfilePolicy};
+use darklight::core::batch::{BatchConfig, BatchError};
 use darklight::core::linker::{Linker, LinkerConfig};
-use darklight::corpus::io::{load_corpus, save_corpus};
+use darklight::corpus::io::{load_corpus, load_corpus_lenient, save_corpus, LenientConfig};
+use darklight::corpus::model::Corpus;
 use darklight::corpus::polish::{PolishConfig, Polisher};
 use darklight::corpus::stats::{cdf_at, words_per_user_cdf};
 use darklight::eval::profiler::build_profile;
 use darklight::obs::PipelineMetrics;
 use darklight::synth::scenario::{ScenarioBuilder, ScenarioConfig};
 use darklight::text::obfuscate::{ObfuscateConfig, Obfuscator};
-use std::path::Path;
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
+
+/// A CLI failure, split by whose fault it is: `Usage` (bad invocation,
+/// exit 2) vs `Data` (the input or filesystem let us down, exit 1).
+enum CliError {
+    Usage(String),
+    Data(String),
+}
+
+fn usage(msg: impl std::fmt::Display) -> CliError {
+    CliError::Usage(msg.to_string())
+}
+
+fn data(msg: impl std::fmt::Display) -> CliError {
+    CliError::Data(msg.to_string())
+}
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -52,24 +82,33 @@ fn main() -> ExitCode {
             eprintln!("{}", USAGE);
             return ExitCode::SUCCESS;
         }
-        Some(other) => Err(format!("unknown command {other:?}\n{USAGE}")),
+        Some(other) => Err(usage(format!("unknown command {other:?}\n{USAGE}"))),
     };
     match result {
         Ok(()) => ExitCode::SUCCESS,
-        Err(e) => {
+        Err(CliError::Data(e)) => {
             eprintln!("error: {e}");
             ExitCode::FAILURE
+        }
+        Err(CliError::Usage(e)) => {
+            eprintln!("error: {e}");
+            ExitCode::from(2)
         }
     }
 }
 
 const USAGE: &str = "usage: darklight <gen|polish|stats|link|profile|obfuscate> ...\n\
   gen <out-dir> [--scale small|default|paper] [--seed N]\n\
-  polish <in.tsv> <out.tsv>\n\
-  stats <in.tsv>\n\
+  polish <in.tsv> <out.tsv> [--lenient|--strict]\n\
+  stats <in.tsv> [--lenient|--strict]\n\
   link <known.tsv> <unknown.tsv> [--threshold T] [--k K] [--threads N] [--metrics out.json]\n\
+       [--lenient|--strict] [--batch-size B] [--checkpoint state.json]\n\
   profile <corpus.tsv> <alias>\n\
-  obfuscate <in.tsv> <out.tsv>";
+  obfuscate <in.tsv> <out.tsv>\n\
+exit codes: 0 success, 1 data/io error, 2 usage error";
+
+/// Flags that take no value (everything else consumes the next token).
+const BOOL_FLAGS: &[&str] = &["--lenient", "--strict"];
 
 fn flag_value<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
     args.iter()
@@ -78,7 +117,11 @@ fn flag_value<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
         .map(String::as_str)
 }
 
-fn positional(args: &[String], n: usize) -> Result<&str, String> {
+fn has_flag(args: &[String], name: &str) -> bool {
+    args.iter().any(|a| a == name)
+}
+
+fn positional(args: &[String], n: usize) -> Result<&str, CliError> {
     let mut seen = 0;
     let mut skip_next = false;
     for a in args {
@@ -87,7 +130,7 @@ fn positional(args: &[String], n: usize) -> Result<&str, String> {
             continue;
         }
         if a.starts_with("--") {
-            skip_next = true;
+            skip_next = !BOOL_FLAGS.contains(&a.as_str());
             continue;
         }
         if seen == n {
@@ -95,21 +138,70 @@ fn positional(args: &[String], n: usize) -> Result<&str, String> {
         }
         seen += 1;
     }
-    Err(format!("missing argument #{}\n{USAGE}", n + 1))
+    Err(usage(format!("missing argument #{}\n{USAGE}", n + 1)))
 }
 
-fn cmd_gen(args: &[String]) -> Result<(), String> {
+/// Resolves `--lenient`/`--strict` (strict wins by default; both at once
+/// is a contradiction the user must resolve).
+fn lenient_mode(args: &[String]) -> Result<bool, CliError> {
+    match (has_flag(args, "--lenient"), has_flag(args, "--strict")) {
+        (true, true) => Err(usage("--lenient and --strict are mutually exclusive")),
+        (lenient, _) => Ok(lenient),
+    }
+}
+
+/// Loads a corpus in the selected ingestion mode. In lenient mode a
+/// per-line quarantine report goes to stderr and the load succeeds
+/// unless the tolerance budget is blown.
+fn load_corpus_cli(
+    path: &str,
+    lenient: bool,
+    metrics: &PipelineMetrics,
+) -> Result<Corpus, CliError> {
+    if !lenient {
+        return load_corpus(Path::new(path)).map_err(data);
+    }
+    let config = LenientConfig {
+        metrics: metrics.clone(),
+        ..LenientConfig::default()
+    };
+    let (corpus, report) = load_corpus_lenient(Path::new(path), &config).map_err(data)?;
+    if !report.is_clean() {
+        eprintln!(
+            "warning: quarantined {} of {} line(s) loading {path}:",
+            report.quarantined(),
+            report.lines_total
+        );
+        const SHOWN: usize = 10;
+        for issue in report.issues.iter().take(SHOWN) {
+            eprintln!(
+                "  line {}: [{}] {}",
+                issue.line,
+                issue.kind.as_str(),
+                issue.reason
+            );
+        }
+        if report.issues.len() > SHOWN {
+            eprintln!("  ... and {} more", report.issues.len() - SHOWN);
+        }
+    }
+    Ok(corpus)
+}
+
+fn cmd_gen(args: &[String]) -> Result<(), CliError> {
     let out_dir = positional(args, 0)?;
     let mut config = match flag_value(args, "--scale") {
         Some("small") | None => ScenarioConfig::small(),
         Some("default") => ScenarioConfig::default_scale(),
         Some("paper") => ScenarioConfig::paper_scale(),
-        Some(other) => return Err(format!("unknown scale {other:?}")),
+        Some(other) => return Err(usage(format!("unknown scale {other:?}"))),
     };
     if let Some(seed) = flag_value(args, "--seed") {
-        config.seed = seed.parse().map_err(|_| "--seed must be an integer")?;
+        config.seed = seed
+            .parse()
+            .map_err(|_| usage("--seed must be an integer"))?;
     }
-    std::fs::create_dir_all(out_dir).map_err(|e| e.to_string())?;
+    std::fs::create_dir_all(out_dir).map_err(data)?;
     eprintln!("generating world (seed {})...", config.seed);
     let scenario = ScenarioBuilder::new(config).build();
     for (name, corpus) in [
@@ -118,18 +210,19 @@ fn cmd_gen(args: &[String]) -> Result<(), String> {
         ("dm.tsv", &scenario.dm),
     ] {
         let path = Path::new(out_dir).join(name);
-        save_corpus(corpus, &path).map_err(|e| e.to_string())?;
+        save_corpus(corpus, &path).map_err(data)?;
         eprintln!("wrote {} ({} users)", path.display(), corpus.len());
     }
     Ok(())
 }
 
-fn cmd_polish(args: &[String]) -> Result<(), String> {
+fn cmd_polish(args: &[String]) -> Result<(), CliError> {
     let input = positional(args, 0)?;
     let output = positional(args, 1)?;
-    let corpus = load_corpus(Path::new(input)).map_err(|e| e.to_string())?;
+    let lenient = lenient_mode(args)?;
+    let corpus = load_corpus_cli(input, lenient, &PipelineMetrics::disabled())?;
     let (polished, report) = Polisher::new(PolishConfig::default()).polish(&corpus);
-    save_corpus(&polished, Path::new(output)).map_err(|e| e.to_string())?;
+    save_corpus(&polished, Path::new(output)).map_err(data)?;
     eprintln!(
         "polished {} -> {}\n  bot accounts dropped:      {}\n  duplicate messages:        {}\n  \
          short messages:            {}\n  low-diversity messages:    {}\n  \
@@ -147,9 +240,10 @@ fn cmd_polish(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_stats(args: &[String]) -> Result<(), String> {
+fn cmd_stats(args: &[String]) -> Result<(), CliError> {
     let input = positional(args, 0)?;
-    let corpus = load_corpus(Path::new(input)).map_err(|e| e.to_string())?;
+    let lenient = lenient_mode(args)?;
+    let corpus = load_corpus_cli(input, lenient, &PipelineMetrics::disabled())?;
     println!("corpus:  {}", corpus.name);
     println!("users:   {}", corpus.len());
     println!("posts:   {}", corpus.total_posts());
@@ -161,23 +255,47 @@ fn cmd_stats(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_link(args: &[String]) -> Result<(), String> {
+fn cmd_link(args: &[String]) -> Result<(), CliError> {
     let known_path = positional(args, 0)?;
     let unknown_path = positional(args, 1)?;
-    let known = load_corpus(Path::new(known_path)).map_err(|e| e.to_string())?;
-    let unknown = load_corpus(Path::new(unknown_path)).map_err(|e| e.to_string())?;
+    let lenient = lenient_mode(args)?;
+    let metrics_path = flag_value(args, "--metrics");
+    let metrics = if metrics_path.is_some() {
+        PipelineMetrics::enabled()
+    } else {
+        PipelineMetrics::disabled()
+    };
     let mut config = LinkerConfig::default();
     if let Some(t) = flag_value(args, "--threshold") {
-        config.two_stage.threshold = t.parse().map_err(|_| "--threshold must be a float")?;
+        config.two_stage.threshold = t
+            .parse()
+            .map_err(|_| usage("--threshold must be a float"))?;
     }
     if let Some(k) = flag_value(args, "--k") {
-        config.two_stage.k = k.parse().map_err(|_| "--k must be an integer")?;
+        config.two_stage.k = k.parse().map_err(|_| usage("--k must be an integer"))?;
     }
     if let Some(t) = flag_value(args, "--threads") {
         config.two_stage.threads = t
             .parse()
-            .map_err(|_| "--threads must be an integer (0 = auto)")?;
+            .map_err(|_| usage("--threads must be an integer (0 = auto)"))?;
     }
+    if let Some(b) = flag_value(args, "--batch-size") {
+        let batch_size = b
+            .parse()
+            .map_err(|_| usage("--batch-size must be an integer"))?;
+        config.batch = Some(BatchConfig { batch_size });
+    }
+    if let Some(p) = flag_value(args, "--checkpoint") {
+        // Checkpoints only exist for the batched driver; default to the
+        // paper's B=100 when --batch-size was not given explicitly.
+        config.batch.get_or_insert_with(BatchConfig::default);
+        config.checkpoint = Some(PathBuf::from(p));
+    }
+    if let Some(batch) = &config.batch {
+        batch.validate().map_err(usage)?;
+    }
+    let known = load_corpus_cli(known_path, lenient, &metrics)?;
+    let unknown = load_corpus_cli(unknown_path, lenient, &metrics)?;
     eprintln!(
         "linking {} unknowns against {} knowns (k={}, threshold={}, threads={})...",
         unknown.len(),
@@ -186,31 +304,33 @@ fn cmd_link(args: &[String]) -> Result<(), String> {
         config.two_stage.threshold,
         config.two_stage.effective_threads(),
     );
-    let metrics_path = flag_value(args, "--metrics");
     let mut linker = Linker::new(config);
     if metrics_path.is_some() {
-        linker = linker.with_metrics(PipelineMetrics::enabled());
+        linker = linker.with_metrics(metrics);
     }
-    let matches = linker.link(&known, &unknown);
+    let matches = linker.try_link(&known, &unknown).map_err(|e| match e {
+        BatchError::InvalidConfig(_) => usage(e),
+        other => data(other),
+    })?;
     println!("unknown_alias\tknown_alias\tscore");
     for m in &matches {
         println!("{}\t{}\t{:.4}", m.unknown_alias, m.known_alias, m.score);
     }
     eprintln!("{} pair(s) emitted", matches.len());
     if let Some(path) = metrics_path {
-        std::fs::write(path, linker.metrics().to_json_pretty()).map_err(|e| e.to_string())?;
+        std::fs::write(path, linker.metrics().to_json_pretty()).map_err(data)?;
         eprintln!("pipeline metrics written to {path}");
     }
     Ok(())
 }
 
-fn cmd_profile(args: &[String]) -> Result<(), String> {
+fn cmd_profile(args: &[String]) -> Result<(), CliError> {
     let input = positional(args, 0)?;
     let alias = positional(args, 1)?;
-    let corpus = load_corpus(Path::new(input)).map_err(|e| e.to_string())?;
+    let corpus = load_corpus(Path::new(input)).map_err(data)?;
     let user = corpus
         .user(alias)
-        .ok_or_else(|| format!("alias {alias:?} not found in {input}"))?;
+        .ok_or_else(|| data(format!("alias {alias:?} not found in {input}")))?;
     println!("alias:  {}", user.alias);
     println!("posts:  {}", user.posts.len());
     println!("words:  {}", user.total_words());
@@ -239,10 +359,10 @@ fn cmd_profile(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_obfuscate(args: &[String]) -> Result<(), String> {
+fn cmd_obfuscate(args: &[String]) -> Result<(), CliError> {
     let input = positional(args, 0)?;
     let output = positional(args, 1)?;
-    let mut corpus = load_corpus(Path::new(input)).map_err(|e| e.to_string())?;
+    let mut corpus = load_corpus(Path::new(input)).map_err(data)?;
     let obfuscator = Obfuscator::new(ObfuscateConfig::default());
     let mut posts = 0usize;
     for user in &mut corpus.users {
@@ -251,7 +371,7 @@ fn cmd_obfuscate(args: &[String]) -> Result<(), String> {
             posts += 1;
         }
     }
-    save_corpus(&corpus, Path::new(output)).map_err(|e| e.to_string())?;
+    save_corpus(&corpus, Path::new(output)).map_err(data)?;
     eprintln!("obfuscated {posts} posts -> {output}");
     Ok(())
 }

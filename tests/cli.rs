@@ -31,6 +31,156 @@ fn unknown_command_fails() {
 }
 
 #[test]
+fn usage_errors_exit_2() {
+    // Unknown command.
+    let out = bin().arg("frobnicate").output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    // Missing positional argument.
+    let out = bin().arg("stats").output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    // Contradictory ingestion flags.
+    let out = bin()
+        .args(["stats", "whatever.tsv", "--lenient", "--strict"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("mutually exclusive"));
+    // Unparseable flag value.
+    let out = bin()
+        .args(["link", "a.tsv", "b.tsv", "--k", "banana"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
+fn data_errors_exit_1() {
+    // Missing input file.
+    let out = bin()
+        .args(["stats", "/nonexistent/darklight_no_such_corpus.tsv"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("error:"));
+}
+
+#[test]
+fn zero_batch_size_is_a_usage_error() {
+    let dir = temp_dir("zerobatch");
+    bin()
+        .args([
+            "gen",
+            dir.to_str().unwrap(),
+            "--scale",
+            "small",
+            "--seed",
+            "2",
+        ])
+        .output()
+        .unwrap();
+    let out = bin()
+        .args([
+            "link",
+            dir.join("tmg.tsv").to_str().unwrap(),
+            dir.join("dm.tsv").to_str().unwrap(),
+            "--batch-size",
+            "0",
+        ])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("batch size must be positive"));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn lenient_loads_dirty_corpus_that_strict_refuses() {
+    let dir = temp_dir("lenient");
+    let corpus = dir.join("dirty.tsv");
+    // Lines 3 and 6 are malformed; the rest is a healthy two-user corpus.
+    std::fs::write(
+        &corpus,
+        "#darklight-corpus v1 dirty\n\
+         U\talice\t1\n\
+         this line is garbage\n\
+         P\t1486375200\tmisc\thello world from alice\n\
+         U\tbob\t2\n\
+         F\tnot_a_kind\tvalue\n\
+         P\t1486375300\tmisc\tbob says hi\n",
+    )
+    .unwrap();
+    let strict = bin()
+        .args(["stats", corpus.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert_eq!(
+        strict.status.code(),
+        Some(1),
+        "strict must refuse dirty data"
+    );
+    let lenient = bin()
+        .args(["stats", corpus.to_str().unwrap(), "--lenient"])
+        .output()
+        .unwrap();
+    assert_eq!(
+        lenient.status.code(),
+        Some(0),
+        "{}",
+        String::from_utf8_lossy(&lenient.stderr)
+    );
+    let stderr = String::from_utf8_lossy(&lenient.stderr);
+    assert!(stderr.contains("quarantined 2 of 7 line(s)"), "{stderr}");
+    assert!(stderr.contains("line 3"), "{stderr}");
+    assert!(stderr.contains("line 6"), "{stderr}");
+    let stdout = String::from_utf8_lossy(&lenient.stdout);
+    assert!(stdout.contains("users:   2"), "{stdout}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn link_with_checkpoint_succeeds_and_cleans_up() {
+    let dir = temp_dir("ckpt");
+    bin()
+        .args([
+            "gen",
+            dir.to_str().unwrap(),
+            "--scale",
+            "small",
+            "--seed",
+            "9",
+        ])
+        .output()
+        .unwrap();
+    let ckpt = dir.join("state.json");
+    let out = bin()
+        .args([
+            "link",
+            dir.join("tmg.tsv").to_str().unwrap(),
+            dir.join("dm.tsv").to_str().unwrap(),
+            "--threshold",
+            "0.86",
+            "--batch-size",
+            "10",
+            "--checkpoint",
+            ckpt.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let table = String::from_utf8_lossy(&out.stdout);
+    assert!(table.starts_with("unknown_alias\tknown_alias\tscore"));
+    assert!(
+        !ckpt.exists(),
+        "checkpoint must be removed after a successful run"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn gen_polish_stats_link_profile_flow() {
     let dir = temp_dir("flow");
     // gen

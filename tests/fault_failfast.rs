@@ -1,0 +1,59 @@
+//! Fail-fast counterpart to `tests/fault_injection.rs`: a panic in the
+//! stage-2 rescore worker must abort the run (wrong answers are worse
+//! than no answers once candidates are being re-scored), re-raised on
+//! the caller thread with the original payload attached.
+//!
+//! Lives in its own binary because `DARKLIGHT_FAULT_PANICS` is parsed
+//! once per process and a rescore injection would poison every
+//! skip-tolerant test sharing the process.
+
+use darklight::core::dataset::{Dataset, DatasetBuilder};
+use darklight::core::twostage::{TwoStage, TwoStageConfig};
+use darklight::corpus::model::{Corpus, Post, User};
+
+fn init_faults() {
+    static ONCE: std::sync::Once = std::sync::Once::new();
+    ONCE.call_once(|| std::env::set_var("DARKLIGHT_FAULT_PANICS", "twostage.rescore:0"));
+}
+
+fn world() -> (Dataset, Dataset) {
+    let vocabs = [
+        "kayak paddle rapids portage",
+        "espresso grinder portafilter crema",
+        "orchid repotting perlite humidity",
+    ];
+    let mut known = Corpus::new("known");
+    let mut unknown = Corpus::new("unknown");
+    let base = 1_486_375_200i64;
+    for (pid, vocab) in vocabs.iter().enumerate() {
+        let words: Vec<&str> = vocab.split(' ').collect();
+        for (half, corpus) in [(0usize, &mut known), (1, &mut unknown)] {
+            let mut u = User::new(format!("user{pid}_{half}"), Some(pid as u64));
+            for i in 0..35i64 {
+                let ts = base + (i / 5) * 7 * 86_400 + (i % 5) * 86_400;
+                let w1 = words[i as usize % words.len()];
+                let w2 = words[(i as usize + 1) % words.len()];
+                u.posts.push(Post::new(
+                    format!("my notes about {w1} mention the {w2} setup and more {w1} details"),
+                    ts,
+                ));
+            }
+            corpus.users.push(u);
+        }
+    }
+    let b = DatasetBuilder::new();
+    (b.build(&known), b.build(&unknown))
+}
+
+#[test]
+#[should_panic(expected = "stage-2 rescore failed")]
+fn rescore_panic_fails_fast_with_payload() {
+    init_faults();
+    let (known, unknown) = world();
+    let engine = TwoStage::new(TwoStageConfig {
+        k: 2,
+        threads: 2,
+        ..TwoStageConfig::default()
+    });
+    let _ = engine.run(&known, &unknown);
+}

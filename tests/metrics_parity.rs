@@ -123,11 +123,13 @@ fn snapshot_schema_is_pinned() {
             "features.fits",
             "features.vector_nnz",
             "features.vectors",
+            "par.worker_panics",
             "polish.dropped.bot_accounts",
             "polish.dropped.duplicates",
             "polish.dropped.emptied_users",
             "polish.dropped.low_diversity",
             "polish.dropped.non_english",
+            "polish.dropped.panicked_users",
             "polish.dropped.short",
             "polish.input_messages",
             "polish.kept_messages",

@@ -128,10 +128,10 @@ fn run_batched_identical_across_thread_counts() {
         })
     };
     let batch = BatchConfig { batch_size: 3 };
-    let baseline = run_batched(&small_engine(1), &batch, &known, &unknown);
+    let baseline = run_batched(&small_engine(1), &batch, &known, &unknown).unwrap();
     for threads in THREAD_COUNTS {
         assert_eq!(
-            run_batched(&small_engine(threads), &batch, &known, &unknown),
+            run_batched(&small_engine(threads), &batch, &known, &unknown).unwrap(),
             baseline,
             "run_batched diverged at {threads} threads"
         );
