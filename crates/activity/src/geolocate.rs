@@ -67,7 +67,7 @@ pub fn estimate_utc_offset(profile: &DailyActivityProfile) -> GeoEstimate {
             (shift, cosine(&local, &DIURNAL_TEMPLATE))
         })
         .collect();
-    scored.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite fits"));
+    scored.sort_by(|a, b| darklight_order::cmp_f64_desc(a.1, b.1));
     let (best_shift, fit) = scored[0];
     let margin = fit - scored[1].1;
     // Normalize to -11..=12.

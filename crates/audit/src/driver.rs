@@ -1,0 +1,387 @@
+//! The audit driver: walks the workspace, runs every rule on every
+//! file, applies `audit:allow` suppressions, and renders the report.
+//!
+//! ## Suppression policy
+//!
+//! A finding is suppressed by a comment on the same line or the line
+//! directly above:
+//!
+//! ```text
+//! // audit:allow(rule-id) -- reason the invariant holds here
+//! ```
+//!
+//! The reason is mandatory; an allow without one (or naming an unknown
+//! rule) is itself a `bad-suppression` finding, and `bad-suppression`
+//! cannot be suppressed. Suppressed findings still appear in `--json`
+//! output with `"suppressed": true` so dashboards can track debt.
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+use darklight_obs::Json;
+
+use crate::lexer::Scrubbed;
+use crate::rules::{catalog, FileCtx, RawFinding};
+
+/// A fully resolved finding.
+#[derive(Debug)]
+pub struct Finding {
+    /// Workspace-relative path (forward slashes).
+    pub file: String,
+    /// 1-based line.
+    pub line: usize,
+    /// 1-based column.
+    pub col: usize,
+    /// Rule id (`bad-suppression` for malformed allows).
+    pub rule: String,
+    /// Explanation.
+    pub message: String,
+    /// Whether an `audit:allow` covered it.
+    pub suppressed: bool,
+}
+
+/// The outcome of one audit run.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// Every finding, suppressed or not, in path/line order.
+    pub findings: Vec<Finding>,
+    /// Number of `.rs` files scanned.
+    pub files_checked: usize,
+}
+
+impl Report {
+    /// Findings that fail the build.
+    pub fn unsuppressed(&self) -> impl Iterator<Item = &Finding> {
+        self.findings.iter().filter(|f| !f.suppressed)
+    }
+
+    /// Human-readable rendering, one line per finding plus a summary.
+    pub fn render_human(&self) -> String {
+        let mut out = String::new();
+        for f in &self.findings {
+            if f.suppressed {
+                continue;
+            }
+            out.push_str(&format!(
+                "{}:{}:{}: error[{}]: {}\n",
+                f.file, f.line, f.col, f.rule, f.message
+            ));
+        }
+        let errors = self.unsuppressed().count();
+        let suppressed = self.findings.len() - errors;
+        out.push_str(&format!(
+            "audit: {} file(s) checked, {} error(s), {} suppressed\n",
+            self.files_checked, errors, suppressed
+        ));
+        out
+    }
+
+    /// JSON rendering (stable key order) for CI consumption.
+    pub fn render_json(&self) -> String {
+        let mut doc = Json::object();
+        doc.set("files_checked", Json::UInt(self.files_checked as u64));
+        doc.set(
+            "unsuppressed_errors",
+            Json::UInt(self.unsuppressed().count() as u64),
+        );
+        doc.set(
+            "findings",
+            Json::Array(
+                self.findings
+                    .iter()
+                    .map(|f| {
+                        let mut o = Json::object();
+                        o.set("file", Json::Str(f.file.clone()));
+                        o.set("line", Json::UInt(f.line as u64));
+                        o.set("col", Json::UInt(f.col as u64));
+                        o.set("rule", Json::Str(f.rule.clone()));
+                        o.set("message", Json::Str(f.message.clone()));
+                        o.set("suppressed", Json::Bool(f.suppressed));
+                        o
+                    })
+                    .collect(),
+            ),
+        );
+        doc.render_pretty()
+    }
+}
+
+/// One parsed `audit:allow` comment.
+#[derive(Debug)]
+struct Allow {
+    line: usize,
+    rules: Vec<String>,
+    has_reason: bool,
+    /// Comment is the only content on its line. Only standalone allows
+    /// reach the line below; a trailing allow covers its own line alone.
+    standalone: bool,
+}
+
+/// Extracts `audit:allow(...)` annotations from a file's comments.
+fn parse_allows(scrubbed: &Scrubbed) -> Vec<Allow> {
+    let mut allows = Vec::new();
+    for comment in &scrubbed.comments {
+        // Only plain comments can suppress: doc comments (`///`, `//!`,
+        // `/**`, `/*!`) merely *talk about* annotations.
+        if comment.text.starts_with("///")
+            || comment.text.starts_with("//!")
+            || comment.text.starts_with("/**")
+            || comment.text.starts_with("/*!")
+        {
+            continue;
+        }
+        let Some(start) = comment.text.find("audit:allow(") else {
+            continue;
+        };
+        let after = &comment.text[start + "audit:allow(".len()..];
+        let Some(close) = after.find(')') else {
+            continue;
+        };
+        let rules: Vec<String> = after[..close]
+            .split(',')
+            .map(|r| r.trim().to_string())
+            .filter(|r| !r.is_empty())
+            .collect();
+        let tail = &after[close + 1..];
+        let has_reason = tail
+            .trim_start()
+            .strip_prefix("--")
+            .is_some_and(|reason| !reason.trim().is_empty());
+        let (line, col) = scrubbed.line_col(comment.offset);
+        let line_start = comment.offset - (col - 1);
+        let standalone = scrubbed.text[line_start..comment.offset]
+            .chars()
+            .all(char::is_whitespace);
+        allows.push(Allow {
+            line,
+            rules,
+            has_reason,
+            standalone,
+        });
+    }
+    allows
+}
+
+/// Audits one file's source. Public so fixture tests can drive rules
+/// against synthetic paths without touching the filesystem.
+pub fn check_source(rel_path: &str, source: &str) -> Vec<Finding> {
+    let scrubbed = Scrubbed::new(source);
+    let file_is_test = rel_path
+        .split('/')
+        .any(|part| part == "tests" || part == "benches" || part == "examples");
+    let ctx = FileCtx {
+        rel_path,
+        scrubbed: &scrubbed,
+        file_is_test,
+    };
+    let test_spans = scrubbed.test_spans();
+    let allows = parse_allows(&scrubbed);
+    let known_rules: Vec<&'static str> = catalog().iter().map(|r| r.id()).collect();
+
+    let mut findings = Vec::new();
+
+    // Malformed allows are findings in their own right.
+    for allow in &allows {
+        for rule in &allow.rules {
+            if !known_rules.contains(&rule.as_str()) {
+                findings.push(Finding {
+                    file: rel_path.to_string(),
+                    line: allow.line,
+                    col: 1,
+                    rule: "bad-suppression".to_string(),
+                    message: format!("audit:allow names unknown rule {rule:?}"),
+                    suppressed: false,
+                });
+            }
+        }
+        if !allow.has_reason {
+            findings.push(Finding {
+                file: rel_path.to_string(),
+                line: allow.line,
+                col: 1,
+                rule: "bad-suppression".to_string(),
+                message: "audit:allow without a reason: append `-- <why this is sound>`"
+                    .to_string(),
+                suppressed: false,
+            });
+        }
+    }
+
+    for rule in catalog() {
+        if !rule.applies(&ctx) || (file_is_test && rule.skip_test_code()) {
+            continue;
+        }
+        let mut raw: Vec<RawFinding> = Vec::new();
+        rule.check(&ctx, &mut raw);
+        for rf in raw {
+            if rule.skip_test_code()
+                && test_spans
+                    .iter()
+                    .any(|&(s, e)| rf.offset >= s && rf.offset < e)
+            {
+                continue;
+            }
+            let (line, col) = scrubbed.line_col(rf.offset);
+            let suppressed = allows.iter().any(|a| {
+                a.has_reason
+                    && (a.line == line || (a.standalone && a.line + 1 == line))
+                    && a.rules.iter().any(|r| r == rule.id())
+            });
+            findings.push(Finding {
+                file: rel_path.to_string(),
+                line,
+                col,
+                rule: rule.id().to_string(),
+                message: rf.message,
+                suppressed,
+            });
+        }
+    }
+
+    findings.sort_by_key(|f| (f.line, f.col));
+    findings
+}
+
+/// Walks the workspace at `root` and audits every Rust source file.
+///
+/// # Errors
+///
+/// Returns the first I/O error encountered while walking or reading.
+pub fn run(root: &Path) -> std::io::Result<Report> {
+    let mut files: Vec<PathBuf> = Vec::new();
+    for top in ["crates", "src", "tests"] {
+        collect_rs(&root.join(top), &mut files)?;
+    }
+    files.sort();
+
+    let mut report = Report::default();
+    for path in files {
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(&path)
+            .components()
+            .map(|c| c.as_os_str().to_string_lossy())
+            .collect::<Vec<_>>()
+            .join("/");
+        let source = std::fs::read_to_string(&path)?;
+        report.findings.extend(check_source(&rel, &source));
+        report.files_checked += 1;
+    }
+    Ok(report)
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    if !dir.is_dir() {
+        return Ok(());
+    }
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            // `fixtures` trees hold deliberate violations for the audit's
+            // own tests; `vendor` and `target` are not ours to police.
+            if name == "target" || name == "vendor" || name == "fixtures" || name.starts_with('.') {
+                continue;
+            }
+            collect_rs(&path, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Locates the workspace root: walks up from `start` to the first
+/// directory whose `Cargo.toml` declares `[workspace]`.
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = Some(start.to_path_buf());
+    while let Some(d) = dir {
+        let manifest = d.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(d);
+            }
+        }
+        dir = d.parent().map(Path::to_path_buf);
+    }
+    None
+}
+
+/// The rule catalog as `id — description` lines (for `darklight-audit
+/// rules`).
+pub fn rule_listing() -> String {
+    let mut by_id: BTreeMap<&'static str, &'static str> = BTreeMap::new();
+    for rule in catalog() {
+        by_id.insert(rule.id(), rule.description());
+    }
+    let mut out = String::new();
+    for (id, desc) in by_id {
+        out.push_str(&format!("{id:<26} {desc}\n"));
+    }
+    out.push_str("bad-suppression            audit:allow with no reason or an unknown rule id\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allow_on_same_or_previous_line_suppresses() {
+        let src = "fn f() {\n\
+                   // audit:allow(no-naked-unwrap) -- invariant: x is Some by construction\n\
+                   x.unwrap();\n\
+                   y.unwrap(); // audit:allow(no-naked-unwrap) -- checked above\n\
+                   z.unwrap();\n\
+                   }\n";
+        let findings = check_source("crates/core/src/a.rs", src);
+        let unsuppressed: Vec<_> = findings.iter().filter(|f| !f.suppressed).collect();
+        assert_eq!(findings.len(), 3);
+        assert_eq!(unsuppressed.len(), 1);
+        assert_eq!(unsuppressed[0].line, 5);
+    }
+
+    #[test]
+    fn allow_without_reason_is_a_finding_and_does_not_suppress() {
+        let src = "// audit:allow(no-naked-unwrap)\nfn f() { x.unwrap(); }\n";
+        let findings = check_source("crates/core/src/a.rs", src);
+        assert!(findings.iter().any(|f| f.rule == "bad-suppression"));
+        assert!(findings
+            .iter()
+            .any(|f| f.rule == "no-naked-unwrap" && !f.suppressed));
+    }
+
+    #[test]
+    fn allow_with_unknown_rule_is_flagged() {
+        let src = "// audit:allow(no-such-rule) -- whatever\nfn f() {}\n";
+        let findings = check_source("crates/core/src/a.rs", src);
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].rule, "bad-suppression");
+        assert!(findings[0].message.contains("no-such-rule"));
+    }
+
+    #[test]
+    fn test_files_and_cfg_test_spans_are_exempt() {
+        let src = "fn prod() { a.partial_cmp(&b); }\n\
+                   #[cfg(test)]\nmod tests {\n  fn t() { c.partial_cmp(&d); }\n}\n";
+        let findings = check_source("crates/eval/src/a.rs", src);
+        assert_eq!(findings.len(), 1, "only the production site: {findings:?}");
+        assert_eq!(findings[0].line, 1);
+        assert!(check_source("tests/integration.rs", src).is_empty());
+    }
+
+    #[test]
+    fn json_report_shape() {
+        let report = Report {
+            findings: check_source("crates/core/src/a.rs", "fn f() { x.unwrap(); }"),
+            files_checked: 1,
+        };
+        let json = report.render_json();
+        assert!(json.contains("\"unsuppressed_errors\": 1"));
+        assert!(json.contains("\"rule\": \"no-naked-unwrap\""));
+        let human = report.render_human();
+        assert!(human.contains("crates/core/src/a.rs:1:11: error[no-naked-unwrap]"));
+    }
+}

@@ -1,0 +1,33 @@
+//! # darklight-audit — repo-native static analysis
+//!
+//! PRs 1–3 established the workspace's load-bearing invariants:
+//! byte-identical serial/parallel parity, NaN-tolerant total orders,
+//! panic isolation confined to `darklight-par`, stable checkpoint
+//! fingerprints, and a golden metrics schema. Until now each was
+//! enforced only by tests and reviewer vigilance — one new
+//! `partial_cmp().unwrap()` or a `HashMap` iterating into a fingerprint
+//! silently reintroduces the exact bugs the seed shipped with.
+//!
+//! This crate machine-checks them. It is a dependency-free (no `syn`,
+//! no crates.io) static-analysis driver: a comment/string-aware lexer
+//! ([`lexer::Scrubbed`]) plus a pluggable catalog of repo-specific
+//! rules ([`rules::catalog`]), run over every `.rs` file in the
+//! workspace by [`driver::run`]. Findings are span-accurate, suppress
+//! via `// audit:allow(rule-id) -- reason` (reason mandatory), and any
+//! unsuppressed finding fails the build:
+//!
+//! ```text
+//! cargo run -p darklight-audit -- check          # human output
+//! cargo run -p darklight-audit -- check --json   # CI output
+//! cargo run -p darklight-audit -- rules          # the catalog
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod driver;
+pub mod lexer;
+pub mod metric_registry;
+pub mod rules;
+
+pub use driver::{check_source, run, Finding, Report};

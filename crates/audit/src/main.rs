@@ -1,0 +1,95 @@
+//! CLI for the workspace static-analysis pass.
+//!
+//! Exit codes: 0 = clean, 1 = unsuppressed findings, 2 = usage or I/O
+//! error (matching the darklight CLI's convention).
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use darklight_audit::driver;
+
+const USAGE: &str = "\
+darklight-audit — workspace static analysis
+
+USAGE:
+    darklight-audit check [--json] [--root <path>]
+    darklight-audit rules
+
+COMMANDS:
+    check    Audit every workspace .rs file; nonzero exit on findings
+    rules    List the rule catalog
+
+OPTIONS:
+    --json          Machine-readable findings (stable key order)
+    --root <path>   Workspace root (default: nearest [workspace] above cwd)
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("check") => check(&args[1..]),
+        Some("rules") => {
+            print!("{}", driver::rule_listing());
+            ExitCode::SUCCESS
+        }
+        _ => {
+            eprint!("{USAGE}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn check(args: &[String]) -> ExitCode {
+    let mut json = false;
+    let mut root: Option<PathBuf> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--root" => match it.next() {
+                Some(path) => root = Some(PathBuf::from(path)),
+                None => {
+                    eprintln!("error: --root requires a path\n");
+                    eprint!("{USAGE}");
+                    return ExitCode::from(2);
+                }
+            },
+            other => {
+                eprintln!("error: unknown argument {other:?}\n");
+                eprint!("{USAGE}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let root = match root.or_else(|| {
+        std::env::current_dir()
+            .ok()
+            .and_then(|cwd| driver::find_workspace_root(&cwd))
+    }) {
+        Some(root) => root,
+        None => {
+            eprintln!("error: no [workspace] Cargo.toml above the current directory; use --root");
+            return ExitCode::from(2);
+        }
+    };
+
+    let report = match driver::run(&root) {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("error: audit walk failed: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if json {
+        print!("{}", report.render_json());
+    } else {
+        print!("{}", report.render_human());
+    }
+    if report.unsuppressed().next().is_some() {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

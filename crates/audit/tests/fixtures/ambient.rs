@@ -1,0 +1,12 @@
+//! Fixture: no-ambient-time-or-rand.
+
+fn violations() {
+    let _t = std::time::Instant::now(); // finding 1
+    let _s = std::time::SystemTime::now(); // finding 2
+    let _r = rand::thread_rng(); // finding 3
+}
+
+fn negative() {
+    // Instant::now mentioned in a comment is fine; so is the string:
+    let _doc = "SystemTime::now is banned here";
+}

@@ -1,0 +1,23 @@
+//! Fixture: deterministic-iteration. HashMap is only an error inside
+//! fingerprint functions (or the designated snapshot files).
+
+use std::collections::{BTreeMap, HashMap};
+
+fn run_fingerprint(items: &HashMap<String, u64>) -> u64 {
+    // ^ finding: HashMap in a fingerprint fn's signature/body.
+    let mut h = 0u64;
+    for (k, v) in items {
+        h = h.wrapping_add(k.len() as u64 ^ v);
+    }
+    h
+}
+
+fn ordinary(items: &HashMap<String, u64>) -> usize {
+    // HashMap outside fingerprint code is allowed by this rule.
+    items.len()
+}
+
+fn fingerprint_sorted(items: &BTreeMap<String, u64>) -> u64 {
+    // BTreeMap in a fingerprint fn is the fix, not a finding.
+    items.values().sum()
+}

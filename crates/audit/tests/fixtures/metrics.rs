@@ -1,0 +1,19 @@
+//! Fixture: metric-name-registry.
+
+fn violations(m: &darklight_obs::PipelineMetrics, name: &str) {
+    m.counter("linker.lnik").incr(); // finding: typo, not registered
+    m.counter(name).incr(); // finding: dynamic name
+}
+
+fn negatives(m: &darklight_obs::PipelineMetrics) {
+    m.counter("linker.link").incr(); // registered
+    m.timer("twostage.total").record_ns(1); // registered
+    let _doc = r#"counter("made.up.name") in a string is fine"#;
+}
+
+fn suppressed(m: &darklight_obs::PipelineMetrics, suffix: &str) {
+    m
+        // audit:allow(metric-name-registry) -- fixture: bounded by a closed enum
+        .counter(&format!("ingest.quarantined.{suffix}"))
+        .incr();
+}

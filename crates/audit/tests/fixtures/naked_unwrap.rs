@@ -1,0 +1,30 @@
+//! Fixture: no-naked-unwrap. Calling .unwrap() in this doc comment must
+//! not be flagged, nor may the string literal below.
+
+fn violations(x: Option<u32>, y: Result<u32, ()>) -> u32 {
+    let a = x.unwrap(); // finding 1
+    let b = y.expect("boom"); // finding 2
+    a + b
+}
+
+fn negatives(x: Option<u32>) -> u32 {
+    // A mention of .unwrap() in a plain comment is not a finding.
+    let s = "call .unwrap() and .expect(now)"; // string trap
+    let t = x.unwrap_or(3); // unwrap_or is fine
+    s.len() as u32 + t
+}
+
+fn suppressed(x: Option<u32>) -> u32 {
+    // audit:allow(no-naked-unwrap) -- fixture: invariant documented here
+    x.unwrap()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_unwrap() {
+        Some(1).unwrap();
+        let r: Result<u32, ()> = Ok(2);
+        r.expect("fine in tests");
+    }
+}

@@ -1,0 +1,12 @@
+//! Fixture: spawn-through-par.
+
+fn violations() {
+    let h = std::thread::spawn(|| 1 + 1); // one finding, not two
+    let _ = h.join();
+    std::thread::scope(|_s| {}); // second finding
+}
+
+fn negative() {
+    // std::thread mentioned in a comment; "thread::spawn" in a string.
+    let _doc = "thread::spawn is banned outside darklight-par";
+}

@@ -1,0 +1,15 @@
+//! Fixture: suppression policy.
+
+fn reasonless(x: Option<u32>) -> u32 {
+    // audit:allow(no-naked-unwrap)
+    x.unwrap()
+}
+
+fn unknown_rule() {
+    // audit:allow(no-such-rule) -- the rule id has a typo
+}
+
+fn multi_rule(x: Option<f64>, y: f64) -> bool {
+    // audit:allow(no-naked-unwrap, nan-safe-ordering) -- fixture: one comment may cover several rules
+    x.unwrap().partial_cmp(&y).is_some()
+}

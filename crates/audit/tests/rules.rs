@@ -1,0 +1,141 @@
+//! Fixture-driven golden tests: each fixture file under
+//! `tests/fixtures/` carries deliberate violations, string/comment
+//! false-positive traps, and `audit:allow` suppressions; the expected
+//! findings are pinned here as `(rule, line, suppressed)` triples.
+
+use darklight_audit::check_source;
+
+fn fixture(name: &str) -> String {
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name);
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("reading {path:?}: {e}"))
+}
+
+/// Runs a fixture as if it lived at `rel_path`, returning
+/// `(rule, line, suppressed)` triples sorted by line.
+fn triples(rel_path: &str, name: &str) -> Vec<(String, usize, bool)> {
+    let mut out: Vec<(String, usize, bool)> = check_source(rel_path, &fixture(name))
+        .into_iter()
+        .map(|f| (f.rule, f.line, f.suppressed))
+        .collect();
+    out.sort_by(|a, b| (a.1, &a.0).cmp(&(b.1, &b.0)));
+    out
+}
+
+fn s(x: &str) -> String {
+    x.to_string()
+}
+
+#[test]
+fn naked_unwrap_fixture() {
+    assert_eq!(
+        triples("crates/core/src/naked_unwrap.rs", "naked_unwrap.rs"),
+        vec![
+            (s("no-naked-unwrap"), 5, false),
+            (s("no-naked-unwrap"), 6, false),
+            // Doc-comment mention, string trap, and unwrap_or: no findings.
+            // cfg(test) module: no findings.
+            (s("no-naked-unwrap"), 19, true),
+        ]
+    );
+}
+
+#[test]
+fn unwrap_fixture_is_silent_outside_hot_paths() {
+    // The same violations in a crate outside core/features don't apply.
+    let findings = triples("crates/synth/src/naked_unwrap.rs", "naked_unwrap.rs");
+    assert!(
+        findings
+            .iter()
+            .all(|(rule, _, _)| rule != "no-naked-unwrap"),
+        "{findings:?}"
+    );
+}
+
+#[test]
+fn nan_ordering_fixture() {
+    assert_eq!(
+        triples("crates/eval/src/nan_ordering.rs", "nan_ordering.rs"),
+        vec![
+            (s("nan-safe-ordering"), 5, false),
+            (s("nan-safe-ordering"), 15, true),
+        ]
+    );
+    // The blessed home is exempt.
+    assert!(triples("crates/order/src/lib.rs", "nan_ordering.rs")
+        .iter()
+        .all(|(rule, _, _)| rule != "nan-safe-ordering"));
+}
+
+#[test]
+fn ambient_fixture() {
+    assert_eq!(
+        triples("crates/core/src/ambient.rs", "ambient.rs"),
+        vec![
+            (s("no-ambient-time-or-rand"), 4, false),
+            (s("no-ambient-time-or-rand"), 5, false),
+            (s("no-ambient-time-or-rand"), 6, false),
+        ]
+    );
+    // obs timers and the bench harness may read the clock.
+    assert!(triples("crates/obs/src/lib.rs", "ambient.rs").is_empty());
+    assert!(triples("crates/bench/src/experiments.rs", "ambient.rs").is_empty());
+}
+
+#[test]
+fn iteration_fixture() {
+    // Only the HashMap inside the fingerprint fn fires; the `use` line,
+    // the ordinary fn, and the BTreeMap fingerprint fn stay silent.
+    assert_eq!(
+        triples("crates/core/src/iteration.rs", "iteration.rs"),
+        vec![(s("deterministic-iteration"), 6, false)]
+    );
+}
+
+#[test]
+fn designated_snapshot_files_flag_hashmaps_anywhere() {
+    let src = "fn helper() { let m: std::collections::HashMap<u8, u8> = Default::default(); }";
+    let findings = check_source("crates/obs/src/json.rs", src);
+    assert_eq!(findings.len(), 1);
+    assert_eq!(findings[0].rule, "deterministic-iteration");
+}
+
+#[test]
+fn spawn_fixture() {
+    assert_eq!(
+        triples("crates/core/src/spawn.rs", "spawn.rs"),
+        vec![
+            (s("spawn-through-par"), 4, false),
+            (s("spawn-through-par"), 6, false),
+        ]
+    );
+    // darklight-par itself is the blessed home.
+    assert!(triples("crates/par/src/lib.rs", "spawn.rs").is_empty());
+}
+
+#[test]
+fn metrics_fixture() {
+    assert_eq!(
+        triples("crates/core/src/metrics.rs", "metrics.rs"),
+        vec![
+            (s("metric-name-registry"), 4, false),
+            (s("metric-name-registry"), 5, false),
+            (s("metric-name-registry"), 17, true),
+        ]
+    );
+}
+
+#[test]
+fn suppression_fixture() {
+    assert_eq!(
+        triples("crates/core/src/suppression.rs", "suppression.rs"),
+        vec![
+            (s("bad-suppression"), 4, false),
+            (s("no-naked-unwrap"), 5, false),
+            (s("bad-suppression"), 9, false),
+            (s("nan-safe-ordering"), 14, true),
+            (s("no-naked-unwrap"), 14, true),
+        ]
+    );
+}

@@ -23,6 +23,7 @@ use std::time::Instant;
 
 /// Shared experiment context: the prepared world plus lazily computed
 /// intermediates (the calibrated global threshold, the W1/W2 splits).
+#[derive(Debug)]
 pub struct Ctx {
     /// The prepared world.
     pub world: World,
@@ -776,7 +777,7 @@ pub fn explain_best_match(ctx: &Ctx) -> String {
         .iter()
         .filter_map(|m| m.best().map(|b| (m, b)))
         .filter(|(_, b)| b.score >= global)
-        .max_by(|a, b| a.1.score.partial_cmp(&b.1.score).expect("finite"));
+        .max_by(|a, b| darklight_order::cmp_f64_desc(b.1.score, a.1.score));
     match best {
         Some((m, b)) => {
             let dark = &darkweb.records[m.unknown];

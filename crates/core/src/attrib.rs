@@ -145,18 +145,10 @@ impl CandidateIndex {
 /// Descending total order over `(score, index)` pairs: higher scores
 /// first, NaN after every real score, ties broken toward lower indices.
 /// Shared by [`top_k_of`], [`rank_of`], and the stage-2 re-ranking so
-/// every ranking in the pipeline agrees on ordering.
+/// every ranking in the pipeline agrees on ordering. Delegates to the
+/// workspace-blessed [`darklight_order::cmp_desc_indexed`].
 pub(crate) fn cmp_desc(a: (f64, usize), b: (f64, usize)) -> Ordering {
-    match (a.0.is_nan(), b.0.is_nan()) {
-        (false, false) => {
-            b.0.partial_cmp(&a.0)
-                .expect("both scores are non-NaN")
-                .then_with(|| a.1.cmp(&b.1))
-        }
-        (true, true) => a.1.cmp(&b.1),
-        (true, false) => Ordering::Greater,
-        (false, true) => Ordering::Less,
-    }
+    darklight_order::cmp_desc_indexed(a, b)
 }
 
 /// Extracts the top-k entries of a dense score vector. NaN scores are

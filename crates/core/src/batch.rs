@@ -358,6 +358,7 @@ where
                 batched_round(engine, config, known, unknown, pool, Some(u))
                     .into_iter()
                     .next()
+                    // audit:allow(no-naked-unwrap) -- batched_round with Some(u) returns exactly one pool by construction
                     .expect("one unknown processed")
             });
         }

@@ -137,13 +137,18 @@ pub fn calibrate_from_results(
         return Err(CalibrateError::NoPositives);
     }
     let mut sorted: Vec<&L> = labeled.iter().collect();
-    sorted.sort_by(|a, b| b.score.partial_cmp(&a.score).expect("finite scores"));
+    sorted.sort_by(|a, b| darklight_order::cmp_f64_desc(a.score, b.score));
     let mut sweep = Vec::new();
     let mut emitted = 0usize;
     let mut correct = 0usize;
     let mut i = 0;
     while i < sorted.len() {
         let t = sorted[i].score;
+        if t.is_nan() {
+            // NaN sorts last and can never clear a real threshold; stop
+            // here — `score == t` would never consume it (NaN != NaN).
+            break;
+        }
         while i < sorted.len() && sorted[i].score == t {
             emitted += 1;
             if sorted[i].correct {
@@ -223,6 +228,19 @@ mod tests {
         let cal75 = calibrate_from_results(&results, &known, &unknown, 0.75).unwrap();
         assert_eq!(cal75.chosen.threshold, 0.6);
         assert!((cal75.chosen.precision - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nan_scores_are_tolerated_and_rank_last() {
+        // Regression: the threshold sweep sorted with partial_cmp().expect()
+        // and panicked when a zero-norm vector upstream produced a NaN
+        // score; NaN now sorts after every real score, so calibration
+        // still finds the real operating points.
+        let known = dataset(&[Some(0), Some(1)]);
+        let unknown = dataset(&[Some(0), Some(1)]);
+        let results = vec![rm(0, 0, 0.9), rm(1, 1, f64::NAN)];
+        let cal = calibrate_from_results(&results, &known, &unknown, 0.5).unwrap();
+        assert_eq!(cal.chosen.threshold, 0.9);
     }
 
     #[test]

@@ -302,6 +302,25 @@ mod tests {
     }
 
     #[test]
+    fn saved_bytes_are_identical_across_repeated_runs() {
+        // The checkpoint file participates in the byte-identical resume
+        // guarantee: saving the same logical state twice must produce the
+        // same bytes (no HashMap iteration, no timestamps, no randomness
+        // anywhere in the serialization path).
+        let a = temp_path("stable_a.json");
+        let b = temp_path("stable_b.json");
+        save(&a, &sample()).unwrap();
+        save(&b, &sample()).unwrap();
+        assert_eq!(
+            std::fs::read(&a).unwrap(),
+            std::fs::read(&b).unwrap(),
+            "checkpoint serialization is not byte-deterministic"
+        );
+        remove(&a);
+        remove(&b);
+    }
+
+    #[test]
     fn save_is_atomic_against_partial_writes() {
         let path = temp_path("atomic.json");
         save(&path, &sample()).unwrap();

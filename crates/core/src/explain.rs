@@ -148,10 +148,7 @@ fn top_shared(
         })
         .collect();
     shared.sort_by(|x, y| {
-        y.weight
-            .partial_cmp(&x.weight)
-            .expect("finite weights")
-            .then_with(|| x.gram.cmp(&y.gram))
+        darklight_order::cmp_f64_desc(x.weight, y.weight).then_with(|| x.gram.cmp(&y.gram))
     });
     shared.truncate(TOP_FEATURES);
     shared

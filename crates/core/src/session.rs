@@ -86,6 +86,7 @@ impl LinkSession {
             .rescore(&self.known, &unknown, vec![candidates])
             .into_iter()
             .next()
+            // audit:allow(no-naked-unwrap) -- rescore returns one RankedMatch per unknown and exactly one is passed
             .expect("one query yields one result")
     }
 

@@ -155,6 +155,7 @@ impl StepNanos {
 /// a plain call when metrics are off — the clock is never read.
 fn timed<T>(enabled: bool, acc: &mut u64, f: impl FnOnce() -> T) -> T {
     if enabled {
+        // audit:allow(no-ambient-time-or-rand) -- wall-clock feeds obs step timers only; metrics are never read back by pipeline logic
         let start = Instant::now();
         let out = f();
         *acc += u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);

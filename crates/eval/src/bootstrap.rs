@@ -110,7 +110,7 @@ pub fn precision_recall_interval(
 }
 
 fn percentile_interval(estimate: f64, samples: &mut [f64], coverage: f64) -> Interval {
-    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite samples"));
+    samples.sort_by(|a, b| darklight_order::cmp_f64_asc(*a, *b));
     let alpha = (1.0 - coverage) / 2.0;
     let lo_idx = ((samples.len() as f64) * alpha).floor() as usize;
     let hi_idx = (((samples.len() as f64) * (1.0 - alpha)).ceil() as usize)

@@ -35,13 +35,18 @@ impl PrCurve {
     pub fn from_labeled(labeled: &[LabeledScore]) -> PrCurve {
         let positives = labeled.iter().filter(|l| l.has_truth).count();
         let mut sorted: Vec<&LabeledScore> = labeled.iter().collect();
-        sorted.sort_by(|a, b| b.score.partial_cmp(&a.score).expect("finite scores"));
+        sorted.sort_by(|a, b| darklight_order::cmp_f64_desc(a.score, b.score));
         let mut points = Vec::new();
         let mut emitted = 0usize;
         let mut correct = 0usize;
         let mut i = 0;
         while i < sorted.len() {
             let t = sorted[i].score;
+            if t.is_nan() {
+                // NaN sorts last and can never clear a real threshold;
+                // stop — `score == t` would never consume it (NaN != NaN).
+                break;
+            }
             // Consume the whole tie group.
             while i < sorted.len() && sorted[i].score == t {
                 emitted += 1;
@@ -121,11 +126,10 @@ impl PrCurve {
         self.points
             .iter()
             .max_by(|a, b| {
-                f1(a).partial_cmp(&f1(b)).expect("finite f1").then_with(|| {
-                    a.threshold
-                        .partial_cmp(&b.threshold)
-                        .expect("finite thresholds")
-                })
+                // Reversed descending order: ascending on reals with NaN
+                // *below* every real, so a NaN F1 can never win max_by.
+                darklight_order::cmp_f64_desc(f1(b), f1(a))
+                    .then_with(|| darklight_order::cmp_f64_desc(b.threshold, a.threshold))
             })
             .copied()
     }
@@ -149,6 +153,19 @@ mod tests {
             correct,
             has_truth: true,
         }
+    }
+
+    #[test]
+    fn nan_scores_sort_last_and_never_win_best_f1() {
+        // Regression: these sorts used partial_cmp().expect() and panicked
+        // on NaN (e.g. a zero-norm query vector upstream). NaN must now
+        // rank below every real score and never be selected as best F1.
+        let labeled = vec![l(f64::NAN, false), l(0.9, true), l(0.2, false)];
+        let c = PrCurve::from_labeled(&labeled);
+        let first = c.points()[0];
+        assert_eq!(first.threshold, 0.9);
+        let best = c.best_f1().expect("curve has points");
+        assert!(!best.threshold.is_nan(), "NaN threshold won best_f1");
     }
 
     #[test]

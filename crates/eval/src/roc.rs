@@ -33,13 +33,18 @@ impl RocCurve {
         let positives = labeled.iter().filter(|l| l.correct).count();
         let negatives = labeled.len() - positives;
         let mut sorted: Vec<&LabeledScore> = labeled.iter().collect();
-        sorted.sort_by(|a, b| b.score.partial_cmp(&a.score).expect("finite scores"));
+        sorted.sort_by(|a, b| darklight_order::cmp_f64_desc(a.score, b.score));
         let mut points = Vec::new();
         let mut tp = 0usize;
         let mut fp = 0usize;
         let mut i = 0;
         while i < sorted.len() {
             let t = sorted[i].score;
+            if t.is_nan() {
+                // NaN sorts last and can never clear a real threshold;
+                // stop — `score == t` would never consume it (NaN != NaN).
+                break;
+            }
             while i < sorted.len() && sorted[i].score == t {
                 if sorted[i].correct {
                     tp += 1;
@@ -135,6 +140,15 @@ mod tests {
             correct,
             has_truth: true,
         }
+    }
+
+    #[test]
+    fn nan_scores_do_not_panic_and_sort_last() {
+        // Regression: from_labeled used partial_cmp().expect() and
+        // panicked on a NaN score; NaN now sweeps after every real one.
+        let labeled = vec![l(f64::NAN, false), l(0.9, true), l(0.1, false)];
+        let c = RocCurve::from_labeled(&labeled);
+        assert_eq!(c.points().first().map(|p| p.threshold), Some(0.9));
     }
 
     #[test]

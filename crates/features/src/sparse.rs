@@ -37,6 +37,7 @@ impl SparseVector {
         for (i, v) in entries {
             if let Some(&last) = indices.last() {
                 if last == i {
+                    // audit:allow(no-naked-unwrap) -- indices.last() is Some on this branch and values grows in lockstep
                     *values.last_mut().expect("values tracks indices") += v;
                     continue;
                 }
@@ -162,6 +163,7 @@ impl SparseVector {
     pub fn concat(&mut self, other: &SparseVector, offset: u32) {
         if let (Some(&last), Some(&first)) = (self.indices.last(), other.indices.first()) {
             assert!(
+                // audit:allow(no-naked-unwrap) -- deliberate panic-on-overflow, documented under `# Panics` above
                 first.checked_add(offset).expect("index overflow") > last,
                 "concat would break index ordering"
             );

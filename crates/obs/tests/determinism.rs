@@ -1,0 +1,56 @@
+//! Snapshot serialization must be byte-deterministic: two registries
+//! holding the same instruments must render identically no matter the
+//! order in which the instruments were first resolved, and repeated
+//! renders of one registry must be byte-identical. The `deterministic-
+//! iteration` audit rule keeps `HashMap`s out of this path; these tests
+//! pin the observable consequence.
+
+use darklight_obs::PipelineMetrics;
+
+fn record(metrics: &PipelineMetrics, names: &[&str]) {
+    for (i, name) in names.iter().enumerate() {
+        metrics.counter(&format!("count.{name}")).add(i as u64 + 1);
+        metrics.gauge(&format!("gauge.{name}")).set(-(i as i64));
+        metrics
+            .timer(&format!("timer.{name}"))
+            .record_ns(10 * (i as u64 + 1));
+        metrics.histogram(&format!("hist.{name}")).record(1 << i);
+    }
+}
+
+#[test]
+fn snapshot_bytes_are_insertion_order_invariant() {
+    let names = ["polish", "features", "attrib", "batch", "linker"];
+    let forward = PipelineMetrics::enabled();
+    record(&forward, &names);
+
+    let mut reversed_names = names;
+    reversed_names.reverse();
+    let reversed = PipelineMetrics::enabled();
+    record(&reversed, &names);
+    // Touch instruments again in reverse resolution order: interning must
+    // not depend on resolution history.
+    for name in reversed_names {
+        let _ = reversed.counter(&format!("count.{name}"));
+    }
+
+    assert_eq!(
+        forward.snapshot().render(),
+        reversed.snapshot().render(),
+        "snapshot bytes depend on instrument insertion order"
+    );
+    assert_eq!(
+        forward.snapshot().render_pretty(),
+        reversed.snapshot().render_pretty()
+    );
+}
+
+#[test]
+fn repeated_renders_are_byte_identical() {
+    let metrics = PipelineMetrics::enabled();
+    record(&metrics, &["a", "b", "c"]);
+    let first = metrics.snapshot().render();
+    for _ in 0..5 {
+        assert_eq!(metrics.snapshot().render(), first);
+    }
+}

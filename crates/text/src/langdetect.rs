@@ -197,7 +197,7 @@ impl LanguageDetector {
             .iter()
             .map(|(lang, lp)| (*lang, lp.distance(&profile)))
             .collect();
-        scored.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("distances are finite"));
+        scored.sort_by(|a, b| darklight_order::cmp_f64_asc(a.1, b.1));
         let (best, best_d) = scored[0];
         let (_, second_d) = scored[1];
         let confidence = if second_d > 0.0 {
