@@ -43,6 +43,10 @@ pub const METRIC_REGISTRY: &[&str] = &[
     "features.vectorize",
     "features.vectors",
     "features.word_vocab",
+    "govern.batch_shrinks",
+    "govern.bytes_estimated",
+    "govern.deadline_expired",
+    "govern.io_retries",
     "ingest.lines_total",
     // Expansions of the dynamic `ingest.quarantined.<IssueKind>` name,
     // one per `IssueKind::as_str` value.

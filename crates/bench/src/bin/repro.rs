@@ -2,7 +2,7 @@
 //! synthetic world.
 //!
 //! ```text
-//! repro [experiment...] [--metrics <path>] [--threads N]
+//! repro [experiment...] [--metrics <path>] [--threads N] [--mem-budget SIZE]
 //!   experiments: table1 table2 table3 table4 table5 table6
 //!                fig1 fig2 fig3 fig4 fig5
 //!                darkweb batch results-dark results-open john-doe
@@ -12,6 +12,11 @@
 //!   DARKLIGHT_OUT=<dir>                   write per-experiment .md files
 //!   DARKLIGHT_THREADS=N                   worker-pool override (0/unset = auto)
 //! ```
+//!
+//! `--mem-budget` (binary units, e.g. `512MiB`) runs the timed DarkWeb
+//! links under the resource governor: the batch size is derived from the
+//! budget instead of the paper's default B=100, and the derived size plus
+//! any pressure-ladder shrinks land in `BENCH_repro.json`.
 //!
 //! Every run also times the batched DarkWeb link twice — once serially
 //! (threads = 1) and once on the configured worker pool — and writes
@@ -25,6 +30,7 @@ use darklight_bench::experiments as exp;
 use darklight_bench::{prepare_world, scale_from_env};
 use darklight_core::batch::{run_batched, BatchConfig};
 use darklight_core::twostage::{TwoStage, TwoStageConfig};
+use darklight_govern::{GovernConfig, MemoryBudget};
 use darklight_obs::{Json, PipelineMetrics};
 use std::io::Write as _;
 use std::time::Instant;
@@ -85,6 +91,18 @@ fn main() {
             })
         })
         .unwrap_or(0);
+    let mem_budget: Option<MemoryBudget> = args.iter().position(|a| a == "--mem-budget").map(|i| {
+        if i + 1 >= args.len() {
+            eprintln!("--mem-budget requires a size (e.g. 512MiB)");
+            std::process::exit(2);
+        }
+        let value = args.remove(i + 1);
+        args.remove(i);
+        MemoryBudget::parse(&value).unwrap_or_else(|e| {
+            eprintln!("{e}");
+            std::process::exit(2);
+        })
+    });
     let wanted: Vec<&str> = if args.is_empty() || args.iter().any(|a| a == "all") {
         ALL.to_vec()
     } else {
@@ -180,18 +198,23 @@ fn main() {
     // output, and neither does the thread count (pinned by
     // `tests/thread_parity.rs`), so both runs score identically.
     let resolved_threads = darklight_par::resolve_threads(threads);
+    // Under a memory budget the batch size is derived from it (and the
+    // governor watches the instrumented run); both timed runs use the
+    // same batch config so the serial/parallel comparison stays fair.
+    let batch = match &mem_budget {
+        Some(budget) => BatchConfig::derive(budget, &dw_known, &dw_unknown).unwrap_or_else(|e| {
+            eprintln!("--mem-budget infeasible for this world: {e}");
+            std::process::exit(2);
+        }),
+        None => BatchConfig::default(),
+    };
     let serial_engine = TwoStage::new(TwoStageConfig {
         threads: 1,
         ..TwoStageConfig::default()
     });
     let t_serial = Instant::now();
-    let serial_ranked = run_batched(
-        &serial_engine,
-        &BatchConfig::default(),
-        &dw_known,
-        &dw_unknown,
-    )
-    .expect("valid batch config");
+    let serial_ranked =
+        run_batched(&serial_engine, &batch, &dw_known, &dw_unknown).expect("valid batch config");
     let serial_s = t_serial.elapsed().as_secs_f64();
     phases.push(("serial_link".to_string(), serial_s));
     eprintln!(
@@ -202,11 +225,14 @@ fn main() {
     let engine = TwoStage::new(TwoStageConfig {
         metrics: metrics.clone(),
         threads: resolved_threads,
+        govern: GovernConfig {
+            budget: mem_budget,
+            ..GovernConfig::default()
+        },
         ..TwoStageConfig::default()
     });
     let t_link = Instant::now();
-    let ranked = run_batched(&engine, &BatchConfig::default(), &dw_known, &dw_unknown)
-        .expect("valid batch config");
+    let ranked = run_batched(&engine, &batch, &dw_known, &dw_unknown).expect("valid batch config");
     let link_s = t_link.elapsed().as_secs_f64();
     phases.push(("instrumented_link".to_string(), link_s));
     // `run_batched` stops before thresholding (that is `TwoStage::link`),
@@ -237,6 +263,8 @@ fn main() {
         accepted,
         ranked.len() - accepted,
         &metrics,
+        batch.batch_size,
+        mem_budget,
     );
     std::fs::write(&bench_path, report).expect("write BENCH_repro.json");
     eprintln!("benchmark report written to {}", bench_path.display());
@@ -248,8 +276,9 @@ fn main() {
 }
 
 /// Renders the benchmark summary: wall-clock per phase, serial vs
-/// parallel link throughput (and their ratio), and peak candidate-set
-/// sizes from the batched pipeline.
+/// parallel link throughput (and their ratio), peak candidate-set sizes
+/// from the batched pipeline, and — under `--mem-budget` — the derived
+/// batch size plus governor telemetry.
 #[allow(clippy::too_many_arguments)]
 fn bench_report(
     phases: &[(String, f64)],
@@ -260,6 +289,8 @@ fn bench_report(
     accepted: usize,
     rejected: usize,
     metrics: &PipelineMetrics,
+    batch_size: usize,
+    mem_budget: Option<MemoryBudget>,
 ) -> String {
     let mut phase_obj = Json::object();
     for (name, seconds) in phases {
@@ -311,6 +342,18 @@ fn bench_report(
     );
     link.set("links_accepted", Json::UInt(accepted as u64));
     link.set("links_rejected", Json::UInt(rejected as u64));
+    link.set("batch_size", Json::UInt(batch_size as u64));
+    if let Some(budget) = mem_budget {
+        link.set("mem_budget_bytes", Json::UInt(budget.bytes()));
+        link.set(
+            "bytes_estimated",
+            Json::Int(metrics.gauge("govern.bytes_estimated").get()),
+        );
+        link.set(
+            "batch_shrinks",
+            Json::UInt(metrics.counter("govern.batch_shrinks").get()),
+        );
+    }
     let mut root = Json::object();
     root.set("phases_s", phase_obj);
     root.set("instrumented_link", link);

@@ -13,11 +13,36 @@
 //! round. Resumption is refused when the run fingerprint — config plus
 //! dataset contents — does not match the checkpoint, because stale pools
 //! against a changed corpus would rank confidently and wrongly.
+//!
+//! ## Resource governance
+//!
+//! Both entry points delegate to [`run_batched_governed`], which reads
+//! the engine's [`darklight_govern::GovernConfig`] and supervises the
+//! round loop:
+//!
+//! * **Budget** — [`BatchConfig::derive`] turns a byte budget into the
+//!   largest admissible `B` under a conservative cost model (the unknown
+//!   set is resident every round; each candidate in a batch costs its
+//!   worst-case record estimate). Before every round the governor
+//!   re-measures the *actual* upcoming round against the budget and
+//!   halves `B` until it fits (the pressure ladder), recording
+//!   `govern.batch_shrinks` and `govern.bytes_estimated`. `B` never
+//!   grows back: shrinking is a memory-safety decision, re-growing
+//!   would make output depend on when pressure happened to ease.
+//! * **Deadline** — checked between rounds, between batches, and inside
+//!   the parallel fan-out's chunk loops. Expiry abandons the partial
+//!   round wholesale (so output stays thread-count-invariant) and
+//!   surfaces [`darklight_govern::GovernError::DeadlineExpired`] with
+//!   the last completed round's checkpoint intact on disk. The final
+//!   rescore, once reached, always runs to completion.
+//! * **Retries** — checkpoint saves/loads go through the governor's
+//!   jittered-backoff retry, seeded by the run fingerprint.
 
 use crate::attrib::Ranked;
 use crate::checkpoint::{self, Checkpoint, CheckpointError, Fnv1a};
 use crate::dataset::Dataset;
 use crate::twostage::{RankedMatch, TwoStage};
+use darklight_govern::{Deadline, EstimateBytes, Expired, GovernError, MemoryBudget};
 use std::fmt;
 use std::path::PathBuf;
 
@@ -50,6 +75,67 @@ impl BatchConfig {
         }
         Ok(())
     }
+
+    /// Derives the largest batch size admissible under `budget` for this
+    /// known/unknown pair, replacing the hardcoded `B`.
+    ///
+    /// The model is deliberately conservative: a round must hold the
+    /// unknown set ([`budget_overhead_bytes`]) plus one batch, and every
+    /// batch member is charged the *worst-case* record cost
+    /// ([`budget_per_candidate_bytes`]). Conservatism is what makes the
+    /// governed-equals-fixed parity hold: the in-run measured estimate
+    /// (actual batch contents, same units) can never exceed what
+    /// derivation budgeted for, so a run under `--mem-budget X` never
+    /// shrinks below `derive(X)` and stays byte-identical to the
+    /// equivalent explicit `--batch-size`.
+    ///
+    /// # Errors
+    ///
+    /// [`GovernError::BudgetTooSmall`] when even a single-candidate
+    /// batch does not fit; the message names the minimum viable budget.
+    pub fn derive(
+        budget: &MemoryBudget,
+        known: &Dataset,
+        unknown: &Dataset,
+    ) -> Result<BatchConfig, GovernError> {
+        let overhead = budget_overhead_bytes(unknown);
+        let per = budget_per_candidate_bytes(known).max(1);
+        let required = overhead.saturating_add(per);
+        let admissible = budget
+            .bytes()
+            .checked_sub(overhead)
+            .map_or(0, |room| room / per);
+        if admissible == 0 {
+            return Err(GovernError::BudgetTooSmall {
+                budget: budget.bytes(),
+                required,
+            });
+        }
+        let batch_size = usize::try_from(admissible)
+            .unwrap_or(usize::MAX)
+            .min(known.len().max(1));
+        Ok(BatchConfig { batch_size })
+    }
+}
+
+/// Bytes resident in every round regardless of batch size: the unknown
+/// dataset, which each round vectorizes against the batch.
+pub fn budget_overhead_bytes(unknown: &Dataset) -> u64 {
+    unknown.estimate_bytes()
+}
+
+/// Worst-case bytes one known candidate adds to a round: the largest
+/// record estimate in the dataset. A record's estimate includes its
+/// n-gram counting maps, which bound the per-round vector block built
+/// from them (a sparse vector holds at most one entry per distinct
+/// counted term — see `SparseVector::estimate_bytes`).
+pub fn budget_per_candidate_bytes(known: &Dataset) -> u64 {
+    known
+        .records
+        .iter()
+        .map(EstimateBytes::estimate_bytes)
+        .max()
+        .unwrap_or(0)
 }
 
 /// Errors from batched attribution.
@@ -66,6 +152,9 @@ pub enum BatchError {
         /// Total rounds completed (including any resumed ones).
         rounds_done: u64,
     },
+    /// The resource governor stopped the run (deadline expired, budget
+    /// infeasible); checkpointed progress, if any, remains on disk.
+    Govern(GovernError),
 }
 
 impl fmt::Display for BatchError {
@@ -79,6 +168,7 @@ impl fmt::Display for BatchError {
                     "interrupted after {rounds_done} rounds (checkpoint saved)"
                 )
             }
+            BatchError::Govern(e) => write!(f, "{e}"),
         }
     }
 }
@@ -87,6 +177,7 @@ impl std::error::Error for BatchError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             BatchError::Checkpoint(e) => Some(e),
+            BatchError::Govern(e) => Some(e),
             _ => None,
         }
     }
@@ -95,6 +186,12 @@ impl std::error::Error for BatchError {
 impl From<CheckpointError> for BatchError {
     fn from(e: CheckpointError) -> BatchError {
         BatchError::Checkpoint(e)
+    }
+}
+
+impl From<GovernError> for BatchError {
+    fn from(e: GovernError) -> BatchError {
+        BatchError::Govern(e)
     }
 }
 
@@ -123,9 +220,13 @@ impl CheckpointSpec {
 /// Runs the hierarchical batched pipeline: batched k-attribution rounds
 /// until the candidate pool fits one batch, then the standard second stage.
 ///
+/// Delegates to [`run_batched_governed`] without a checkpoint; the
+/// engine's governor (budget/deadline) still applies.
+///
 /// # Errors
 ///
-/// Returns [`BatchError::InvalidConfig`] when `config` fails validation;
+/// Returns [`BatchError::InvalidConfig`] when `config` fails validation,
+/// and [`BatchError::Govern`] when the engine's governor stops the run;
 /// no other error is possible without a checkpoint.
 pub fn run_batched(
     engine: &TwoStage,
@@ -133,38 +234,22 @@ pub fn run_batched(
     known: &Dataset,
     unknown: &Dataset,
 ) -> Result<Vec<RankedMatch>, BatchError> {
-    config.validate()?;
-    let metrics = &engine.config().metrics;
-    let _total = metrics.timer("batch.total").start();
-    metrics
-        .gauge("batch.batch_size")
-        .set(config.batch_size as i64);
-    let mut survivors: Vec<Vec<usize>> = fresh_pools(known, unknown);
-    let mut rounds_done = 0u64;
-    run_rounds(
-        engine,
-        config,
-        known,
-        unknown,
-        &mut survivors,
-        &mut rounds_done,
-        |_, _| Ok(()),
-    )?;
-    Ok(finalize(engine, known, unknown, &survivors))
+    run_batched_governed(engine, config, known, unknown, None)
 }
 
 /// [`run_batched`] with crash recovery: the survivor pools are persisted
 /// to `spec.path` after every round, and a valid checkpoint there is
 /// resumed instead of starting over. On success the checkpoint file is
-/// removed.
+/// removed. Delegates to [`run_batched_governed`].
 ///
 /// # Errors
 ///
 /// Returns [`BatchError::InvalidConfig`] on a bad config;
 /// [`BatchError::Checkpoint`] when the checkpoint cannot be read or
 /// written, or when its fingerprint does not match this run (config or
-/// corpus changed — delete the file to start fresh); and
-/// [`BatchError::Interrupted`] when the test-only interrupt hook fires.
+/// corpus changed — delete the file to start fresh);
+/// [`BatchError::Interrupted`] when the test-only interrupt hook fires;
+/// and [`BatchError::Govern`] when the engine's governor stops the run.
 pub fn run_batched_checkpointed(
     engine: &TwoStage,
     config: &BatchConfig,
@@ -172,39 +257,69 @@ pub fn run_batched_checkpointed(
     unknown: &Dataset,
     spec: &CheckpointSpec,
 ) -> Result<Vec<RankedMatch>, BatchError> {
+    run_batched_governed(engine, config, known, unknown, Some(spec))
+}
+
+/// The single batched driver: every entry point funnels here, so this is
+/// the one place that validates the config (a zero batch size from a
+/// deserialized config could otherwise re-enter a non-terminating round
+/// loop) and consults the engine's governor (see the module docs).
+///
+/// `spec` enables crash recovery; checkpoint I/O goes through the
+/// governor's retry policy with backoff jitter seeded by the run
+/// fingerprint, so retried runs replay the same schedule.
+///
+/// # Errors
+///
+/// Everything [`run_batched_checkpointed`] documents, plus
+/// [`BatchError::Govern`] for budget infeasibility ([`BatchConfig::derive`]
+/// failures surface earlier, in the linker) and deadline expiry.
+pub fn run_batched_governed(
+    engine: &TwoStage,
+    config: &BatchConfig,
+    known: &Dataset,
+    unknown: &Dataset,
+    spec: Option<&CheckpointSpec>,
+) -> Result<Vec<RankedMatch>, BatchError> {
     config.validate()?;
-    let fingerprint = run_fingerprint(engine, config, known, unknown);
     let metrics = &engine.config().metrics;
+    let govern = &engine.config().govern;
     let _total = metrics.timer("batch.total").start();
     metrics
         .gauge("batch.batch_size")
         .set(config.batch_size as i64);
-    let (mut survivors, mut rounds_done) = match checkpoint::load(&spec.path)? {
-        Some(ck) => {
-            if ck.fingerprint != fingerprint {
-                return Err(BatchError::Checkpoint(
-                    CheckpointError::FingerprintMismatch {
-                        expected: fingerprint,
-                        found: ck.fingerprint,
-                    },
-                ));
-            }
-            if ck.survivors.len() != unknown.len()
-                || ck.survivors.iter().flatten().any(|&i| i >= known.len())
-            {
-                return Err(BatchError::Checkpoint(CheckpointError::Malformed(format!(
-                    "checkpoint pools do not fit the datasets ({} pools for {} unknowns)",
-                    ck.survivors.len(),
-                    unknown.len()
-                ))));
-            }
-            metrics.counter("batch.resumed").incr();
-            metrics
-                .gauge("batch.resumed_round")
-                .set(ck.rounds_done as i64);
-            (ck.survivors, ck.rounds_done)
-        }
+    let ctx = spec.map(|s| (s, run_fingerprint(engine, config, known, unknown)));
+    let (mut survivors, mut rounds_done) = match &ctx {
         None => (fresh_pools(known, unknown), 0),
+        Some((spec, fingerprint)) => {
+            match checkpoint::load_retrying(&spec.path, &govern.retry, *fingerprint, metrics)? {
+                Some(ck) => {
+                    if ck.fingerprint != *fingerprint {
+                        return Err(BatchError::Checkpoint(
+                            CheckpointError::FingerprintMismatch {
+                                expected: *fingerprint,
+                                found: ck.fingerprint,
+                            },
+                        ));
+                    }
+                    if ck.survivors.len() != unknown.len()
+                        || ck.survivors.iter().flatten().any(|&i| i >= known.len())
+                    {
+                        return Err(BatchError::Checkpoint(CheckpointError::Malformed(format!(
+                            "checkpoint pools do not fit the datasets ({} pools for {} unknowns)",
+                            ck.survivors.len(),
+                            unknown.len()
+                        ))));
+                    }
+                    metrics.counter("batch.resumed").incr();
+                    metrics
+                        .gauge("batch.resumed_round")
+                        .set(ck.rounds_done as i64);
+                    (ck.survivors, ck.rounds_done)
+                }
+                None => (fresh_pools(known, unknown), 0),
+            }
+        }
     };
     let resumed_at = rounds_done;
     run_rounds(
@@ -215,13 +330,19 @@ pub fn run_batched_checkpointed(
         &mut survivors,
         &mut rounds_done,
         |done, pools| {
-            checkpoint::save(
+            let Some((spec, fingerprint)) = &ctx else {
+                return Ok(());
+            };
+            checkpoint::save_retrying(
                 &spec.path,
                 &Checkpoint {
-                    fingerprint,
+                    fingerprint: *fingerprint,
                     rounds_done: done,
                     survivors: pools.to_vec(),
                 },
+                &govern.retry,
+                *fingerprint,
+                metrics,
             )?;
             if let Some(limit) = spec.interrupt_after_rounds {
                 if done - resumed_at >= limit {
@@ -232,7 +353,9 @@ pub fn run_batched_checkpointed(
         },
     )?;
     let out = finalize(engine, known, unknown, &survivors);
-    checkpoint::remove(&spec.path);
+    if let Some((spec, _)) = &ctx {
+        checkpoint::remove(&spec.path);
+    }
     Ok(out)
 }
 
@@ -307,9 +430,26 @@ fn fresh_pools(known: &Dataset, unknown: &Dataset) -> Vec<Vec<usize>> {
     vec![(0..known.len()).collect(); unknown.len()]
 }
 
-/// The round loop shared by the plain and checkpointed entry points.
-/// `after_round` runs once per completed round (checkpointing hook);
-/// its error aborts the run with the pools already updated in place.
+/// Peak per-batch footprint of the upcoming round: the largest sum of
+/// per-record estimates over any single batch of any pool. The pressure
+/// ladder compares this (plus the fixed overhead) against the budget.
+fn peak_round_bytes(pools: &[Vec<usize>], record_bytes: &[u64], batch_size: usize) -> u64 {
+    pools
+        .iter()
+        .flat_map(|pool| {
+            pool.chunks(batch_size)
+                .map(|chunk| chunk.iter().map(|&i| record_bytes[i]).sum::<u64>())
+        })
+        .max()
+        .unwrap_or(0)
+}
+
+/// The round loop shared by every entry point. `after_round` runs once
+/// per completed round (checkpointing hook); its error aborts the run
+/// with the pools already updated in place. The engine's governor is
+/// consulted here: the deadline at round boundaries (and cooperatively
+/// inside rounds), the memory budget before each round via the pressure
+/// ladder described in the module docs.
 fn run_rounds<F>(
     engine: &TwoStage,
     config: &BatchConfig,
@@ -323,8 +463,23 @@ where
     F: FnMut(u64, &[Vec<usize>]) -> Result<(), BatchError>,
 {
     let metrics = &engine.config().metrics;
+    let govern = &engine.config().govern;
+    let deadline = &govern.deadline;
     let rounds = metrics.counter("batch.rounds");
     let peak_pool = metrics.gauge("batch.peak_pool");
+    // Per-record byte estimates, computed once; the ladder re-measures
+    // every round because pools shrink and batches re-chunk as B halves.
+    let measure: Option<(u64, Vec<u64>)> = govern.budget.map(|_| {
+        (
+            budget_overhead_bytes(unknown),
+            known
+                .records
+                .iter()
+                .map(EstimateBytes::estimate_bytes)
+                .collect(),
+        )
+    });
+    let mut batch_size = config.batch_size;
     // Iterate rounds until every unknown's pool fits in one batch. Each
     // round applies k-attribution within batches of B. A round maps each
     // pool to a subset of itself, so pools shrink monotonically — but
@@ -335,11 +490,44 @@ where
     loop {
         let max_pool = survivors.iter().map(Vec::len).max().unwrap_or(0);
         peak_pool.set_max(max_pool as i64);
-        if max_pool <= config.batch_size {
+        if max_pool <= batch_size {
             break;
+        }
+        if deadline.check(*rounds_done).is_err() {
+            metrics.counter("govern.deadline_expired").incr();
+            return Err(BatchError::Govern(GovernError::DeadlineExpired {
+                rounds_done: *rounds_done,
+            }));
+        }
+        // Pressure ladder: measure the upcoming round's peak batch
+        // footprint and halve B until it fits the budget (floor 1: at
+        // B = 1 the round runs best-effort). B never grows back, so a
+        // governed run's round structure is a deterministic function of
+        // the corpus and the budget, never of transient timing.
+        if let (Some(budget), Some((overhead, record_bytes))) = (govern.budget, &measure) {
+            loop {
+                let measured = overhead + peak_round_bytes(survivors, record_bytes, batch_size);
+                metrics
+                    .gauge("govern.bytes_estimated")
+                    .set_max(measured as i64);
+                if measured <= budget.bytes() || batch_size <= 1 {
+                    break;
+                }
+                batch_size = (batch_size / 2).max(1);
+                metrics.counter("govern.batch_shrinks").incr();
+                metrics.gauge("batch.batch_size").set(batch_size as i64);
+            }
         }
         rounds.incr();
         let before = survivors.clone();
+        // A mid-round expiry discards the whole round's partial work —
+        // all-or-nothing — so the surviving pools (and any checkpoint)
+        // only ever hold completed rounds, keeping resumed output bytes
+        // independent of where the clock ran out and of thread count.
+        let expired = |done: u64| {
+            metrics.counter("govern.deadline_expired").incr();
+            BatchError::Govern(GovernError::DeadlineExpired { rounds_done: done })
+        };
         // All unknowns share rounds but pools can differ after round one;
         // in round one all pools are identical, afterwards k·ceil(n/B)
         // shrinks fast. Process per unknown-group with identical pools to
@@ -348,19 +536,29 @@ where
         let identical = survivors.windows(2).all(|w| w[0] == w[1]);
         if identical && !survivors.is_empty() {
             let pool = survivors[0].clone();
-            *survivors = batched_round(engine, config, known, unknown, &pool, None);
+            *survivors = batched_round(engine, batch_size, known, unknown, &pool, None, deadline)
+                .map_err(|_| expired(*rounds_done))?;
         } else {
             // Divergent pools: each unknown reduces against its own pool,
             // independently of the others — fan the per-unknown rounds out
             // over the worker pool, keeping pool order by construction.
             let threads = engine.config().effective_threads();
-            *survivors = darklight_par::par_map(survivors, threads, |u, pool| {
-                batched_round(engine, config, known, unknown, pool, Some(u))
-                    .into_iter()
-                    .next()
-                    // audit:allow(no-naked-unwrap) -- batched_round with Some(u) returns exactly one pool by construction
-                    .expect("one unknown processed")
-            });
+            *survivors =
+                darklight_par::par_map_deadline(survivors, threads, deadline, |u, pool| {
+                    batched_round(engine, batch_size, known, unknown, pool, Some(u), deadline).map(
+                        |pools| {
+                            pools
+                                .into_iter()
+                                .next()
+                                // audit:allow(no-naked-unwrap) -- batched_round with Some(u) returns exactly one pool by construction
+                                .expect("one unknown processed")
+                        },
+                    )
+                })
+                .map_err(|_| expired(*rounds_done))?
+                .into_iter()
+                .collect::<Result<Vec<Vec<usize>>, Expired>>()
+                .map_err(|_| expired(*rounds_done))?;
         }
         let stalled = *survivors == before;
         if stalled {
@@ -368,6 +566,7 @@ where
         }
         *rounds_done += 1;
         after_round(*rounds_done, survivors)?;
+        deadline.tick_round();
         if stalled {
             break;
         }
@@ -413,17 +612,24 @@ fn finalize(
 /// One batched k-attribution round over `pool`. When `only` is given, only
 /// that unknown is scored (used when pools diverge); otherwise all
 /// unknowns are scored and the function returns one new pool per unknown.
+///
+/// Checks `deadline` before each batch so an expired run stops within one
+/// batch of work; the partial round is discarded by the caller.
 fn batched_round(
     engine: &TwoStage,
-    config: &BatchConfig,
+    batch_size: usize,
     known: &Dataset,
     unknown: &Dataset,
     pool: &[usize],
     only: Option<usize>,
-) -> Vec<Vec<usize>> {
+    deadline: &Deadline,
+) -> Result<Vec<Vec<usize>>, Expired> {
     let n_unknown = if only.is_some() { 1 } else { unknown.len() };
     let mut new_pools: Vec<Vec<usize>> = vec![Vec::new(); n_unknown];
-    for batch in pool.chunks(config.batch_size) {
+    for batch in pool.chunks(batch_size) {
+        if deadline.is_expired() {
+            return Err(Expired);
+        }
         let sub = subset(known, batch);
         let uset = match only {
             Some(u) => subset_one(unknown, u),
@@ -440,7 +646,7 @@ fn batched_round(
         p.sort_unstable();
         p.dedup();
     }
-    new_pools
+    Ok(new_pools)
 }
 
 fn subset(ds: &Dataset, indices: &[usize]) -> Dataset {
@@ -775,5 +981,153 @@ mod tests {
             run_fingerprint(&plain, &config, &known, &unknown),
             run_fingerprint(&plain, &config, &unknown, &known)
         );
+    }
+
+    #[test]
+    fn derive_picks_largest_admissible_batch() {
+        let (known, unknown) = world();
+        let overhead = budget_overhead_bytes(&unknown);
+        let per = budget_per_candidate_bytes(&known);
+        // Room for exactly five worst-case candidates alongside the
+        // unknown set.
+        let budget = MemoryBudget::from_bytes(overhead + 5 * per).unwrap();
+        let config = BatchConfig::derive(&budget, &known, &unknown).unwrap();
+        assert_eq!(config.batch_size, 5);
+        // A vast budget clamps to the whole known set (one round).
+        let vast = MemoryBudget::from_bytes(u64::MAX).unwrap();
+        assert_eq!(
+            BatchConfig::derive(&vast, &known, &unknown)
+                .unwrap()
+                .batch_size,
+            known.len()
+        );
+        // Less than one candidate's worth of headroom is infeasible and
+        // must fail with the typed, actionable error.
+        let tiny = MemoryBudget::from_bytes(overhead + per - 1).unwrap();
+        let err = BatchConfig::derive(&tiny, &known, &unknown).unwrap_err();
+        assert!(matches!(err, GovernError::BudgetTooSmall { .. }), "{err}");
+    }
+
+    #[test]
+    fn zero_batch_is_typed_through_every_entry_point() {
+        // The governed driver is the single validation point, so a bad
+        // config must surface identically through each wrapper — and
+        // before any checkpoint I/O happens.
+        let (known, unknown) = world();
+        let bad = BatchConfig { batch_size: 0 };
+        let spec = CheckpointSpec::new(ckpt_path("never_written.json"));
+        let err = run_batched_checkpointed(&engine(), &bad, &known, &unknown, &spec).unwrap_err();
+        assert!(matches!(&err, BatchError::InvalidConfig(_)), "{err}");
+        assert!(!spec.path.exists(), "validation precedes checkpoint I/O");
+        let err = run_batched_governed(&engine(), &bad, &known, &unknown, None).unwrap_err();
+        assert!(matches!(&err, BatchError::InvalidConfig(_)), "{err}");
+    }
+
+    #[test]
+    fn governed_budget_run_matches_derived_fixed_batch() {
+        use darklight_obs::PipelineMetrics;
+        let (known, unknown) = world();
+        let budget = MemoryBudget::from_bytes(
+            budget_overhead_bytes(&unknown) + 5 * budget_per_candidate_bytes(&known),
+        )
+        .unwrap();
+        let config = BatchConfig::derive(&budget, &known, &unknown).unwrap();
+        let fixed = run_batched(&engine(), &config, &known, &unknown).unwrap();
+        let metrics = PipelineMetrics::enabled();
+        let governed_engine = TwoStage::new(TwoStageConfig {
+            k: 3,
+            threads: 2,
+            metrics: metrics.clone(),
+            govern: darklight_govern::GovernConfig {
+                budget: Some(budget),
+                ..darklight_govern::GovernConfig::default()
+            },
+            ..TwoStageConfig::default()
+        });
+        let governed = run_batched(&governed_engine, &config, &known, &unknown).unwrap();
+        assert_eq!(fixed, governed, "a derived batch size must never shrink");
+        assert_eq!(metrics.counter("govern.batch_shrinks").get(), 0);
+        assert!(metrics.gauge("govern.bytes_estimated").get() > 0);
+    }
+
+    #[test]
+    fn pressure_ladder_shrinks_oversized_batches() {
+        use darklight_obs::PipelineMetrics;
+        let (known, unknown) = world();
+        // The budget admits two worst-case candidates per batch but the
+        // config demands eight: the ladder must halve 8 -> 4 -> 2 before
+        // the first round runs, then hold at 2.
+        let budget = MemoryBudget::from_bytes(
+            budget_overhead_bytes(&unknown) + 2 * budget_per_candidate_bytes(&known),
+        )
+        .unwrap();
+        let metrics = PipelineMetrics::enabled();
+        let e = TwoStage::new(TwoStageConfig {
+            k: 3,
+            threads: 2,
+            metrics: metrics.clone(),
+            govern: darklight_govern::GovernConfig {
+                budget: Some(budget),
+                ..darklight_govern::GovernConfig::default()
+            },
+            ..TwoStageConfig::default()
+        });
+        let results = run_batched(&e, &BatchConfig { batch_size: 8 }, &known, &unknown).unwrap();
+        assert_eq!(metrics.counter("govern.batch_shrinks").get(), 2);
+        assert_eq!(metrics.gauge("batch.batch_size").get(), 2);
+        assert!(
+            metrics.gauge("govern.bytes_estimated").get() as u64 > budget.bytes(),
+            "the breaching estimate is what gets recorded"
+        );
+        // The degraded run still completes and still links correctly.
+        assert_eq!(results.len(), unknown.len());
+        for m in &results {
+            let best = m.best().expect("candidates exist");
+            assert_eq!(
+                known.records[best.index].persona,
+                unknown.records[m.unknown].persona
+            );
+        }
+        // Shrinking is deterministic: an identical second run produces
+        // byte-identical rankings.
+        let again = run_batched(&e, &BatchConfig { batch_size: 8 }, &known, &unknown).unwrap();
+        assert_eq!(results, again);
+    }
+
+    #[test]
+    fn deadline_expiry_checkpoints_and_resumes_identically() {
+        use darklight_obs::PipelineMetrics;
+        let (known, unknown) = world();
+        let config = BatchConfig { batch_size: 4 };
+        let plain = run_batched(&engine(), &config, &known, &unknown).unwrap();
+        let metrics = PipelineMetrics::enabled();
+        let strict = TwoStage::new(TwoStageConfig {
+            k: 3,
+            threads: 2,
+            metrics: metrics.clone(),
+            govern: darklight_govern::GovernConfig {
+                deadline: Deadline::after_rounds(1),
+                ..darklight_govern::GovernConfig::default()
+            },
+            ..TwoStageConfig::default()
+        });
+        let spec = CheckpointSpec::new(ckpt_path("deadline_resume.json"));
+        checkpoint::remove(&spec.path);
+        let err = run_batched_checkpointed(&strict, &config, &known, &unknown, &spec).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                BatchError::Govern(GovernError::DeadlineExpired { rounds_done: 1 })
+            ),
+            "{err}"
+        );
+        assert_eq!(metrics.counter("govern.deadline_expired").get(), 1);
+        assert!(spec.path.exists(), "expiry leaves a valid checkpoint");
+        // The governor never reaches the fingerprint, so a fresh engine
+        // without a deadline resumes the same run to the same bytes.
+        let resumed =
+            run_batched_checkpointed(&engine(), &config, &known, &unknown, &spec).unwrap();
+        assert_eq!(plain, resumed, "resume after expiry must be lossless");
+        assert!(!spec.path.exists());
     }
 }

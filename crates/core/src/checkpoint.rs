@@ -21,7 +21,8 @@
 //! when the fingerprint of the current run does not match (see
 //! `run_batched_checkpointed`).
 
-use darklight_obs::Json;
+use darklight_govern::{fault, with_retry, RetryPolicy};
+use darklight_obs::{Json, PipelineMetrics};
 use std::fmt;
 use std::path::Path;
 
@@ -200,17 +201,66 @@ fn from_json(doc: &Json) -> Result<Checkpoint, CheckpointError> {
     })
 }
 
-/// Atomically writes `ck` to `path` (tmp sibling + rename).
+/// Atomically and durably writes `ck` to `path` (tmp sibling, fsync,
+/// rename, directory fsync).
+///
+/// The temp file is `sync_all`'d *before* the rename — renaming an
+/// unsynced file can leave a zero-length or torn "checkpoint" after a
+/// crash, which is worse than no checkpoint because resume would trust
+/// it. The parent directory is then fsynced so the rename itself
+/// survives a crash (on platforms where directories can be opened).
 ///
 /// # Errors
 ///
 /// Propagates I/O failures; on error the previous checkpoint at `path`,
 /// if any, is left untouched.
 pub fn save(path: &Path, ck: &Checkpoint) -> Result<(), CheckpointError> {
+    fault::maybe_fail_io("checkpoint.save")?;
     let tmp = path.with_extension("tmp");
-    std::fs::write(&tmp, to_json(ck).render_pretty())?;
+    {
+        use std::io::Write as _;
+        let mut file = std::fs::File::create(&tmp)?;
+        file.write_all(to_json(ck).render_pretty().as_bytes())?;
+        file.sync_all()?;
+    }
     std::fs::rename(&tmp, path)?;
+    #[cfg(unix)]
+    if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
+        std::fs::File::open(dir)?.sync_all()?;
+    }
     Ok(())
+}
+
+/// Whether a checkpoint error is worth retrying: I/O failures are
+/// (possibly transient outage), corruption and fingerprint mismatches
+/// are not (retrying re-reads the same bad bytes).
+fn is_transient(e: &CheckpointError) -> bool {
+    matches!(e, CheckpointError::Io(_))
+}
+
+/// [`save`] wrapped in the governor's jittered-backoff retry (site
+/// `checkpoint.save`); `seed` should be the run fingerprint so the
+/// backoff schedule is deterministic per run.
+///
+/// # Errors
+///
+/// The last [`CheckpointError::Io`] once retries are exhausted, or the
+/// first non-transient error.
+pub fn save_retrying(
+    path: &Path,
+    ck: &Checkpoint,
+    policy: &RetryPolicy,
+    seed: u64,
+    metrics: &PipelineMetrics,
+) -> Result<(), CheckpointError> {
+    with_retry(
+        "checkpoint.save",
+        policy,
+        seed,
+        metrics,
+        is_transient,
+        || save(path, ck),
+    )
 }
 
 /// Loads the checkpoint at `path`; `Ok(None)` when no file exists (a
@@ -222,6 +272,7 @@ pub fn save(path: &Path, ck: &Checkpoint) -> Result<(), CheckpointError> {
 /// not-found, and [`CheckpointError::Malformed`] when the file does not
 /// parse as a supported checkpoint.
 pub fn load(path: &Path) -> Result<Option<Checkpoint>, CheckpointError> {
+    fault::maybe_fail_io("checkpoint.load")?;
     let text = match std::fs::read_to_string(path) {
         Ok(text) => text,
         Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
@@ -229,6 +280,30 @@ pub fn load(path: &Path) -> Result<Option<Checkpoint>, CheckpointError> {
     };
     let doc = Json::parse(&text).map_err(|e| CheckpointError::Malformed(e.to_string()))?;
     Ok(Some(from_json(&doc)?))
+}
+
+/// [`load`] wrapped in the governor's retry (site `checkpoint.load`);
+/// see [`save_retrying`].
+///
+/// # Errors
+///
+/// The last [`CheckpointError::Io`] once retries are exhausted, or the
+/// first non-transient error ([`CheckpointError::Malformed`] /
+/// [`CheckpointError::FingerprintMismatch`] never retry).
+pub fn load_retrying(
+    path: &Path,
+    policy: &RetryPolicy,
+    seed: u64,
+    metrics: &PipelineMetrics,
+) -> Result<Option<Checkpoint>, CheckpointError> {
+    with_retry(
+        "checkpoint.load",
+        policy,
+        seed,
+        metrics,
+        is_transient,
+        || load(path),
+    )
 }
 
 /// Removes the checkpoint at `path` (best-effort; absent is fine).

@@ -13,6 +13,7 @@ use darklight_activity::profile::{DailyActivityProfile, ProfileBuilder, ProfileP
 use darklight_corpus::model::{Corpus, Fact};
 use darklight_corpus::refine::select_text;
 use darklight_features::pipeline::{CountedDoc, PreparedDoc};
+use darklight_govern::EstimateBytes;
 use darklight_obs::PipelineMetrics;
 use darklight_text::lemma::Lemmatizer;
 
@@ -149,6 +150,38 @@ impl Dataset {
             self.max_word_n.max(other.max_word_n),
             self.max_char_n.max(other.max_char_n),
         )
+    }
+}
+
+impl EstimateBytes for Record {
+    fn estimate_bytes(&self) -> u64 {
+        // The attribution working set per alias: the selected text, its
+        // prepared and counted forms, and the activity profile. Ground
+        // truth (persona id, facts) is charged a flat overhead — it is
+        // carried, not expanded, by the pipeline.
+        self.alias.len() as u64
+            + self.text.len() as u64
+            + self.doc.estimate_bytes()
+            + self.counted.estimate_bytes()
+            + self
+                .profile
+                .as_ref()
+                .map_or(0, |_| (darklight_activity::profile::HOURS as u64) * 12)
+            + 128
+    }
+}
+
+impl EstimateBytes for Dataset {
+    fn estimate_bytes(&self) -> u64 {
+        // Record payloads plus a flat per-record charge for the alias →
+        // index map entry. Content-deterministic: two datasets with equal
+        // records estimate equally regardless of how they were built.
+        self.records
+            .iter()
+            .map(|r| r.estimate_bytes() + r.alias.len() as u64 + 48)
+            .sum::<u64>()
+            + self.name.len() as u64
+            + 64
     }
 }
 

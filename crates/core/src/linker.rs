@@ -5,9 +5,7 @@
 //! run the two-stage pipeline, and emit alias pairs above the threshold.
 //! This is the API a downstream investigator would call.
 
-use crate::batch::{
-    run_batched, run_batched_checkpointed, BatchConfig, BatchError, CheckpointSpec,
-};
+use crate::batch::{run_batched_governed, BatchConfig, BatchError, CheckpointSpec};
 use crate::dataset::{Dataset, DatasetBuilder};
 use crate::twostage::{TwoStage, TwoStageConfig};
 use darklight_activity::profile::{ProfileBuilder, ProfilePolicy};
@@ -40,10 +38,15 @@ pub struct LinkerConfig {
     /// Skip polishing (for pre-polished corpora).
     pub already_polished: bool,
     /// Run the RAM-bounded batched driver (§IV-J) instead of the
-    /// unbatched pipeline. `None` (the default) links unbatched.
+    /// unbatched pipeline. `None` links unbatched — unless
+    /// `two_stage.govern.budget` is set, in which case the batch size is
+    /// derived from the budget via [`BatchConfig::derive`]. When both are
+    /// set the explicit batch size wins and the budget acts as a
+    /// guard-rail: the pressure ladder shrinks breaching rounds.
     pub batch: Option<BatchConfig>,
     /// Persist batched state here after every round and resume from it on
-    /// restart (see [`crate::checkpoint`]). Only meaningful with `batch`.
+    /// restart (see [`crate::checkpoint`]). Only meaningful when batched
+    /// (an explicit `batch` or a governor memory budget).
     pub checkpoint: Option<PathBuf>,
 }
 
@@ -162,7 +165,10 @@ impl Linker {
     ///
     /// # Errors
     ///
-    /// See [`try_link`](Linker::try_link).
+    /// See [`try_link`](Linker::try_link); additionally
+    /// [`BatchError::Govern`] when a memory budget is too small for even
+    /// one candidate, when the pressure ladder cannot satisfy it, or when
+    /// a stage deadline expires.
     pub fn try_link_datasets(
         &self,
         known: &Dataset,
@@ -176,19 +182,22 @@ impl Linker {
             return Ok(Vec::new());
         }
         let engine = TwoStage::new(self.config.two_stage.clone());
-        let pairs = match &self.config.batch {
+        // An explicit batch size wins; a budget alone derives the largest
+        // admissible size. With neither, the run is unbatched.
+        let batch = match (&self.config.batch, &self.config.two_stage.govern.budget) {
+            (Some(batch), _) => Some(batch.clone()),
+            (None, Some(budget)) => Some(BatchConfig::derive(budget, known, unknown)?),
+            (None, None) => None,
+        };
+        let pairs = match &batch {
             None => engine.link(known, unknown),
             Some(batch) => {
-                let ranked = match &self.config.checkpoint {
-                    Some(path) => run_batched_checkpointed(
-                        &engine,
-                        batch,
-                        known,
-                        unknown,
-                        &CheckpointSpec::new(path.clone()),
-                    )?,
-                    None => run_batched(&engine, batch, known, unknown)?,
-                };
+                let spec = self
+                    .config
+                    .checkpoint
+                    .as_ref()
+                    .map(|path| CheckpointSpec::new(path.clone()));
+                let ranked = run_batched_governed(&engine, batch, known, unknown, spec.as_ref())?;
                 engine.threshold_links(ranked)
             }
         };
@@ -289,6 +298,37 @@ mod tests {
         cfg.batch = Some(BatchConfig { batch_size: 16 });
         let batched = Linker::new(cfg).try_link(&known, &unknown).unwrap();
         assert_eq!(plain, batched);
+    }
+
+    #[test]
+    fn budget_only_link_matches_explicit_derived_batch() {
+        use crate::batch::{budget_overhead_bytes, budget_per_candidate_bytes};
+        let known = corpus("forum_a", 0);
+        let unknown = corpus("forum_b", 1800);
+        let mut cfg = LinkerConfig::default();
+        cfg.two_stage.k = 2;
+        cfg.two_stage.threshold = 0.3;
+        cfg.two_stage.threads = 2;
+        // Compute the budget against the same datasets the linker builds.
+        let probe = Linker::new(cfg.clone());
+        let (known_ds, unknown_ds) = (probe.prepare(&known), probe.prepare(&unknown));
+        let budget = darklight_govern::MemoryBudget::from_bytes(
+            budget_overhead_bytes(&unknown_ds) + 2 * budget_per_candidate_bytes(&known_ds),
+        )
+        .unwrap();
+        let derived = BatchConfig::derive(&budget, &known_ds, &unknown_ds).unwrap();
+        assert_eq!(derived.batch_size, 2);
+        let mut explicit_cfg = cfg.clone();
+        explicit_cfg.batch = Some(derived);
+        let explicit = Linker::new(explicit_cfg)
+            .try_link(&known, &unknown)
+            .unwrap();
+        let mut governed_cfg = cfg;
+        governed_cfg.two_stage.govern.budget = Some(budget);
+        let governed = Linker::new(governed_cfg)
+            .try_link(&known, &unknown)
+            .unwrap();
+        assert_eq!(explicit, governed);
     }
 
     #[test]

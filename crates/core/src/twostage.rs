@@ -30,6 +30,11 @@ pub struct TwoStageConfig {
     /// record — they are never read back — so enabling metrics cannot
     /// change attribution output (pinned by `tests/metrics_parity.rs`).
     pub metrics: PipelineMetrics,
+    /// Resource governor (memory budget, deadline, I/O retry policy);
+    /// inert by default. Like `metrics` and `threads`, governance can
+    /// change when a run stops or how it is chunked, but never its
+    /// output bytes, so it is excluded from the checkpoint fingerprint.
+    pub govern: darklight_govern::GovernConfig,
 }
 
 impl Default for TwoStageConfig {
@@ -41,6 +46,7 @@ impl Default for TwoStageConfig {
             threshold: crate::PAPER_THRESHOLD,
             threads: 0,
             metrics: PipelineMetrics::disabled(),
+            govern: darklight_govern::GovernConfig::default(),
         }
     }
 }

@@ -29,6 +29,7 @@ use crate::sparse::SparseVector;
 use crate::tfidf::TfIdf;
 use crate::vocab::{count_terms, VocabBuilder, Vocabulary};
 use darklight_activity::profile::{DailyActivityProfile, HOURS};
+use darklight_govern::EstimateBytes;
 use darklight_obs::{Counter, PipelineMetrics, Timer};
 use darklight_text::lemma::Lemmatizer;
 use darklight_text::token::{TokenKind, Tokenizer};
@@ -216,6 +217,32 @@ impl CountedDoc {
     /// The char n-gram counts.
     pub fn char_counts(&self) -> &std::collections::HashMap<String, u32> {
         &self.char_counts
+    }
+}
+
+/// Rough bytes of one counting map: string payload plus a flat per-entry
+/// charge for the `String` header, the `u32`, and bucket overhead. A sum
+/// over entries is order-independent, so the estimate is deterministic
+/// even though the map itself is not.
+fn count_map_bytes(map: &std::collections::HashMap<String, u32>) -> u64 {
+    map.keys().map(|k| k.len() as u64 + 48).sum::<u64>() + 48
+}
+
+impl EstimateBytes for PreparedDoc {
+    fn estimate_bytes(&self) -> u64 {
+        self.words.iter().map(|w| w.len() as u64 + 24).sum::<u64>()
+            + self.char_text.len() as u64
+            + (NUM_SLOTS as u64) * 8
+            + 64
+    }
+}
+
+impl EstimateBytes for CountedDoc {
+    fn estimate_bytes(&self) -> u64 {
+        count_map_bytes(&self.word_counts)
+            + count_map_bytes(&self.char_counts)
+            + (NUM_SLOTS as u64) * 8
+            + 64
     }
 }
 

@@ -14,6 +14,14 @@ pub struct SparseVector {
     values: Vec<f32>,
 }
 
+impl darklight_govern::EstimateBytes for SparseVector {
+    fn estimate_bytes(&self) -> u64 {
+        // One u32 index + one f32 value per non-zero, plus the two Vec
+        // headers.
+        (self.indices.len() as u64) * 8 + 48
+    }
+}
+
 impl SparseVector {
     /// The empty vector.
     pub fn new() -> SparseVector {

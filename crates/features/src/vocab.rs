@@ -136,6 +136,17 @@ impl Vocabulary {
     }
 }
 
+impl darklight_govern::EstimateBytes for Vocabulary {
+    fn estimate_bytes(&self) -> u64 {
+        // Term payloads plus a flat per-entry charge (String header, u32
+        // index, bucket overhead) and the doc-frequency array. Summation
+        // is order-independent, so the estimate stays deterministic.
+        self.index.keys().map(|t| t.len() as u64 + 48).sum::<u64>()
+            + (self.doc_freq.len() as u64) * 4
+            + 64
+    }
+}
+
 /// Counts terms from an iterator into a map — the per-document first step.
 pub fn count_terms<I: IntoIterator<Item = String>>(terms: I) -> HashMap<String, u32> {
     let mut counts = HashMap::new();

@@ -1,0 +1,97 @@
+//! Deterministic I/O fault injection (`DARKLIGHT_FAULT_IO`).
+//!
+//! Mirrors the `DARKLIGHT_FAULT_PANICS` hook in `darklight-par`: the
+//! environment variable is parsed once per process, and instrumented
+//! I/O call sites ask [`maybe_fail_io`] before touching the filesystem.
+//! Where the panic hook fires on a `(site, item index)` pair, the I/O
+//! hook is a **countdown**: `DARKLIGHT_FAULT_IO=checkpoint.save:2`
+//! makes the first two calls at `checkpoint.save` fail with a synthetic
+//! [`std::io::Error`] and every later call succeed — exactly the shape
+//! a transient-outage regression test needs (set the count below the
+//! retry budget and the run must recover; above it and the run must
+//! surface a typed error).
+//!
+//! Sites instrumented today: `checkpoint.save`, `checkpoint.load`
+//! (`darklight-core`), and `corpus.read` (the CLI ingestion path).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
+
+/// Environment variable holding comma-separated `site:count` pairs.
+pub const FAULT_IO_ENV: &str = "DARKLIGHT_FAULT_IO";
+
+struct Slot {
+    site: String,
+    remaining: AtomicU64,
+}
+
+fn spec() -> &'static [Slot] {
+    static SPEC: OnceLock<Vec<Slot>> = OnceLock::new();
+    SPEC.get_or_init(|| {
+        let Ok(raw) = std::env::var(FAULT_IO_ENV) else {
+            return Vec::new();
+        };
+        raw.split(',')
+            .filter_map(|entry| {
+                let entry = entry.trim();
+                let (site, count) = entry.rsplit_once(':')?;
+                let count: u64 = count.trim().parse().ok()?;
+                Some(Slot {
+                    site: site.trim().to_string(),
+                    remaining: AtomicU64::new(count),
+                })
+            })
+            .collect()
+    })
+}
+
+/// True when a fault should fire for this call at `site` (consumes one
+/// unit of the site's countdown).
+pub fn take(site: &str) -> bool {
+    for slot in spec() {
+        if slot.site == site {
+            // Decrement-if-positive: the first `count` calls fault.
+            return slot
+                .remaining
+                .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |n| n.checked_sub(1))
+                .is_ok();
+        }
+    }
+    false
+}
+
+/// Fails with a synthetic, retry-classifiable [`std::io::Error`] while
+/// the site's fault countdown is positive.
+///
+/// # Errors
+///
+/// An [`std::io::ErrorKind::Interrupted`] error naming the site — the
+/// kind every retry classifier treats as transient.
+pub fn maybe_fail_io(site: &str) -> std::io::Result<()> {
+    if take(site) {
+        Err(std::io::Error::new(
+            std::io::ErrorKind::Interrupted,
+            format!("injected i/o fault at {site} ({FAULT_IO_ENV})"),
+        ))
+    } else {
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // `spec()` latches the environment once per process, so these tests
+    // exercise the parser indirectly: with the variable unset (the
+    // normal `cargo test` environment) every site must pass. The
+    // count-down behaviour itself is pinned end-to-end by
+    // `tests/govern_soak.rs` and the CLI fault tests, which own their
+    // process environment.
+    #[test]
+    fn unset_environment_injects_nothing() {
+        assert!(!take("checkpoint.save"));
+        assert!(maybe_fail_io("checkpoint.save").is_ok());
+        assert!(maybe_fail_io("no.such.site").is_ok());
+    }
+}

@@ -1,0 +1,149 @@
+//! Resource governor for long-running attribution jobs.
+//!
+//! The paper's batch mode (§IV-J) exists to fit the attribution pipeline
+//! into bounded RAM, but a fixed `batch_size` knob is blind: it neither
+//! measures what a round actually costs nor reacts when the estimate was
+//! wrong, and an hours-long run dies to the first transient I/O error or
+//! overrun wall-clock. This crate supplies the missing pieces as small,
+//! dependency-free primitives that the core batch driver composes:
+//!
+//! - [`MemoryBudget`] — a parsed byte budget (`512MiB`, env
+//!   `DARKLIGHT_MEM_BUDGET`) from which the batch size is *derived*
+//!   instead of guessed, via the [`EstimateBytes`] cost model.
+//! - [`Deadline`] — a cooperative cancellation token checked between
+//!   batch rounds and inside worker chunk loops; expiry is a typed
+//!   [`GovernError::DeadlineExpired`] with a valid checkpoint on disk,
+//!   never a torn run.
+//! - [`RetryPolicy`] / [`with_retry`] — jittered exponential backoff
+//!   around checkpoint and corpus I/O, with jitter derived purely from
+//!   the run fingerprint so retried runs stay deterministic.
+//! - [`fault`] — a `DARKLIGHT_FAULT_IO=site:count` injection hook
+//!   mirroring `DARKLIGHT_FAULT_PANICS`, so every retry path has a
+//!   deterministic regression test.
+//!
+//! Everything here is policy-free data plus pure functions: the actual
+//! shrink-and-re-round ladder lives in `darklight-core::batch`, which
+//! owns the round loop.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod budget;
+mod deadline;
+pub mod fault;
+mod retry;
+
+pub use budget::{EstimateBytes, MemoryBudget, MEM_BUDGET_ENV};
+pub use deadline::{parse_duration, Deadline, Expired};
+pub use retry::{seed_from, with_retry, RetryPolicy};
+
+use std::fmt;
+
+/// Typed failures raised by the resource governor.
+#[derive(Debug)]
+pub enum GovernError {
+    /// A size string (`--mem-budget`, `DARKLIGHT_MEM_BUDGET`) did not
+    /// parse; the message says what was wrong and what would be accepted.
+    ParseSize(String),
+    /// A duration string (`--deadline`) did not parse.
+    ParseDuration(String),
+    /// The budget cannot hold even the smallest possible round.
+    BudgetTooSmall {
+        /// The configured budget, in bytes.
+        budget: u64,
+        /// The minimum budget that would admit a one-record batch.
+        required: u64,
+    },
+    /// The run's deadline expired; the last completed round is on disk
+    /// when a checkpoint path was configured.
+    DeadlineExpired {
+        /// Rounds completed before expiry.
+        rounds_done: u64,
+    },
+    /// An I/O site kept failing after the retry budget was spent.
+    IoExhausted {
+        /// The instrumented site name (e.g. `checkpoint.save`).
+        site: String,
+        /// Total attempts made (initial try + retries).
+        attempts: u32,
+        /// Display form of the last error.
+        last: String,
+    },
+}
+
+impl fmt::Display for GovernError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GovernError::ParseSize(why) => write!(f, "invalid memory size: {why}"),
+            GovernError::ParseDuration(why) => write!(f, "invalid duration: {why}"),
+            GovernError::BudgetTooSmall { budget, required } => write!(
+                f,
+                "memory budget of {budget} bytes cannot hold the query set plus a \
+                 single-record batch (~{required} bytes needed); raise --mem-budget \
+                 to at least {required}B or shrink the corpus"
+            ),
+            GovernError::DeadlineExpired { rounds_done } => write!(
+                f,
+                "deadline expired after {rounds_done} completed round(s); progress up to \
+                 the last completed round is checkpointed — rerun with the same \
+                 --checkpoint path (and no or a longer --deadline) to resume"
+            ),
+            GovernError::IoExhausted {
+                site,
+                attempts,
+                last,
+            } => write!(
+                f,
+                "i/o at {site} still failing after {attempts} attempts: {last}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for GovernError {}
+
+/// Everything the governor needs to supervise one batched run.
+///
+/// Default is fully inert: no budget, no deadline, and the default retry
+/// policy (which only matters once an I/O error actually occurs).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct GovernConfig {
+    /// Byte budget the pressure ladder enforces; `None` disables
+    /// memory governance entirely.
+    pub budget: Option<MemoryBudget>,
+    /// Cooperative cancellation token; [`Deadline::none`] never expires.
+    pub deadline: Deadline,
+    /// Backoff policy for checkpoint/corpus I/O retries.
+    pub retry: RetryPolicy,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_is_inert() {
+        let cfg = GovernConfig::default();
+        assert!(cfg.budget.is_none());
+        assert!(!cfg.deadline.is_expired());
+        assert_eq!(cfg, GovernConfig::default());
+    }
+
+    #[test]
+    fn errors_render_actionable_messages() {
+        let e = GovernError::BudgetTooSmall {
+            budget: 10,
+            required: 999,
+        };
+        assert!(e.to_string().contains("999"), "{e}");
+        let e = GovernError::DeadlineExpired { rounds_done: 4 };
+        assert!(e.to_string().contains("4 completed round"), "{e}");
+        let e = GovernError::IoExhausted {
+            site: "checkpoint.save".to_string(),
+            attempts: 4,
+            last: "disk on fire".to_string(),
+        };
+        assert!(e.to_string().contains("checkpoint.save"), "{e}");
+        assert!(e.to_string().contains("disk on fire"), "{e}");
+    }
+}

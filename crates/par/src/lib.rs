@@ -49,8 +49,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+use darklight_govern::{Deadline, Expired};
 use darklight_obs::PipelineMetrics;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
 
 /// Environment variable overriding auto-detected parallelism (`threads ==
 /// 0`). Ignored when a caller asks for an explicit thread count.
@@ -164,6 +166,81 @@ where
     let chunk = items.len().div_ceil(threads);
     let shards: Vec<&[T]> = items.chunks(chunk).collect();
     par_map(&shards, threads, |_, shard| f(shard))
+}
+
+/// Like [`par_map`], but cooperatively cancellable: every worker polls
+/// `deadline` before each item, and observing expiry abandons the whole
+/// map — partial results are discarded and `Err(Expired)` returned, so a
+/// cancelled map never leaks half-computed state into the caller.
+///
+/// Discard-wholesale is what keeps degraded runs thread-count-invariant:
+/// *which* items finished before expiry depends on scheduling, but since
+/// none of them survive, the caller sees exactly two scheduling-free
+/// outcomes — the complete result or `Expired`. Round-counted deadlines
+/// ([`Deadline::after_rounds`]) only flip at round boundaries between
+/// maps, so for them a given call is deterministically all-or-nothing.
+///
+/// ```
+/// use darklight_govern::Deadline;
+/// let ok = darklight_par::par_map_deadline(&[1, 2, 3], 2, &Deadline::none(), |_, &x| x * 2);
+/// assert_eq!(ok.unwrap(), vec![2, 4, 6]);
+/// let expired = Deadline::after_rounds(0);
+/// assert!(darklight_par::par_map_deadline(&[1, 2, 3], 2, &expired, |_, &x| x * 2).is_err());
+/// ```
+///
+/// # Errors
+///
+/// [`Expired`] when the deadline passed before the map completed.
+pub fn par_map_deadline<T, R, F>(
+    items: &[T],
+    threads: usize,
+    deadline: &Deadline,
+    f: F,
+) -> Result<Vec<R>, Expired>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let threads = threads.max(1).min(items.len().max(1));
+    if threads == 1 {
+        let mut out = Vec::with_capacity(items.len());
+        for (i, item) in items.iter().enumerate() {
+            if deadline.is_expired() {
+                return Err(Expired);
+            }
+            out.push(f(i, item));
+        }
+        return Ok(out);
+    }
+    let chunk = items.len().div_ceil(threads);
+    let mut results: Vec<Option<R>> = Vec::with_capacity(items.len());
+    results.resize_with(items.len(), || None);
+    let f = &f;
+    let aborted = &AtomicBool::new(false);
+    std::thread::scope(|scope| {
+        let mut start = 0usize;
+        for (slot, shard) in results.chunks_mut(chunk).zip(items.chunks(chunk)) {
+            let begin = start;
+            start += slot.len();
+            scope.spawn(move || {
+                for (off, (out, item)) in slot.iter_mut().zip(shard).enumerate() {
+                    if deadline.is_expired() {
+                        aborted.store(true, Ordering::Relaxed);
+                        return;
+                    }
+                    *out = Some(f(begin + off, item));
+                }
+            });
+        }
+    });
+    if aborted.load(Ordering::Relaxed) {
+        return Err(Expired);
+    }
+    Ok(results
+        .into_iter()
+        .map(|r| r.expect("every slot filled by exactly one worker"))
+        .collect())
 }
 
 /// A panic caught inside a worker closure, reported as the `Err` slot of
@@ -445,6 +522,32 @@ mod tests {
         assert_eq!(sum, 55 - 3 - 4); // the (3, 4) shard is lost whole
         assert_eq!(out.iter().filter(|r| r.is_err()).count(), 1);
         assert_eq!(metrics.counter("par.worker_panics").get(), 1);
+    }
+
+    #[test]
+    fn par_map_deadline_without_deadline_matches_par_map() {
+        let items: Vec<usize> = (0..37).collect();
+        let want = par_map(&items, 1, |i, &x| i * x);
+        for threads in [1, 2, 3, 7, 64] {
+            let out = par_map_deadline(&items, threads, &Deadline::none(), |i, &x| i * x);
+            assert_eq!(out.unwrap(), want, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn par_map_deadline_expiry_is_all_or_nothing() {
+        let items: Vec<usize> = (0..37).collect();
+        let expired = Deadline::after_rounds(0);
+        for threads in [1, 2, 7] {
+            let out = par_map_deadline(&items, threads, &expired, |_, &x| x);
+            assert!(out.is_err(), "threads = {threads}");
+        }
+        // Empty input with a live token is a complete (empty) result.
+        let empty: Vec<u8> = Vec::new();
+        assert_eq!(
+            par_map_deadline(&empty, 4, &Deadline::none(), |_, &x| x).unwrap(),
+            Vec::<u8>::new()
+        );
     }
 
     #[test]

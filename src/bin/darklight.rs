@@ -12,7 +12,8 @@
 //!
 //! darklight link <known.tsv> <unknown.tsv> [--threshold T] [--k K]
 //!               [--threads N] [--metrics out.json] [--lenient|--strict]
-//!               [--batch-size B] [--checkpoint state.json]
+//!               [--batch-size B] [--mem-budget SIZE] [--deadline DUR]
+//!               [--checkpoint state.json]
 //!     Polish, refine, and link the two corpora; print matched alias
 //!     pairs as TSV (unknown_alias, known_alias, score). With
 //!     --metrics, also write a JSON snapshot of pipeline counters,
@@ -21,10 +22,18 @@
 //!     machine (or the DARKLIGHT_THREADS environment variable);
 //!     output is identical at every thread count.
 //!     --batch-size runs the RAM-bounded batched driver (§IV-J);
+//!     --mem-budget runs it under a byte ceiling instead (binary
+//!     units: 512MiB, 2GiB; also the DARKLIGHT_MEM_BUDGET env var),
+//!     deriving the largest admissible batch size — the two flags are
+//!     mutually exclusive, and output is byte-identical to the
+//!     equivalent explicit --batch-size run. --deadline bounds the
+//!     batched rounds (30s, 30m, 2h); an expired run exits 1 leaving
+//!     a valid --checkpoint to resume from.
 //!     --checkpoint persists batched state after every round and
 //!     resumes from it on restart (implies --batch-size 100 unless
 //!     given). A checkpoint written by a different config/corpus is
-//!     refused rather than silently resumed.
+//!     refused rather than silently resumed. Checkpoint and corpus
+//!     I/O retries transient failures with deterministic backoff.
 //!
 //! darklight profile <corpus.tsv> <alias>
 //!     Activity profile and leaked-fact dossier for one alias.
@@ -48,6 +57,9 @@ use darklight::corpus::model::Corpus;
 use darklight::corpus::polish::{PolishConfig, Polisher};
 use darklight::corpus::stats::{cdf_at, words_per_user_cdf};
 use darklight::eval::profiler::build_profile;
+use darklight::govern::{
+    fault, parse_duration, seed_from, with_retry, Deadline, MemoryBudget, RetryPolicy,
+};
 use darklight::obs::PipelineMetrics;
 use darklight::synth::scenario::{ScenarioBuilder, ScenarioConfig};
 use darklight::text::obfuscate::{ObfuscateConfig, Obfuscator};
@@ -102,7 +114,8 @@ const USAGE: &str = "usage: darklight <gen|polish|stats|link|profile|obfuscate> 
   polish <in.tsv> <out.tsv> [--lenient|--strict]\n\
   stats <in.tsv> [--lenient|--strict]\n\
   link <known.tsv> <unknown.tsv> [--threshold T] [--k K] [--threads N] [--metrics out.json]\n\
-       [--lenient|--strict] [--batch-size B] [--checkpoint state.json]\n\
+       [--lenient|--strict] [--batch-size B] [--mem-budget SIZE] [--deadline DUR]\n\
+       [--checkpoint state.json]\n\
   profile <corpus.tsv> <alias>\n\
   obfuscate <in.tsv> <out.tsv>\n\
 exit codes: 0 success, 1 data/io error, 2 usage error";
@@ -150,7 +163,11 @@ fn lenient_mode(args: &[String]) -> Result<bool, CliError> {
     }
 }
 
-/// Loads a corpus in the selected ingestion mode. In lenient mode a
+/// Loads a corpus in the selected ingestion mode, retrying transient
+/// I/O failures with deterministic backoff (jitter seeded by the path,
+/// so a rerun sleeps the same schedule). Parse-class failures — a
+/// malformed line in strict mode, a blown lenient tolerance budget —
+/// fail fast: rereading a corrupt file cannot fix it. In lenient mode a
 /// per-line quarantine report goes to stderr and the load succeeds
 /// unless the tolerance budget is blown.
 fn load_corpus_cli(
@@ -158,14 +175,26 @@ fn load_corpus_cli(
     lenient: bool,
     metrics: &PipelineMetrics,
 ) -> Result<Corpus, CliError> {
+    use darklight::corpus::io::ReadError;
+    let policy = RetryPolicy::default();
+    let seed = seed_from(path.as_bytes());
+    let transient = |e: &ReadError| matches!(e, ReadError::Io(_));
     if !lenient {
-        return load_corpus(Path::new(path)).map_err(data);
+        return with_retry("corpus.read", &policy, seed, metrics, transient, || {
+            fault::maybe_fail_io("corpus.read")?;
+            load_corpus(Path::new(path))
+        })
+        .map_err(data);
     }
     let config = LenientConfig {
         metrics: metrics.clone(),
         ..LenientConfig::default()
     };
-    let (corpus, report) = load_corpus_lenient(Path::new(path), &config).map_err(data)?;
+    let (corpus, report) = with_retry("corpus.read", &policy, seed, metrics, transient, || {
+        fault::maybe_fail_io("corpus.read")?;
+        load_corpus_lenient(Path::new(path), &config)
+    })
+    .map_err(data)?;
     if !report.is_clean() {
         eprintln!(
             "warning: quarantined {} of {} line(s) loading {path}:",
@@ -285,11 +314,39 @@ fn cmd_link(args: &[String]) -> Result<(), CliError> {
             .map_err(|_| usage("--batch-size must be an integer"))?;
         config.batch = Some(BatchConfig { batch_size });
     }
+    match flag_value(args, "--mem-budget") {
+        Some(_) if config.batch.is_some() => {
+            return Err(usage(
+                "--batch-size and --mem-budget are mutually exclusive: give an explicit \
+                 batch size or let the budget derive one, not both",
+            ));
+        }
+        Some(s) => {
+            config.two_stage.govern.budget = Some(MemoryBudget::parse(s).map_err(usage)?);
+        }
+        // The environment variable is a softer signal than the flag: it
+        // composes with an explicit --batch-size, acting as a guard-rail
+        // (the pressure ladder shrinks rounds that would breach it).
+        None => config.two_stage.govern.budget = MemoryBudget::from_env().map_err(usage)?,
+    }
     if let Some(p) = flag_value(args, "--checkpoint") {
         // Checkpoints only exist for the batched driver; default to the
-        // paper's B=100 when --batch-size was not given explicitly.
-        config.batch.get_or_insert_with(BatchConfig::default);
+        // paper's B=100 when neither --batch-size nor --mem-budget was
+        // given to pick one.
+        if config.two_stage.govern.budget.is_none() {
+            config.batch.get_or_insert_with(BatchConfig::default);
+        }
         config.checkpoint = Some(PathBuf::from(p));
+    }
+    if let Some(d) = flag_value(args, "--deadline") {
+        if config.batch.is_none() && config.two_stage.govern.budget.is_none() {
+            return Err(usage(
+                "--deadline only bounds batched runs: add --batch-size, --mem-budget, \
+                 or --checkpoint",
+            ));
+        }
+        let limit = parse_duration(d).map_err(usage)?;
+        config.two_stage.govern.deadline = Deadline::after(limit);
     }
     if let Some(batch) = &config.batch {
         batch.validate().map_err(usage)?;

@@ -24,6 +24,8 @@
 //!   simulation, and personal-profile aggregation;
 //! * [`obs`] — opt-in pipeline metrics (counters, gauges, stage timers,
 //!   latency histograms) with a dependency-free JSON snapshot;
+//! * [`govern`] — the resource governor: memory-budgeted batch sizing,
+//!   cooperative stage deadlines, and deterministic retrying I/O;
 //! * [`par`] — the shared scoped-thread worker-pool helpers every parallel
 //!   stage routes through (deterministic indexed parallel map).
 //!
@@ -64,6 +66,7 @@ pub use darklight_core as core;
 pub use darklight_corpus as corpus;
 pub use darklight_eval as eval;
 pub use darklight_features as features;
+pub use darklight_govern as govern;
 pub use darklight_obs as obs;
 pub use darklight_par as par;
 pub use darklight_synth as synth;

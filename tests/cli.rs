@@ -94,6 +94,157 @@ fn zero_batch_size_is_a_usage_error() {
 }
 
 #[test]
+fn mem_budget_and_batch_size_are_mutually_exclusive() {
+    // Flag validation precedes any file access, so bogus paths are fine.
+    let out = bin()
+        .args([
+            "link",
+            "a.tsv",
+            "b.tsv",
+            "--batch-size",
+            "10",
+            "--mem-budget",
+            "512MiB",
+        ])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("mutually exclusive"), "{stderr}");
+}
+
+#[test]
+fn malformed_mem_budget_sizes_are_rejected_with_fix_hints() {
+    // Decimal units are refused with the binary spelling suggested.
+    let out = bin()
+        .args(["link", "a.tsv", "b.tsv", "--mem-budget", "512MB"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("512MiB"), "must suggest the fix: {stderr}");
+    // Negative, fractional, and overflowing sizes are all usage errors.
+    for bad in ["-5MiB", "1.5GiB", "99999999999999999GiB", "12XiB", ""] {
+        let out = bin()
+            .args(["link", "a.tsv", "b.tsv", "--mem-budget", bad])
+            .output()
+            .unwrap();
+        assert_eq!(out.status.code(), Some(2), "size {bad:?} must exit 2");
+        assert!(
+            String::from_utf8_lossy(&out.stderr).contains("error:"),
+            "size {bad:?} must explain itself"
+        );
+    }
+}
+
+#[test]
+fn deadline_without_batch_mode_is_a_usage_error() {
+    let out = bin()
+        .args(["link", "a.tsv", "b.tsv", "--deadline", "30m"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("--deadline"), "{stderr}");
+    // A malformed duration is also caught (unit is mandatory).
+    let out = bin()
+        .args([
+            "link",
+            "a.tsv",
+            "b.tsv",
+            "--batch-size",
+            "10",
+            "--deadline",
+            "30",
+        ])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2), "bare numbers have no unit");
+}
+
+#[test]
+fn mem_budget_link_succeeds_end_to_end() {
+    let dir = temp_dir("membudget");
+    bin()
+        .args([
+            "gen",
+            dir.to_str().unwrap(),
+            "--scale",
+            "small",
+            "--seed",
+            "4",
+        ])
+        .output()
+        .unwrap();
+    let out = bin()
+        .args([
+            "link",
+            dir.join("tmg.tsv").to_str().unwrap(),
+            dir.join("dm.tsv").to_str().unwrap(),
+            "--threshold",
+            "0.86",
+            "--mem-budget",
+            "4GiB",
+            "--deadline",
+            "1h",
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let table = String::from_utf8_lossy(&out.stdout);
+    assert!(table.starts_with("unknown_alias\tknown_alias\tscore"));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn io_faults_below_retry_budget_never_surface() {
+    let dir = temp_dir("iofault_ok");
+    bin()
+        .args([
+            "gen",
+            dir.to_str().unwrap(),
+            "--scale",
+            "small",
+            "--seed",
+            "5",
+        ])
+        .output()
+        .unwrap();
+    // Two injected faults fit inside the default three-retry budget: the
+    // run must succeed as if nothing happened.
+    let out = bin()
+        .args(["stats", dir.join("tmg.tsv").to_str().unwrap()])
+        .env("DARKLIGHT_FAULT_IO", "corpus.read:2")
+        .output()
+        .unwrap();
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn io_faults_above_retry_budget_exit_1_with_typed_error() {
+    // Ten faults exhaust every attempt; the injected error must surface
+    // as a data error (exit 1), never a panic or a silent zero.
+    let out = bin()
+        .args(["stats", "a.tsv"])
+        .env("DARKLIGHT_FAULT_IO", "corpus.read:10")
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("injected i/o fault"), "{stderr}");
+}
+
+#[test]
 fn lenient_loads_dirty_corpus_that_strict_refuses() {
     let dir = temp_dir("lenient");
     let corpus = dir.join("dirty.tsv");

@@ -7,11 +7,15 @@
 //! end-to-end for reduce, rescore, the batched driver, and the full
 //! `Linker::link` flow.
 
-use darklight::core::batch::{run_batched, BatchConfig};
+use darklight::core::batch::{
+    budget_overhead_bytes, budget_per_candidate_bytes, run_batched, run_batched_checkpointed,
+    BatchConfig, BatchError, CheckpointSpec,
+};
 use darklight::core::dataset::{Dataset, DatasetBuilder};
 use darklight::core::linker::{Linker, LinkerConfig};
 use darklight::core::twostage::{TwoStage, TwoStageConfig};
 use darklight::corpus::model::{Corpus, Post, User};
+use darklight::govern::{Deadline, GovernConfig, GovernError, MemoryBudget};
 
 const THREAD_COUNTS: [usize; 2] = [2, 7];
 
@@ -135,6 +139,98 @@ fn run_batched_identical_across_thread_counts() {
             baseline,
             "run_batched diverged at {threads} threads"
         );
+    }
+}
+
+#[test]
+fn governed_budget_identical_to_derived_fixed_batch_across_threads() {
+    let (known, unknown) = datasets();
+    // Room for exactly three worst-case candidates: the derived batch
+    // size matches the multi-round divergent-pool shape above, and a
+    // conservatively derived size can never trip the pressure ladder,
+    // so governed and fixed runs must be byte-identical at any thread
+    // count.
+    let budget = MemoryBudget::from_bytes(
+        budget_overhead_bytes(&unknown) + 3 * budget_per_candidate_bytes(&known),
+    )
+    .unwrap();
+    let derived = BatchConfig::derive(&budget, &known, &unknown).unwrap();
+    assert_eq!(derived.batch_size, 3, "world changed under the test");
+    let governed_engine = |threads| {
+        TwoStage::new(TwoStageConfig {
+            k: 2,
+            threshold: 0.3,
+            threads,
+            govern: GovernConfig {
+                budget: Some(budget),
+                ..GovernConfig::default()
+            },
+            ..TwoStageConfig::default()
+        })
+    };
+    let fixed_engine = |threads| {
+        TwoStage::new(TwoStageConfig {
+            k: 2,
+            threshold: 0.3,
+            threads,
+            ..TwoStageConfig::default()
+        })
+    };
+    let baseline = run_batched(&fixed_engine(1), &derived, &known, &unknown).unwrap();
+    for threads in [1, 2, 7] {
+        assert_eq!(
+            run_batched(&governed_engine(threads), &derived, &known, &unknown).unwrap(),
+            baseline,
+            "governed run diverged at {threads} threads"
+        );
+    }
+}
+
+#[test]
+fn deadline_expiry_and_resume_identical_across_threads() {
+    let (known, unknown) = datasets();
+    let batch = BatchConfig { batch_size: 3 };
+    let engine_with = |threads, deadline: Deadline| {
+        TwoStage::new(TwoStageConfig {
+            k: 2,
+            threshold: 0.3,
+            threads,
+            govern: GovernConfig {
+                deadline,
+                ..GovernConfig::default()
+            },
+            ..TwoStageConfig::default()
+        })
+    };
+    let baseline =
+        run_batched(&engine_with(1, Deadline::none()), &batch, &known, &unknown).unwrap();
+    for threads in [1usize, 2, 7] {
+        let path = std::env::temp_dir().join(format!(
+            "darklight_parity_deadline_{threads}_{}.json",
+            std::process::id()
+        ));
+        std::fs::remove_file(&path).ok();
+        let spec = CheckpointSpec::new(path.clone());
+        // One round is allowed, then the deadline trips at the next
+        // round boundary — identically at every thread count, because
+        // workers only ever observe the already-tripped flag.
+        let strict = engine_with(threads, Deadline::after_rounds(1));
+        let err = run_batched_checkpointed(&strict, &batch, &known, &unknown, &spec).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                BatchError::Govern(GovernError::DeadlineExpired { rounds_done: 1 })
+            ),
+            "at {threads} threads: {err}"
+        );
+        assert!(path.exists(), "expiry must leave a checkpoint behind");
+        let relaxed = engine_with(threads, Deadline::none());
+        let resumed = run_batched_checkpointed(&relaxed, &batch, &known, &unknown, &spec).unwrap();
+        assert_eq!(
+            resumed, baseline,
+            "deadline + resume diverged at {threads} threads"
+        );
+        assert!(!path.exists(), "checkpoint removed after the resumed run");
     }
 }
 
