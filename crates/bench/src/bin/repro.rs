@@ -266,11 +266,20 @@ fn main() {
         batch.batch_size,
         mem_budget,
     );
-    std::fs::write(&bench_path, report).expect("write BENCH_repro.json");
+    if let Err(err) = std::fs::write(&bench_path, report) {
+        eprintln!(
+            "error: cannot write benchmark report {}: {err}",
+            bench_path.display()
+        );
+        std::process::exit(1);
+    }
     eprintln!("benchmark report written to {}", bench_path.display());
 
     if let Some(path) = metrics_path {
-        std::fs::write(&path, metrics.to_json_pretty()).expect("write metrics snapshot");
+        if let Err(err) = std::fs::write(&path, metrics.to_json_pretty()) {
+            eprintln!("error: cannot write metrics snapshot {path}: {err}");
+            std::process::exit(1);
+        }
         eprintln!("pipeline metrics written to {path}");
     }
 }

@@ -10,6 +10,7 @@
 
 pub mod ablations;
 pub mod experiments;
+pub mod matrix;
 
 /// Fallback threshold when calibration cannot reach 80% recall (paper's
 /// own global threshold, for reference).

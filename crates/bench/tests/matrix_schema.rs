@@ -1,0 +1,130 @@
+//! Golden pin of the `BENCH_*.json` schema (every key, per section) and
+//! a structural audit of the committed baseline trajectory under
+//! `benchmarks/`: at least the full scenario set at two scales, each file
+//! parseable with the full throughput and accuracy sections.
+
+use darklight_bench::matrix::{run_cell, CellOptions, BENCH_SCHEMA_VERSION};
+use darklight_obs::Json;
+use darklight_synth::matrix::{CellSpec, MatrixScale, ScenarioKind};
+use std::path::PathBuf;
+
+fn section<'a>(report: &'a Json, key: &str) -> &'a Json {
+    report
+        .get(key)
+        .unwrap_or_else(|| panic!("report missing section {key:?}"))
+}
+
+#[test]
+fn report_schema_is_pinned() {
+    let spec = CellSpec::new(ScenarioKind::Clean, MatrixScale::Tiny);
+    let report = run_cell(&spec, &CellOptions::default()).expect("tiny cell runs");
+
+    assert_eq!(
+        report.keys(),
+        [
+            "accuracy",
+            "cell",
+            "govern",
+            "schema_version",
+            "throughput",
+            "world"
+        ],
+        "root sections changed — bump BENCH_SCHEMA_VERSION"
+    );
+    assert_eq!(
+        report.get("schema_version"),
+        Some(&Json::UInt(BENCH_SCHEMA_VERSION))
+    );
+    assert_eq!(
+        section(&report, "cell").keys(),
+        ["scale", "scenario", "seed"]
+    );
+    assert_eq!(
+        section(&report, "world").keys(),
+        [
+            "known_aliases",
+            "messages",
+            "positives",
+            "raw_aliases",
+            "unknown_aliases"
+        ]
+    );
+    assert_eq!(
+        section(&report, "accuracy").keys(),
+        ["f1", "pr_auc", "precision", "recall", "threshold"]
+    );
+    assert_eq!(
+        section(&report, "govern").keys(),
+        [
+            "batch_shrinks",
+            "batch_size",
+            "bytes_estimated",
+            "mem_budget_bytes"
+        ]
+    );
+    assert_eq!(
+        section(&report, "throughput").keys(),
+        [
+            "messages_per_sec",
+            "messages_per_sec_serial",
+            "parallel_s",
+            "serial_s",
+            "speedup",
+            "threads",
+            "world_prep_s"
+        ]
+    );
+
+    // The rendering is stable: parse(render) == original, so committed
+    // baselines can be byte-compared against fresh renders.
+    let reparsed = Json::parse(&report.render_pretty()).expect("self-render parses");
+    assert_eq!(reparsed.render(), report.render());
+}
+
+fn committed_benchmarks_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../benchmarks")
+}
+
+#[test]
+fn committed_baseline_trajectory_is_complete_and_well_formed() {
+    let dir = committed_benchmarks_dir();
+    let mut cells = 0usize;
+    for scale in [MatrixScale::Small, MatrixScale::Medium] {
+        for kind in ScenarioKind::ALL {
+            let spec = CellSpec::new(kind, scale);
+            let path = dir.join(spec.file_name());
+            let text = std::fs::read_to_string(&path)
+                .unwrap_or_else(|e| panic!("missing committed baseline {}: {e}", path.display()));
+            let report = Json::parse(&text)
+                .unwrap_or_else(|e| panic!("unparseable baseline {}: {e:?}", path.display()));
+            assert_eq!(
+                report.get("schema_version"),
+                Some(&Json::UInt(BENCH_SCHEMA_VERSION)),
+                "{}",
+                path.display()
+            );
+            let cell = section(&report, "cell");
+            assert_eq!(cell.get("scenario"), Some(&Json::Str(kind.name().into())));
+            assert_eq!(cell.get("scale"), Some(&Json::Str(scale.name().into())));
+            for key in ["precision", "recall", "f1", "pr_auc", "threshold"] {
+                assert!(
+                    matches!(section(&report, "accuracy").get(key), Some(Json::Float(_))),
+                    "{}: accuracy.{key}",
+                    path.display()
+                );
+            }
+            for key in ["messages_per_sec", "messages_per_sec_serial", "speedup"] {
+                assert!(
+                    matches!(
+                        section(&report, "throughput").get(key),
+                        Some(Json::Float(_))
+                    ),
+                    "{}: throughput.{key}",
+                    path.display()
+                );
+            }
+            cells += 1;
+        }
+    }
+    assert!(cells >= 10, "committed trajectory too small: {cells} cells");
+}

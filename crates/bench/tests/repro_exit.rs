@@ -1,0 +1,40 @@
+//! Pin of the `repro` binary's failure contract: when the benchmark
+//! report cannot be written, the process must exit non-zero with a
+//! diagnostic naming the path — not panic, and not exit 0 with the
+//! report silently missing (the failure mode this pins out was an
+//! `expect` unwind, which still reports "success" to make-style callers
+//! under some panic configurations, and prints an unhelpful backtrace).
+
+use std::process::Command;
+
+#[test]
+fn unwritable_bench_report_exits_nonzero() {
+    let dir = std::env::temp_dir().join(format!("darklight_repro_exit_{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    // A *directory* squatting on the report path makes the final
+    // `fs::write` fail after every experiment has succeeded.
+    std::fs::create_dir_all(dir.join("BENCH_repro.json")).unwrap();
+
+    let out = Command::new(env!("CARGO_BIN_EXE_repro"))
+        .arg("table1")
+        .env("DARKLIGHT_SCALE", "small")
+        .env("DARKLIGHT_OUT", &dir)
+        .output()
+        .expect("spawn repro");
+
+    assert_eq!(
+        out.status.code(),
+        Some(1),
+        "unwritable report must exit 1, got: {:?}",
+        out.status
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("BENCH_repro.json"),
+        "diagnostic must name the report path; stderr: {stderr}"
+    );
+    // The failure came from the write, not from a panic unwind.
+    assert!(!stderr.contains("panicked"), "stderr: {stderr}");
+
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -1,0 +1,65 @@
+//! End-to-end pin of the sparse-history scenario contract: authors below
+//! the 30-usable-timestamp activity floor survive the scenario's relaxed
+//! refinement *without* an activity profile — the activity layer skips
+//! them — yet the two-stage linker still ranks them by text alone. The
+//! default refinement (activity floor 30) excludes the same authors
+//! entirely, which is exactly the gap the scenario exists to measure.
+
+use darklight_activity::profile::{ProfileBuilder, ProfilePolicy};
+use darklight_bench::matrix::prepare_cell;
+use darklight_core::twostage::{TwoStage, TwoStageConfig};
+use darklight_corpus::polish::{PolishConfig, Polisher};
+use darklight_corpus::refine::{refine, RefineConfig};
+use darklight_synth::matrix::{CellSpec, MatrixScale, ScenarioKind};
+use darklight_synth::scenario::ScenarioBuilder;
+
+#[test]
+fn sparse_aliases_skip_activity_but_stay_text_rankable() {
+    let spec = CellSpec::new(ScenarioKind::SparseHistory, MatrixScale::Tiny);
+    let prep = prepare_cell(&spec);
+
+    // The scenario floods the dark forums with below-floor authors: some
+    // survive the relaxed refinement with no buildable activity profile.
+    let sparse: Vec<&str> = prep
+        .unknown
+        .records
+        .iter()
+        .filter(|r| r.profile.is_none())
+        .map(|r| r.alias.as_str())
+        .collect();
+    assert!(
+        !sparse.is_empty(),
+        "sparse-history cell produced no below-floor unknowns"
+    );
+    assert!(
+        prep.unknown.records.iter().any(|r| r.profile.is_some()),
+        "cell must also keep rich unknowns for contrast"
+    );
+
+    // The default activity floor (30 usable timestamps) excludes exactly
+    // those authors from refinement altogether.
+    let scenario = ScenarioBuilder::new(spec.config()).build();
+    let (polished_dm, _) = Polisher::new(PolishConfig::default()).polish(&scenario.dm);
+    let profiles = ProfileBuilder::new(ProfilePolicy::default());
+    let default_refined = refine(&polished_dm, RefineConfig::default(), &profiles);
+    for alias in &sparse {
+        assert!(
+            !default_refined.users.iter().any(|u| u.alias == *alias),
+            "{alias} is below the activity floor yet survived default refinement"
+        );
+    }
+
+    // The linker still ranks every sparse alias — by stylometry alone.
+    let ranked = TwoStage::new(TwoStageConfig::default()).run(&prep.known, &prep.unknown);
+    for alias in &sparse {
+        let idx = prep.unknown.index_of(alias).unwrap();
+        let m = ranked
+            .iter()
+            .find(|m| m.unknown == idx)
+            .unwrap_or_else(|| panic!("{alias} missing from the ranking"));
+        assert!(
+            m.best().is_some(),
+            "{alias} has no ranked candidates despite usable text"
+        );
+    }
+}

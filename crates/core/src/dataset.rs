@@ -18,7 +18,7 @@ use darklight_obs::PipelineMetrics;
 use darklight_text::lemma::Lemmatizer;
 
 /// One attribution-ready alias.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Record {
     /// The alias name.
     pub alias: String,
@@ -45,7 +45,7 @@ pub struct Record {
 /// be mutated afterwards — derive new datasets through
 /// [`with_word_budget`](Dataset::with_word_budget) /
 /// [`merged_with`](Dataset::merged_with) instead.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Dataset {
     /// Dataset name (usually the forum name).
     pub name: String,

@@ -103,7 +103,7 @@ impl Default for FeatureConfig {
 
 /// A document after per-user preprocessing: lemmatized word tokens, the
 /// whitespace-normalized character stream, and char-class frequencies.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PreparedDoc {
     words: Vec<String>,
     char_text: String,
@@ -184,7 +184,7 @@ impl PreparedDoc {
 /// lengths. Counting is the expensive part of vectorization; the two-stage
 /// algorithm refits a feature space per unknown user, so counting once per
 /// document (instead of once per refit) is a large win.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CountedDoc {
     word_counts: std::collections::HashMap<String, u32>,
     char_counts: std::collections::HashMap<String, u32>,

@@ -31,6 +31,7 @@
 #![warn(missing_docs)]
 
 pub mod lexicon;
+pub mod matrix;
 pub mod noise;
 pub mod persona;
 pub mod scenario;

@@ -129,7 +129,41 @@ pub struct ScenarioConfig {
     pub thin_posts: (usize, usize),
     /// Noise volumes.
     pub noise: NoiseConfig,
+    /// Style-evolution epochs across an author's posting history (the
+    /// scenario-matrix `high-drift` dial): each author's timeline is cut
+    /// into this many contiguous epochs and the style genome drifts by
+    /// [`ScenarioConfig::epoch_drift`] at every boundary. `1` = a static
+    /// style, byte-identical to the pre-matrix generator.
+    pub style_epochs: usize,
+    /// Drift applied between consecutive style epochs (`0.0` = none).
+    pub epoch_drift: f64,
+    /// Fraction of dark-forum *residents* that imitate a cross-forum
+    /// persona's style (the `adversarial-imitation` dial): the imitator
+    /// keeps its own persona id and temporal genome but writes in a
+    /// lightly-drifted copy of a cross persona's style — a hard negative
+    /// for text scoring. `0.0` = none.
+    pub imitator_frac: f64,
+    /// Per-post probability a rich author code-switches, appending a
+    /// foreign phrase to an otherwise-English message (the
+    /// `mixed-language` dial). `0.0` = none.
+    pub code_switch_rate: f64,
+    /// Fraction of dark aliases generated *sparse* (the `sparse-history`
+    /// dial): few but long posts, keeping the alias above the 1,500-word
+    /// refinement floor while staying below the 30-usable-timestamp
+    /// activity floor. Applies to dark residents and to the secondary
+    /// alias of cross personas; primaries stay rich. `0.0` = none.
+    pub sparse_frac: f64,
 }
+
+/// Post-count range for sparse aliases: always below the 30-usable
+/// activity floor (and the 60-timestamp alter-ego floor).
+const SPARSE_POSTS: (usize, usize) = (16, 24);
+/// Minimum words per sparse post: 16 × 130 keeps a sparse alias above the
+/// 1,500-word refinement floor with margin for polishing losses.
+const SPARSE_MIN_WORDS: usize = 130;
+/// Style drift an imitator applies to the imitated persona's genome:
+/// small, so the copy stays confusable with the original.
+const IMITATION_DRIFT: f64 = 0.08;
 
 impl ScenarioConfig {
     /// Tiny scale for unit/integration tests (seconds to generate).
@@ -151,6 +185,11 @@ impl ScenarioConfig {
             posts_per_user: (70, 130),
             thin_posts: (2, 20),
             noise: NoiseConfig::default(),
+            style_epochs: 1,
+            epoch_drift: 0.0,
+            imitator_frac: 0.0,
+            code_switch_rate: 0.0,
+            sparse_frac: 0.0,
         }
     }
 
@@ -323,8 +362,35 @@ impl ScenarioBuilder {
                 } else {
                     cfg.open_drift
                 };
-                let style = persona.style.drifted(&mut rng, drift);
+                let mut style = persona.style.drifted(&mut rng, drift);
+                // Adversarial imitation: dark residents may adopt a
+                // lightly-drifted copy of a cross persona's style. The
+                // cross TMG↔DM personas occupy indices 0..cross_tmg_dm,
+                // so residents (single-forum, planned after them) can
+                // never imitate themselves.
+                if cfg.imitator_frac > 0.0
+                    && cfg.cross_tmg_dm > 0
+                    && forums.len() == 1
+                    && forum.is_dark()
+                    && rng.random::<f64>() < cfg.imitator_frac
+                {
+                    let target = rng.random_range(0..cfg.cross_tmg_dm);
+                    style = personas[target].style.drifted(&mut rng, IMITATION_DRIFT);
+                }
                 let temporal = persona.temporal.drifted(&mut rng, drift * 0.6);
+                // Sparse history: dark residents and secondary cross
+                // aliases may drop below the activity floor (few, long
+                // posts); primaries stay rich so the known side of a
+                // ground-truth pair keeps its profile.
+                let sparse = cfg.sparse_frac > 0.0
+                    && forum.is_dark()
+                    && (forums.len() == 1 || fi > 0)
+                    && rng.random::<f64>() < cfg.sparse_frac;
+                let posts_range = if sparse {
+                    SPARSE_POSTS
+                } else {
+                    cfg.posts_per_user
+                };
                 let other_alias = if self_ref && forums.len() > 1 {
                     Some(aliases[1 - fi].as_str())
                 } else {
@@ -337,7 +403,8 @@ impl ScenarioBuilder {
                     &style,
                     &temporal,
                     *forum,
-                    cfg.posts_per_user,
+                    posts_range,
+                    sparse,
                     other_alias,
                 );
                 match forum {
@@ -367,6 +434,7 @@ impl ScenarioBuilder {
                     &persona.temporal.clone(),
                     forum,
                     cfg.thin_posts,
+                    false,
                     None,
                 );
                 corpus.users.push(user);
@@ -418,18 +486,42 @@ impl ScenarioBuilder {
         temporal: &TemporalGenome,
         forum: ForumKind,
         posts_range: (usize, usize),
+        sparse: bool,
         other_alias: Option<&str>,
     ) -> User {
         let cfg = &self.config;
         let mut user = User::new(alias, Some(persona.id));
         let n_posts = rng.random_range(posts_range.0..=posts_range.1.max(posts_range.0 + 1));
         let timestamps = temporal.sample_timestamps(rng, n_posts);
+        // Style evolution: the (sorted) timeline is cut into epochs and
+        // the genome drifts at each boundary. The single-epoch path calls
+        // no extra RNG, so pre-matrix configs stay byte-identical.
+        let epoch_styles: Vec<StyleGenome> = if cfg.style_epochs > 1 && cfg.epoch_drift > 0.0 {
+            let mut styles = Vec::with_capacity(cfg.style_epochs);
+            styles.push(style.clone());
+            for _ in 1..cfg.style_epochs {
+                let evolved = styles
+                    .last()
+                    .expect("epoch style list is never empty")
+                    .drifted(rng, cfg.epoch_drift);
+                styles.push(evolved);
+            }
+            styles
+        } else {
+            vec![style.clone()]
+        };
         // Which facts this alias will leak.
         let leaked = persona.facts_for_alias(rng, cfg.leak_fraction, other_alias);
-        for ts in timestamps {
+        let n_stamps = timestamps.len();
+        for (i, ts) in timestamps.into_iter().enumerate() {
+            let style = &epoch_styles[(i * epoch_styles.len()) / n_stamps.max(1)];
             let topic = self.pick_topic(rng, style, forum);
             let (topic_idx, community) = topic;
-            let mut text = if forum == ForumKind::MajesticGarden {
+            let mut text = if sparse {
+                // Sparse aliases compensate with long posts: above the
+                // word floor, below the activity floor.
+                generate_long_message(rng, style, topic_idx, SPARSE_MIN_WORDS)
+            } else if forum == ForumKind::MajesticGarden {
                 generate_long_message(rng, style, topic_idx, forum.min_words())
             } else {
                 let m = generate_message(rng, style, topic_idx);
@@ -442,6 +534,16 @@ impl ScenarioBuilder {
                 }
             };
             text = pollute(rng, &text, cfg.noise.artifact_rate);
+            if cfg.code_switch_rate > 0.0 && rng.random::<f64>() < cfg.code_switch_rate {
+                let lang = [
+                    ForeignLang::Spanish,
+                    ForeignLang::German,
+                    ForeignLang::French,
+                ][rng.random_range(0..3)];
+                let phrases = lang.phrases();
+                text.push(' ');
+                text.push_str(phrases[rng.random_range(0..phrases.len())]);
+            }
             user.posts.push(Post::with_topic(text, ts, community));
         }
         // Guarantee each leaked fact appears in at least one post.

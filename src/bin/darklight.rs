@@ -40,6 +40,21 @@
 //!
 //! darklight obfuscate <in.tsv> <out.tsv>
 //!     Scrub writing style from every post (adversarial stylometry).
+//!
+//! darklight bench-matrix [--out DIR] [--check [DIR]] [--scenarios a,b]
+//!     [--scales t,s,m,l] [--seed N] [--threads N] [--mem-budget SIZE]
+//!     [--include-large] [--throughput-tolerance PCT] [--f1-tolerance PTS]
+//!     Run the scenario-matrix benchmark (DESIGN.md §12): every requested
+//!     (scenario, scale) cell goes through the full governed pipeline and
+//!     produces one BENCH_<scenario>_<scale>.json. Without --check the
+//!     reports are written into --out (default: benchmarks). With --check
+//!     the reports are instead compared against the baselines in DIR
+//!     (default: benchmarks): the deterministic sections must match
+//!     bit-for-bit, throughput may regress at most --throughput-tolerance
+//!     percent (default 25), F1 may drop at most --f1-tolerance points
+//!     (default 2); any failing cell prints a typed report line and the
+//!     command exits 1. Scales: t (test), s (~1k authors, the default),
+//!     m (~10k), l (opt-in via --include-large).
 //! ```
 //!
 //! Corpus-reading commands default to **strict** ingestion: the first
@@ -90,6 +105,7 @@ fn main() -> ExitCode {
         Some("link") => cmd_link(&args[1..]),
         Some("profile") => cmd_profile(&args[1..]),
         Some("obfuscate") => cmd_obfuscate(&args[1..]),
+        Some("bench-matrix") => cmd_bench_matrix(&args[1..]),
         Some("--help") | Some("-h") | Some("help") | None => {
             eprintln!("{}", USAGE);
             return ExitCode::SUCCESS;
@@ -109,7 +125,7 @@ fn main() -> ExitCode {
     }
 }
 
-const USAGE: &str = "usage: darklight <gen|polish|stats|link|profile|obfuscate> ...\n\
+const USAGE: &str = "usage: darklight <gen|polish|stats|link|profile|obfuscate|bench-matrix> ...\n\
   gen <out-dir> [--scale small|default|paper] [--seed N]\n\
   polish <in.tsv> <out.tsv> [--lenient|--strict]\n\
   stats <in.tsv> [--lenient|--strict]\n\
@@ -118,7 +134,10 @@ const USAGE: &str = "usage: darklight <gen|polish|stats|link|profile|obfuscate> 
        [--checkpoint state.json]\n\
   profile <corpus.tsv> <alias>\n\
   obfuscate <in.tsv> <out.tsv>\n\
-exit codes: 0 success, 1 data/io error, 2 usage error";
+  bench-matrix [--out DIR] [--check [DIR]] [--scenarios a,b] [--scales t,s,m,l] [--seed N]\n\
+       [--threads N] [--mem-budget SIZE] [--include-large]\n\
+       [--throughput-tolerance PCT] [--f1-tolerance PTS]\n\
+exit codes: 0 success, 1 data/io error (or failed bench-matrix --check), 2 usage error";
 
 /// Flags that take no value (everything else consumes the next token).
 const BOOL_FLAGS: &[&str] = &["--lenient", "--strict"];
@@ -431,4 +450,126 @@ fn cmd_obfuscate(args: &[String]) -> Result<(), CliError> {
     save_corpus(&corpus, Path::new(output)).map_err(data)?;
     eprintln!("obfuscated {posts} posts -> {output}");
     Ok(())
+}
+
+fn cmd_bench_matrix(args: &[String]) -> Result<(), CliError> {
+    use darklight_bench::matrix::{
+        check_cell, run_cell, CellOptions, CheckTolerance, DEFAULT_F1_TOLERANCE,
+        DEFAULT_THROUGHPUT_TOLERANCE,
+    };
+    use darklight_synth::matrix::{cells_for, MatrixScale, ScenarioKind, MATRIX_SEED};
+
+    let kinds: Vec<ScenarioKind> = match flag_value(args, "--scenarios") {
+        None => ScenarioKind::ALL.to_vec(),
+        Some(list) => list
+            .split(',')
+            .map(|name| {
+                ScenarioKind::from_name(name.trim())
+                    .ok_or_else(|| usage(format!("unknown scenario {name:?}")))
+            })
+            .collect::<Result<_, _>>()?,
+    };
+    let scales: Vec<MatrixScale> = match flag_value(args, "--scales") {
+        None => vec![MatrixScale::Small],
+        Some(list) => list
+            .split(',')
+            .map(|name| {
+                MatrixScale::from_name(name.trim())
+                    .ok_or_else(|| usage(format!("unknown scale {name:?}")))
+            })
+            .collect::<Result<_, _>>()?,
+    };
+    if !has_flag(args, "--include-large") {
+        if let Some(scale) = scales.iter().find(|s| s.opt_in()) {
+            return Err(usage(format!(
+                "scale {:?} is opt-in: pass --include-large to run it",
+                scale.name()
+            )));
+        }
+    }
+    let seed: u64 = match flag_value(args, "--seed") {
+        None => MATRIX_SEED,
+        Some(s) => s.parse().map_err(|_| usage("--seed must be an integer"))?,
+    };
+    let mut opts = CellOptions::default();
+    if let Some(t) = flag_value(args, "--threads") {
+        opts.threads = t
+            .parse()
+            .map_err(|_| usage("--threads must be an integer (0 = auto)"))?;
+    }
+    if let Some(s) = flag_value(args, "--mem-budget") {
+        opts.mem_budget = Some(MemoryBudget::parse(s).map_err(usage)?);
+    }
+    let tol = CheckTolerance {
+        throughput: match flag_value(args, "--throughput-tolerance") {
+            None => DEFAULT_THROUGHPUT_TOLERANCE,
+            Some(p) => {
+                let pct: f64 = p
+                    .parse()
+                    .map_err(|_| usage("--throughput-tolerance must be a percentage"))?;
+                pct / 100.0
+            }
+        },
+        f1: match flag_value(args, "--f1-tolerance") {
+            None => DEFAULT_F1_TOLERANCE,
+            Some(p) => {
+                let pts: f64 = p
+                    .parse()
+                    .map_err(|_| usage("--f1-tolerance must be a number of points"))?;
+                pts / 100.0
+            }
+        },
+    };
+    // `--check` takes an optional directory: bare `--check` compares
+    // against the committed default.
+    let check_dir: Option<String> =
+        args.iter()
+            .position(|a| a == "--check")
+            .map(|i| match args.get(i + 1) {
+                Some(v) if !v.starts_with("--") => v.clone(),
+                _ => "benchmarks".to_string(),
+            });
+    let out_dir = flag_value(args, "--out").unwrap_or("benchmarks");
+
+    let cells = cells_for(&kinds, &scales, seed);
+    if let Some(dir) = check_dir {
+        let mut failures = 0usize;
+        for spec in &cells {
+            let path = Path::new(&dir).join(spec.file_name());
+            let check = match std::fs::read_to_string(&path) {
+                Err(_) => darklight_bench::matrix::CellCheck {
+                    cell: spec.id(),
+                    verdict: darklight_bench::matrix::CellVerdict::MissingBaseline,
+                },
+                Ok(baseline) => {
+                    eprintln!("[{}] running cell...", spec.id());
+                    let report = run_cell(spec, &opts).map_err(data)?;
+                    check_cell(&spec.id(), &baseline, &report, &tol)
+                }
+            };
+            if !check.verdict.passed() {
+                failures += 1;
+            }
+            println!("{}", check.render());
+        }
+        if failures > 0 {
+            return Err(data(format!(
+                "{failures} of {} cell(s) failed the regression gate",
+                cells.len()
+            )));
+        }
+        eprintln!("all {} cell(s) passed", cells.len());
+        Ok(())
+    } else {
+        std::fs::create_dir_all(out_dir).map_err(data)?;
+        for spec in &cells {
+            eprintln!("[{}] running cell...", spec.id());
+            let report = run_cell(spec, &opts).map_err(data)?;
+            let path = Path::new(out_dir).join(spec.file_name());
+            std::fs::write(&path, report.render_pretty())
+                .map_err(|e| data(format!("cannot write {}: {e}", path.display())))?;
+            eprintln!("wrote {}", path.display());
+        }
+        Ok(())
+    }
 }

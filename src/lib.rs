@@ -27,7 +27,9 @@
 //! * [`govern`] — the resource governor: memory-budgeted batch sizing,
 //!   cooperative stage deadlines, and deterministic retrying I/O;
 //! * [`par`] — the shared scoped-thread worker-pool helpers every parallel
-//!   stage routes through (deterministic indexed parallel map).
+//!   stage routes through (deterministic indexed parallel map);
+//! * [`bench`] — the experiment harness behind the `repro` binary and the
+//!   `bench-matrix` scenario-matrix benchmark (DESIGN.md §12).
 //!
 //! # Quickstart
 //!
@@ -62,6 +64,7 @@
 #![forbid(unsafe_code)]
 
 pub use darklight_activity as activity;
+pub use darklight_bench as bench;
 pub use darklight_core as core;
 pub use darklight_corpus as corpus;
 pub use darklight_eval as eval;

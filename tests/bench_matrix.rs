@@ -1,0 +1,110 @@
+//! End-to-end pin of the `darklight bench-matrix` regression gate: a
+//! generated baseline reproduces bit-for-bit under `--check` (exit 0), a
+//! seeded perturbation fails the gate (exit 1) with a typed per-cell
+//! report, and a missing baseline fails without running the cell.
+
+use std::path::Path;
+use std::process::{Command, Output};
+
+const SCENARIOS: &str = "clean,sparse-history";
+
+fn bench_matrix(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_darklight"))
+        .arg("bench-matrix")
+        .args(args)
+        .output()
+        .expect("spawn darklight bench-matrix")
+}
+
+fn temp_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "darklight_bench_matrix_{tag}_{}",
+        std::process::id()
+    ));
+    std::fs::remove_dir_all(&dir).ok();
+    dir
+}
+
+#[test]
+fn roundtrip_check_passes_and_perturbation_fails() {
+    let dir = temp_dir("roundtrip");
+    let dir_s = dir.to_str().unwrap();
+
+    // Write two tiny-scale baselines.
+    let out = bench_matrix(&["--scenarios", SCENARIOS, "--scales", "t", "--out", dir_s]);
+    assert!(out.status.success(), "write mode failed: {out:?}");
+    for cell in ["clean_t", "sparse-history_t"] {
+        assert!(
+            dir.join(format!("BENCH_{cell}.json")).is_file(),
+            "missing baseline for {cell}"
+        );
+    }
+
+    // The same triple reproduces bit-for-bit: the gate passes.
+    let out = bench_matrix(&["--scenarios", SCENARIOS, "--scales", "t", "--check", dir_s]);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(out.status.success(), "check must pass, got: {out:?}");
+    assert!(stdout.contains("cell clean_t: pass"), "stdout: {stdout}");
+    assert!(
+        stdout.contains("cell sparse-history_t: pass"),
+        "stdout: {stdout}"
+    );
+
+    // A perturbed seed generates a different world: the deterministic
+    // sections differ and the gate must fail with exit code 1.
+    let out = bench_matrix(&[
+        "--scenarios",
+        SCENARIOS,
+        "--scales",
+        "t",
+        "--seed",
+        "12345",
+        "--check",
+        dir_s,
+    ]);
+    assert_eq!(
+        out.status.code(),
+        Some(1),
+        "perturbed seed must fail the gate: {out:?}"
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("FAIL"), "stdout: {stdout}");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn missing_baseline_fails_the_gate() {
+    let dir = temp_dir("missing");
+    std::fs::create_dir_all(&dir).unwrap();
+    let out = bench_matrix(&[
+        "--scenarios",
+        "clean",
+        "--scales",
+        "t",
+        "--check",
+        dir.to_str().unwrap(),
+    ]);
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("cell clean_t: FAIL missing baseline"),
+        "stdout: {stdout}"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn large_scale_requires_opt_in() {
+    let out = bench_matrix(&["--scales", "l", "--out", "/tmp/never-written"]);
+    assert_eq!(out.status.code(), Some(2), "usage error expected: {out:?}");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("--include-large"), "stderr: {stderr}");
+    assert!(!Path::new("/tmp/never-written").exists());
+}
+
+#[test]
+fn unknown_scenario_is_a_usage_error() {
+    let out = bench_matrix(&["--scenarios", "bogus", "--scales", "t"]);
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+}
