@@ -1,0 +1,442 @@
+//! Phase-1 item extraction: a brace-matched scan over a [`Scrubbed`]
+//! file that recovers the top-level shape syn would give us — `fn`,
+//! `struct`, `enum`, `impl`, and `use` items with byte spans — without
+//! a parser dependency (the crate's charter: no `syn`, no crates.io).
+//!
+//! The extractor is deliberately lexical. It trusts the scrubber to
+//! have blanked strings, comments, and char literals, so every brace,
+//! paren, and keyword it sees is real code. Items nested inside other
+//! items (methods in `impl` blocks, helper fns in fn bodies) are
+//! extracted too — the graph rules need every function, not just the
+//! file-scope ones. Items inside `#[cfg(test)]` spans are marked so
+//! graph rules can skip test code the same way the lexical rules do.
+
+use crate::lexer::Scrubbed;
+
+/// What kind of item an [`Item`] is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ItemKind {
+    /// A function (free, method, or nested).
+    Fn,
+    /// A struct (named-field, tuple, or unit).
+    Struct,
+    /// An enum.
+    Enum,
+    /// An `impl` block (inherent or trait).
+    Impl,
+    /// A `use` declaration.
+    Use,
+}
+
+/// One extracted item.
+#[derive(Debug, Clone)]
+pub struct Item {
+    /// Which kind of item this is.
+    pub kind: ItemKind,
+    /// The item's name: the fn/struct/enum identifier, the implemented
+    /// *type* name for `impl`, or the full path text for `use`.
+    pub name: String,
+    /// For trait impls, the trait's final path segment
+    /// (`darklight_govern::EstimateBytes` → `EstimateBytes`).
+    pub trait_name: Option<String>,
+    /// Byte offset of the introducing keyword (for span-accurate
+    /// findings).
+    pub offset: usize,
+    /// Byte span of the body *between* the delimiters: brace body for
+    /// fn/enum/impl/named-struct, paren body for tuple structs, `None`
+    /// for unit structs and bodiless fns (trait method declarations).
+    pub body: Option<(usize, usize)>,
+    /// Whether the item sits inside a `#[cfg(test)]` span.
+    pub in_test: bool,
+}
+
+fn is_ident(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// Byte offsets where `kw` appears as a standalone token.
+fn keyword_positions(scrubbed: &Scrubbed, kw: &str) -> Vec<usize> {
+    let bytes = scrubbed.text.as_bytes();
+    scrubbed
+        .find_all(kw)
+        .into_iter()
+        .filter(|&i| {
+            let before_ok = i == 0 || !is_ident(bytes[i - 1]);
+            let after = bytes.get(i + kw.len()).copied();
+            let after_ok = after.is_none_or(|b| !is_ident(b));
+            before_ok && after_ok
+        })
+        .collect()
+}
+
+/// Index just past the identifier starting at `i` (which may be empty).
+fn ident_end(bytes: &[u8], i: usize) -> usize {
+    let mut j = i;
+    while j < bytes.len() && is_ident(bytes[j]) {
+        j += 1;
+    }
+    j
+}
+
+fn skip_ws(bytes: &[u8], mut i: usize) -> usize {
+    while i < bytes.len() && bytes[i].is_ascii_whitespace() {
+        i += 1;
+    }
+    i
+}
+
+/// Index of the last non-whitespace byte before `i`, if any.
+fn prev_non_ws(bytes: &[u8], i: usize) -> Option<u8> {
+    bytes[..i]
+        .iter()
+        .rev()
+        .copied()
+        .find(|b| !b.is_ascii_whitespace())
+}
+
+/// With `bytes[open]` an opening delimiter, the index of its matching
+/// closer (or `bytes.len()` on unbalanced input).
+fn match_delim(bytes: &[u8], open: usize, open_b: u8, close_b: u8) -> usize {
+    let mut depth = 0usize;
+    let mut i = open;
+    while i < bytes.len() {
+        if bytes[i] == open_b {
+            depth += 1;
+        } else if bytes[i] == close_b {
+            depth -= 1;
+            if depth == 0 {
+                return i;
+            }
+        }
+        i += 1;
+    }
+    bytes.len()
+}
+
+/// With `bytes[i] == b'<'`, the index just past the matching `>`.
+/// A `>` preceded by `-` is an arrow (`Fn(u32) -> u64` inside bounds),
+/// not a closer.
+fn skip_generics(bytes: &[u8], i: usize) -> usize {
+    let mut depth = 0usize;
+    let mut j = i;
+    while j < bytes.len() {
+        match bytes[j] {
+            b'<' => depth += 1,
+            b'>' if j > 0 && bytes[j - 1] == b'-' => {}
+            b'>' => {
+                depth -= 1;
+                if depth == 0 {
+                    return j + 1;
+                }
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    bytes.len()
+}
+
+/// Scans from `from` for the end of an item: a `{` at paren/bracket
+/// depth 0 (brace-matched body) or a `;`. Tuple-struct field parens —
+/// the *first* paren group at depth 0 — are remembered separately so
+/// `struct S(A, B);` yields its field span while `struct S where F:
+/// Fn(u32) { .. }` does not mistake the bound's parens for fields.
+struct ItemEnd {
+    /// Inside-brace span, when the item has a braced body.
+    brace_body: Option<(usize, usize)>,
+    /// Inside-paren span of the first depth-0 paren group.
+    first_parens: Option<(usize, usize)>,
+}
+
+fn scan_item_end(bytes: &[u8], from: usize) -> ItemEnd {
+    let mut i = from;
+    let mut first_parens = None;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'{' => {
+                let close = match_delim(bytes, i, b'{', b'}');
+                return ItemEnd {
+                    brace_body: Some((i + 1, close)),
+                    first_parens,
+                };
+            }
+            b'(' => {
+                let close = match_delim(bytes, i, b'(', b')');
+                if first_parens.is_none() {
+                    first_parens = Some((i + 1, close));
+                }
+                i = (close + 1).min(bytes.len());
+                continue;
+            }
+            b'[' => {
+                let close = match_delim(bytes, i, b'[', b']');
+                i = (close + 1).min(bytes.len());
+                continue;
+            }
+            b';' => {
+                return ItemEnd {
+                    brace_body: None,
+                    first_parens,
+                };
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    ItemEnd {
+        brace_body: None,
+        first_parens,
+    }
+}
+
+/// The final path-segment identifier of a path like
+/// `darklight_govern::EstimateBytes` (empty input → empty name).
+fn last_segment(path: &str) -> String {
+    let seg = path.rsplit("::").next().unwrap_or(path).trim();
+    let bytes = seg.as_bytes();
+    let end = ident_end(bytes, 0);
+    seg[..end].to_string()
+}
+
+/// The first uppercase-initial identifier in `text` — the nominal type
+/// in an impl target like `&mut Foo<T>` or `Foo`.
+fn first_type_ident(text: &str) -> String {
+    let bytes = text.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i].is_ascii_uppercase() && (i == 0 || !is_ident(bytes[i - 1])) {
+            return text[i..ident_end(bytes, i)].to_string();
+        }
+        i += 1;
+    }
+    String::new()
+}
+
+/// Extracts every item from `scrubbed`, marking the ones inside
+/// `#[cfg(test)]` spans.
+pub fn extract_items(scrubbed: &Scrubbed) -> Vec<Item> {
+    let bytes = scrubbed.text.as_bytes();
+    let test_spans = scrubbed.test_spans();
+    let in_test = |off: usize| test_spans.iter().any(|&(s, e)| off >= s && off < e);
+    let mut items = Vec::new();
+
+    for kw_start in keyword_positions(scrubbed, "fn") {
+        let name_start = skip_ws(bytes, kw_start + 2);
+        let name_end = ident_end(bytes, name_start);
+        if name_end == name_start {
+            continue;
+        }
+        let end = scan_item_end(bytes, name_end);
+        items.push(Item {
+            kind: ItemKind::Fn,
+            name: scrubbed.text[name_start..name_end].to_string(),
+            trait_name: None,
+            offset: kw_start,
+            body: end.brace_body,
+            in_test: in_test(kw_start),
+        });
+    }
+
+    for (kw, kind) in [("struct", ItemKind::Struct), ("enum", ItemKind::Enum)] {
+        for kw_start in keyword_positions(scrubbed, kw) {
+            let name_start = skip_ws(bytes, kw_start + kw.len());
+            let name_end = ident_end(bytes, name_start);
+            if name_end == name_start {
+                continue;
+            }
+            let mut after = name_end;
+            if bytes.get(skip_ws(bytes, after)) == Some(&b'<') {
+                after = skip_generics(bytes, skip_ws(bytes, after));
+            }
+            let end = scan_item_end(bytes, after);
+            // Named fields live in the brace body; tuple fields in the
+            // paren group; unit structs have neither.
+            let body = if kind == ItemKind::Struct {
+                end.brace_body.or(end.first_parens)
+            } else {
+                end.brace_body
+            };
+            items.push(Item {
+                kind,
+                name: scrubbed.text[name_start..name_end].to_string(),
+                trait_name: None,
+                offset: kw_start,
+                body,
+                in_test: in_test(kw_start),
+            });
+        }
+    }
+
+    for kw_start in keyword_positions(scrubbed, "impl") {
+        // `impl Trait` in return/argument position is a type, not an
+        // item: items are only ever preceded by a block/item boundary.
+        if !matches!(
+            prev_non_ws(bytes, kw_start),
+            None | Some(b'}' | b';' | b']' | b'{')
+        ) {
+            continue;
+        }
+        let mut i = skip_ws(bytes, kw_start + 4);
+        if bytes.get(i) == Some(&b'<') {
+            i = skip_generics(bytes, i);
+        }
+        let end = scan_item_end(bytes, i);
+        let Some((body_start, body_end)) = end.brace_body else {
+            continue;
+        };
+        let header = &scrubbed.text[i..body_start - 1];
+        // ` for ` at angle depth 0 splits trait from type.
+        let mut split = None;
+        let hb = header.as_bytes();
+        let mut depth = 0usize;
+        let mut j = 0;
+        while j + 5 <= hb.len() {
+            match hb[j] {
+                b'<' => depth += 1,
+                b'>' if j > 0 && hb[j - 1] == b'-' => {}
+                b'>' => depth = depth.saturating_sub(1),
+                _ => {}
+            }
+            if depth == 0 && &header[j..j + 5] == " for " {
+                split = Some(j);
+                break;
+            }
+            j += 1;
+        }
+        let (trait_name, type_text) = match split {
+            Some(at) => (Some(last_segment(&header[..at])), &header[at + 5..]),
+            None => (None, header),
+        };
+        let type_text = type_text.split(" where ").next().unwrap_or(type_text);
+        items.push(Item {
+            kind: ItemKind::Impl,
+            name: first_type_ident(type_text),
+            trait_name,
+            offset: kw_start,
+            body: Some((body_start, body_end)),
+            in_test: in_test(kw_start),
+        });
+    }
+
+    for kw_start in keyword_positions(scrubbed, "use") {
+        let path_start = skip_ws(bytes, kw_start + 3);
+        let end = scrubbed.text[path_start..]
+            .find(';')
+            .map_or(bytes.len(), |n| path_start + n);
+        items.push(Item {
+            kind: ItemKind::Use,
+            name: scrubbed.text[path_start..end].trim().to_string(),
+            trait_name: None,
+            offset: kw_start,
+            body: None,
+            in_test: in_test(kw_start),
+        });
+    }
+
+    items.sort_by_key(|it| it.offset);
+    items
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn items_of(src: &str) -> Vec<Item> {
+        extract_items(&Scrubbed::new(src))
+    }
+
+    fn find<'a>(items: &'a [Item], kind: ItemKind, name: &str) -> &'a Item {
+        items
+            .iter()
+            .find(|it| it.kind == kind && it.name == name)
+            .unwrap_or_else(|| panic!("no {kind:?} named {name:?} in {items:?}"))
+    }
+
+    #[test]
+    fn fns_structs_enums_with_bodies() {
+        let src = "pub fn alpha(x: [u8; 4]) -> u64 { x.len() as u64 }\n\
+                   struct Named { a: Widget, b: Vec<Gear> }\n\
+                   struct Tuple(Widget, u32);\n\
+                   struct Unit;\n\
+                   enum Kind { A(Widget), B }\n";
+        let items = items_of(src);
+        let f = find(&items, ItemKind::Fn, "alpha");
+        let (s, e) = f.body.unwrap();
+        assert!(src[s..e].contains("x.len()"));
+        let named = find(&items, ItemKind::Struct, "Named");
+        assert!(src[named.body.unwrap().0..named.body.unwrap().1].contains("Widget"));
+        let tuple = find(&items, ItemKind::Struct, "Tuple");
+        assert_eq!(
+            &src[tuple.body.unwrap().0..tuple.body.unwrap().1],
+            "Widget, u32"
+        );
+        assert!(find(&items, ItemKind::Struct, "Unit").body.is_none());
+        let kind = find(&items, ItemKind::Enum, "Kind");
+        assert!(src[kind.body.unwrap().0..kind.body.unwrap().1].contains("A(Widget)"));
+    }
+
+    #[test]
+    fn generics_and_fn_bounds_do_not_confuse_field_spans() {
+        let src = "struct Wrap<F: Fn(u32) -> u64> where F: Clone { f: F, g: Gear }\n";
+        let items = items_of(src);
+        let w = find(&items, ItemKind::Struct, "Wrap");
+        let (s, e) = w.body.unwrap();
+        assert!(src[s..e].contains("Gear"), "body: {:?}", &src[s..e]);
+        assert!(!src[s..e].contains("u64"));
+    }
+
+    #[test]
+    fn impls_split_trait_and_type() {
+        let src = "impl Widget { fn spin(&self) {} }\n\
+                   impl darklight_govern::EstimateBytes for Widget { fn estimate_bytes(&self) -> u64 { 0 } }\n\
+                   impl<T: Clone> Holder<T> { fn get(&self) {} }\n\
+                   fn ret() -> impl Iterator<Item = u32> { 0..3 }\n";
+        let items = items_of(src);
+        let impls: Vec<_> = items.iter().filter(|i| i.kind == ItemKind::Impl).collect();
+        assert_eq!(
+            impls.len(),
+            3,
+            "return-position impl must not count: {impls:?}"
+        );
+        assert_eq!(impls[0].name, "Widget");
+        assert_eq!(impls[0].trait_name, None);
+        assert_eq!(impls[1].trait_name.as_deref(), Some("EstimateBytes"));
+        assert_eq!(impls[1].name, "Widget");
+        assert_eq!(impls[2].name, "Holder");
+        // Methods inside impl bodies are extracted as fns too.
+        assert_eq!(items.iter().filter(|i| i.kind == ItemKind::Fn).count(), 4);
+    }
+
+    #[test]
+    fn use_items_capture_the_path() {
+        let src = "use darklight_core::batch::BatchConfig;\nuse std::fmt;\n";
+        let items = items_of(src);
+        let uses: Vec<_> = items.iter().filter(|i| i.kind == ItemKind::Use).collect();
+        assert_eq!(uses[0].name, "darklight_core::batch::BatchConfig");
+        assert_eq!(uses[1].name, "std::fmt");
+    }
+
+    #[test]
+    fn cfg_test_items_are_marked() {
+        let src = "fn prod() {}\n#[cfg(test)]\nmod tests {\n    fn covered() {}\n}\n";
+        let items = items_of(src);
+        assert!(!find(&items, ItemKind::Fn, "prod").in_test);
+        assert!(find(&items, ItemKind::Fn, "covered").in_test);
+    }
+
+    #[test]
+    fn keywords_inside_identifiers_do_not_match() {
+        let src = "fn undefined() { let fn_count = 1; let implication = fn_count; }\n";
+        let items = items_of(src);
+        assert_eq!(items.iter().filter(|i| i.kind == ItemKind::Fn).count(), 1);
+        assert!(items.iter().all(|i| i.kind != ItemKind::Impl));
+    }
+
+    #[test]
+    fn bodiless_trait_method_declarations() {
+        let src = "trait T { fn required(&self) -> u64; fn provided(&self) { () } }\n";
+        let items = items_of(src);
+        assert!(find(&items, ItemKind::Fn, "required").body.is_none());
+        assert!(find(&items, ItemKind::Fn, "provided").body.is_some());
+    }
+}

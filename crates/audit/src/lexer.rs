@@ -379,6 +379,62 @@ mod tests {
     }
 
     #[test]
+    fn multi_hash_raw_strings_swallow_lesser_closers() {
+        // `"#` inside an `r##` string must not terminate it; only `"##`
+        // does. The byte-raw `br##` form follows the same rule.
+        let src = "let a = r##\"has \"# and unwrap() inside\"##; let b = br##\"x\"# y\"##; ok()";
+        let s = Scrubbed::new(src);
+        assert!(!s.text.contains("unwrap"));
+        assert_eq!(s.strings.len(), 2);
+        assert_eq!(s.strings[0].content, "has \"# and unwrap() inside");
+        assert_eq!(s.strings[1].content, "x\"# y");
+        assert!(s.text.contains("ok()"), "code after both literals survives");
+        assert_eq!(s.text.len(), src.len());
+    }
+
+    #[test]
+    fn byte_chars_and_lifetimes_disambiguate_in_generics() {
+        // Byte-char literals (`b'x'`, `b'\''`), plain char literals in
+        // range patterns, and lifetimes in generic position all coexist:
+        // none of them may open a phantom string or eat a lifetime.
+        let src = "fn g<'long, 'b>(v: &'long [u8]) -> bool {\n\
+                   let lo = b'a'; let esc = b'\\''; let q = '\\'';\n\
+                   matches!(v[0] as char, 'a'..='z') && lo < b'z'\n\
+                   }";
+        let s = Scrubbed::new(src);
+        assert_eq!(s.strings.len(), 0, "no phantom strings");
+        assert!(s.text.contains("<'long, 'b>"));
+        assert!(s.text.contains("&'long [u8]"));
+        // Char/byte-char contents are blanked; the quotes remain.
+        assert!(!s.text.contains("b'a'"));
+        assert!(s.text.contains("matches!(v[0] as char,"));
+        assert!(s.text.ends_with('}'), "close brace survives the scrub");
+        assert_eq!(s.text.len(), src.len());
+    }
+
+    #[test]
+    fn allow_in_nested_block_comment_is_one_comment() {
+        // A nested block comment is collected as ONE comment spanning the
+        // outermost terminator, so an `audit:allow` buried inside it is
+        // attributed to the outer comment's offset — and the code after
+        // the true terminator is not swallowed.
+        let src = "/* outer /* audit:allow(some-rule) -- why */ tail */ fn f() {}";
+        let s = Scrubbed::new(src);
+        assert_eq!(s.comments.len(), 1);
+        assert_eq!(s.comments[0].offset, 0);
+        assert!(s.comments[0].text.contains("audit:allow(some-rule)"));
+        assert!(s.comments[0].text.ends_with("tail */"));
+        assert!(
+            s.text.contains("fn f() {}"),
+            "code after the outer terminator survives"
+        );
+        assert!(
+            !s.text.contains("audit:allow"),
+            "the allow text is blanked from code view"
+        );
+    }
+
+    #[test]
     fn offsets_and_lines_are_preserved() {
         let src = "line one\n// a comment\nlet x = \"abc\";\n";
         let s = Scrubbed::new(src);

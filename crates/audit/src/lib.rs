@@ -9,25 +9,37 @@
 //! silently reintroduces the exact bugs the seed shipped with.
 //!
 //! This crate machine-checks them. It is a dependency-free (no `syn`,
-//! no crates.io) static-analysis driver: a comment/string-aware lexer
-//! ([`lexer::Scrubbed`]) plus a pluggable catalog of repo-specific
-//! rules ([`rules::catalog`]), run over every `.rs` file in the
-//! workspace by [`driver::run`]. Findings are span-accurate, suppress
-//! via `// audit:allow(rule-id) -- reason` (reason mandatory), and any
-//! unsuppressed finding fails the build:
+//! no crates.io) two-phase static analyzer. Phase 1 is per-file: a
+//! comment/string-aware lexer ([`lexer::Scrubbed`]), a brace-matched
+//! item extractor ([`items::extract_items`]), and the lexical rule
+//! catalog ([`rules::catalog`]). Phase 2 is cross-file: the extracted
+//! items are assembled into a workspace item graph
+//! ([`graph::ItemGraph`] — who defines what, which crate references
+//! which, which types get which trait impls) and the graph rules
+//! ([`graph_rules::catalog`]) enforce the invariants no single file can
+//! witness: crate layering, `EstimateBytes` coverage of resident
+//! state, deadline cooperation in governed stages, and fingerprint
+//! purity. Findings from both phases are span-accurate, suppress via
+//! `// audit:allow(rule-id) -- reason` (reason mandatory, and stale
+//! allows are themselves findings), and any unsuppressed finding fails
+//! the build:
 //!
 //! ```text
-//! cargo run -p darklight-audit -- check          # human output
-//! cargo run -p darklight-audit -- check --json   # CI output
-//! cargo run -p darklight-audit -- rules          # the catalog
+//! cargo run -p darklight-audit -- check                  # human output
+//! cargo run -p darklight-audit -- check --format json    # CI output
+//! cargo run -p darklight-audit -- check --format github  # PR annotations
+//! cargo run -p darklight-audit -- rules                  # the catalog
 //! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod driver;
+pub mod graph;
+pub mod graph_rules;
+pub mod items;
 pub mod lexer;
 pub mod metric_registry;
 pub mod rules;
 
-pub use driver::{check_source, run, Finding, Report};
+pub use driver::{check_source, check_sources, run, Finding, Report};

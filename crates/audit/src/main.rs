@@ -1,18 +1,32 @@
 //! CLI for the workspace static-analysis pass.
 //!
 //! Exit codes: 0 = clean, 1 = unsuppressed findings, 2 = usage or I/O
-//! error (matching the darklight CLI's convention).
+//! error (matching the darklight CLI's convention; pinned by
+//! `tests/cli_exit.rs`).
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
 use darklight_audit::driver;
 
-const USAGE: &str = "\
+/// Output renderings for `check`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Format {
+    Human,
+    Json,
+    Github,
+}
+
+/// The usage text, with the rule catalog appended dynamically so the
+/// help can never drift from the code the way a hand-maintained list
+/// would.
+fn usage() -> String {
+    format!(
+        "\
 darklight-audit — workspace static analysis
 
 USAGE:
-    darklight-audit check [--json] [--root <path>]
+    darklight-audit check [--format <human|json|github>] [--json] [--root <path>]
     darklight-audit rules
 
 COMMANDS:
@@ -20,9 +34,16 @@ COMMANDS:
     rules    List the rule catalog
 
 OPTIONS:
-    --json          Machine-readable findings (stable key order)
+    --format <fmt>  Output: human (default), json (stable key order),
+                    or github (::error annotations for CI)
+    --json          Shorthand for --format json
     --root <path>   Workspace root (default: nearest [workspace] above cwd)
-";
+
+RULES:
+{}",
+        driver::rule_listing()
+    )
+}
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -33,30 +54,45 @@ fn main() -> ExitCode {
             ExitCode::SUCCESS
         }
         _ => {
-            eprint!("{USAGE}");
+            eprint!("{}", usage());
             ExitCode::from(2)
         }
     }
 }
 
 fn check(args: &[String]) -> ExitCode {
-    let mut json = false;
+    let mut format = Format::Human;
     let mut root: Option<PathBuf> = None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
-            "--json" => json = true,
+            "--json" => format = Format::Json,
+            "--format" => match it.next().map(String::as_str) {
+                Some("human") => format = Format::Human,
+                Some("json") => format = Format::Json,
+                Some("github") => format = Format::Github,
+                Some(other) => {
+                    eprintln!("error: unknown format {other:?} (human, json, github)\n");
+                    eprint!("{}", usage());
+                    return ExitCode::from(2);
+                }
+                None => {
+                    eprintln!("error: --format requires a value\n");
+                    eprint!("{}", usage());
+                    return ExitCode::from(2);
+                }
+            },
             "--root" => match it.next() {
                 Some(path) => root = Some(PathBuf::from(path)),
                 None => {
                     eprintln!("error: --root requires a path\n");
-                    eprint!("{USAGE}");
+                    eprint!("{}", usage());
                     return ExitCode::from(2);
                 }
             },
             other => {
                 eprintln!("error: unknown argument {other:?}\n");
-                eprint!("{USAGE}");
+                eprint!("{}", usage());
                 return ExitCode::from(2);
             }
         }
@@ -82,10 +118,10 @@ fn check(args: &[String]) -> ExitCode {
         }
     };
 
-    if json {
-        print!("{}", report.render_json());
-    } else {
-        print!("{}", report.render_human());
+    match format {
+        Format::Human => print!("{}", report.render_human()),
+        Format::Json => print!("{}", report.render_json()),
+        Format::Github => print!("{}", report.render_github()),
     }
     if report.unsuppressed().next().is_some() {
         ExitCode::FAILURE

@@ -149,7 +149,7 @@ impl Rule for NoAmbientTimeOrRand {
         "no-ambient-time-or-rand"
     }
     fn description(&self) -> &'static str {
-        "SystemTime::now/Instant::now/ambient RNG outside crates/obs and crates/bench"
+        "SystemTime::now/Instant::now/elapsed()/ambient RNG outside crates/obs and crates/bench"
     }
     fn applies(&self, ctx: &FileCtx) -> bool {
         !ctx.rel_path.starts_with("crates/obs/src/") && !ctx.rel_path.starts_with("crates/bench/")
@@ -161,6 +161,7 @@ impl Rule for NoAmbientTimeOrRand {
             &[
                 "SystemTime::now",
                 "Instant::now",
+                ".elapsed(",
                 "thread_rng",
                 "rand::random",
             ],

@@ -1,9 +1,10 @@
 //! Fixture: no-ambient-time-or-rand.
 
-fn violations() {
+fn violations(start: std::time::Instant) {
     let _t = std::time::Instant::now(); // finding 1
     let _s = std::time::SystemTime::now(); // finding 2
     let _r = rand::thread_rng(); // finding 3
+    let _e = start.elapsed(); // finding 4
 }
 
 fn negative() {

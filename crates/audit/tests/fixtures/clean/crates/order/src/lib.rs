@@ -1,0 +1,15 @@
+//! Clean fixture: a file every rule passes, proving the audit exits 0
+//! on a violation-free tree.
+
+pub struct Pair {
+    left: u64,
+    right: u64,
+}
+
+pub fn smaller(p: &Pair) -> u64 {
+    if p.left < p.right {
+        p.left
+    } else {
+        p.right
+    }
+}

@@ -1,0 +1,24 @@
+//! Graph fixture: deadline-cooperation.
+//!
+//! This path is one of the governed stage files, so bare parallel maps
+//! and unpolled chunked loops must fire; the deadline-aware variants
+//! must pass.
+
+pub fn round(xs: &[u64], threads: usize, deadline: &Deadline) -> Vec<u64> {
+    // FIRE: a bare par_map cannot be interrupted mid-stage.
+    let a = darklight_par::par_map(xs, threads, |_, x| *x);
+    // PASS: the deadline-aware map polls between items.
+    let b = darklight_par::par_map_deadline(xs, threads, deadline, |_, x| *x);
+    // FIRE: a chunked loop that never looks at its deadline.
+    for batch in xs.chunks(8) {
+        consume(batch);
+    }
+    // PASS: the same loop shape, polling at each round.
+    for batch in xs.chunks(8) {
+        if deadline.is_expired() {
+            break;
+        }
+        consume(batch);
+    }
+    merge(a, b)
+}

@@ -1,0 +1,19 @@
+//! Graph fixture: estimate-bytes-coverage.
+//!
+//! `Record` is a closure seed and carries an impl, so it passes;
+//! `SideCar` is reached through `Record`'s fields but has no impl,
+//! so it fires.
+
+pub struct Record {
+    side: SideCar,
+}
+
+pub struct SideCar {
+    payload: Vec<u8>,
+}
+
+impl EstimateBytes for Record {
+    fn estimate_bytes(&self) -> u64 {
+        self.side.payload.len() as u64
+    }
+}

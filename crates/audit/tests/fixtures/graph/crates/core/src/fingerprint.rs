@@ -1,0 +1,21 @@
+//! Graph fixture: fingerprint-purity.
+//!
+//! `run_fingerprint` reaches a thread-count read two bare calls away,
+//! so it fires with the full contamination chain; `pure_fingerprint`
+//! is a pure function of its inputs and passes.
+
+pub fn run_fingerprint(seed: u64) -> u64 {
+    mix(seed)
+}
+
+fn mix(seed: u64) -> u64 {
+    stamp(seed)
+}
+
+fn stamp(seed: u64) -> u64 {
+    seed ^ resolve_threads(0) as u64
+}
+
+pub fn pure_fingerprint(seed: u64) -> u64 {
+    seed.rotate_left(7) ^ 0x9e37_79b9
+}

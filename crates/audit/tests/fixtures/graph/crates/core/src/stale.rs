@@ -1,0 +1,15 @@
+//! Graph fixture: stale-suppression.
+//!
+//! The first allow names a rule that never fires on its span, so the
+//! allow itself is the finding; the second genuinely suppresses an
+//! ambient-clock finding and passes.
+
+// audit:allow(no-naked-unwrap) -- stale by construction: nothing below unwraps
+pub fn tidy(x: Option<u64>) -> u64 {
+    x.map_or(0, |v| v)
+}
+
+pub fn clocked() -> bool {
+    // audit:allow(no-ambient-time-or-rand) -- live by construction: the line below reads the clock
+    std::time::Instant::now().elapsed().as_nanos() > 0
+}

@@ -1,0 +1,14 @@
+//! Graph fixture: estimate-bytes-coverage, passing side in `features`.
+//!
+//! `PreparedDoc` is a closure seed in a second crate; its impl lives
+//! right next to it, so nothing fires here.
+
+pub struct PreparedDoc {
+    words: Vec<String>,
+}
+
+impl EstimateBytes for PreparedDoc {
+    fn estimate_bytes(&self) -> u64 {
+        self.words.len() as u64 * 24
+    }
+}

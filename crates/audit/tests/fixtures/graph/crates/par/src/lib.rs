@@ -1,0 +1,10 @@
+//! Graph fixture: crate-layering.
+//!
+//! `par` sits at layer 2. Referencing `core` (layer 4) is an upward
+//! edge and must fire; referencing `obs` (layer 0) is downward and
+//! must pass.
+
+use darklight_core::batch::BatchConfig; // FIRE: upward edge (4 >= 2)
+use darklight_obs::Metrics; // PASS: downward edge (0 < 2)
+
+pub fn noop(_config: BatchConfig, _metrics: Metrics) {}

@@ -76,6 +76,7 @@ fn ambient_fixture() {
             (s("no-ambient-time-or-rand"), 4, false),
             (s("no-ambient-time-or-rand"), 5, false),
             (s("no-ambient-time-or-rand"), 6, false),
+            (s("no-ambient-time-or-rand"), 7, false),
         ]
     );
     // obs timers and the bench harness may read the clock.

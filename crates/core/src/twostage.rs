@@ -298,15 +298,15 @@ impl TwoStage {
             .with_metrics(metrics.clone())
             .with_threads(threads)
             .fit_counted(known.records.iter().map(|r| &r.counted));
-        let known_vecs: Vec<SparseVector> =
-            darklight_par::par_map(&known.records, threads, |_, r| {
-                space.vectorize_counted(&r.counted, r.profile.as_ref())
-            });
+        let known_vecs =
+            self.vectorize_tolerant(&known.records, threads, &space, "twostage.vectorize_known");
         let index = CandidateIndex::build_with_metrics(&known_vecs, space.dim(), metrics);
-        let queries: Vec<SparseVector> =
-            darklight_par::par_map(&unknown.records, threads, |_, r| {
-                space.vectorize_counted(&r.counted, r.profile.as_ref())
-            });
+        let queries = self.vectorize_tolerant(
+            &unknown.records,
+            threads,
+            &space,
+            "twostage.vectorize_query",
+        );
         let tops = index.top_k_batch(&queries, depth, threads);
         tops.into_iter()
             .enumerate()

@@ -101,6 +101,13 @@ impl Default for FeatureConfig {
     }
 }
 
+impl EstimateBytes for FeatureConfig {
+    fn estimate_bytes(&self) -> u64 {
+        // Four usize knobs plus four f32 weights, all inline.
+        4 * 8 + 4 * 4
+    }
+}
+
 /// A document after per-user preprocessing: lemmatized word tokens, the
 /// whitespace-normalized character stream, and char-class frequencies.
 #[derive(Debug, Clone, PartialEq)]
@@ -249,6 +256,7 @@ impl EstimateBytes for CountedDoc {
 /// Pre-resolved instruments for the vectorization hot path; all no-ops
 /// unless the extractor was given an enabled [`PipelineMetrics`].
 #[derive(Debug, Clone, Default)]
+// audit:allow(estimate-bytes-coverage) -- shared metric handles, not per-record data; the governor never counts instruments
 struct SpaceInstruments {
     /// Wall-clock per `vectorize_counted` call.
     vectorize: Timer,
@@ -268,6 +276,17 @@ pub struct FeatureSpace {
     char_vocab: Vocabulary,
     char_tfidf: TfIdf,
     instruments: SpaceInstruments,
+}
+
+impl EstimateBytes for FeatureSpace {
+    fn estimate_bytes(&self) -> u64 {
+        // Instruments are shared handles, not per-space payload.
+        self.config.estimate_bytes()
+            + self.word_vocab.estimate_bytes()
+            + self.word_tfidf.estimate_bytes()
+            + self.char_vocab.estimate_bytes()
+            + self.char_tfidf.estimate_bytes()
+    }
 }
 
 /// Fits [`FeatureSpace`]s on document collections.

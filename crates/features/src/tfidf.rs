@@ -17,6 +17,12 @@ pub struct TfIdf {
     idf: Vec<f32>,
 }
 
+impl darklight_govern::EstimateBytes for TfIdf {
+    fn estimate_bytes(&self) -> u64 {
+        self.idf.len() as u64 * 4 + 24
+    }
+}
+
 impl TfIdf {
     /// Precomputes IDF weights from the vocabulary's document frequencies.
     pub fn fit(vocab: &Vocabulary) -> TfIdf {

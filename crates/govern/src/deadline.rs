@@ -116,8 +116,9 @@ impl Deadline {
                 if tripped.load(Ordering::Relaxed) {
                     return true;
                 }
-                // audit:allow(no-ambient-time-or-rand) -- same invariant
-                // as `after`: the clock gates stopping, not output bytes.
+                // Same invariant as `after`: the clock gates stopping,
+                // never output bytes.
+                // audit:allow(no-ambient-time-or-rand) -- elapsed() gates stopping only; results are discarded wholesale on expiry
                 let expired = start.elapsed() >= *limit;
                 if expired {
                     tripped.store(true, Ordering::Relaxed);

@@ -45,7 +45,8 @@ use std::cmp::Ordering;
 /// sides are real numbers.
 pub fn cmp_f64_desc(a: f64, b: f64) -> Ordering {
     match (a.is_nan(), b.is_nan()) {
-        // audit:allow(nan-safe-ordering) -- both operands proven non-NaN by the match arm
+        // Both operands proven non-NaN by the match arm; this crate is
+        // the blessed home of partial_cmp, so no allow is needed.
         (false, false) => b.partial_cmp(&a).expect("both values are non-NaN"),
         (true, true) => Ordering::Equal,
         (true, false) => Ordering::Greater,
@@ -58,7 +59,8 @@ pub fn cmp_f64_desc(a: f64, b: f64) -> Ordering {
 /// sides are real numbers.
 pub fn cmp_f64_asc(a: f64, b: f64) -> Ordering {
     match (a.is_nan(), b.is_nan()) {
-        // audit:allow(nan-safe-ordering) -- both operands proven non-NaN by the match arm
+        // Both operands proven non-NaN by the match arm; this crate is
+        // the blessed home of partial_cmp, so no allow is needed.
         (false, false) => a.partial_cmp(&b).expect("both values are non-NaN"),
         (true, true) => Ordering::Equal,
         (true, false) => Ordering::Greater,

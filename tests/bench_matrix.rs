@@ -40,8 +40,20 @@ fn roundtrip_check_passes_and_perturbation_fails() {
         );
     }
 
-    // The same triple reproduces bit-for-bit: the gate passes.
-    let out = bench_matrix(&["--scenarios", SCENARIOS, "--scales", "t", "--check", dir_s]);
+    // The same triple reproduces bit-for-bit: the gate passes. The
+    // wall-clock axis gets a huge tolerance — tiny-scale cells on a
+    // loaded test machine routinely swing ±25%, and this test pins the
+    // deterministic sections, not the machine's scheduler.
+    let out = bench_matrix(&[
+        "--scenarios",
+        SCENARIOS,
+        "--scales",
+        "t",
+        "--throughput-tolerance",
+        "90",
+        "--check",
+        dir_s,
+    ]);
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(out.status.success(), "check must pass, got: {out:?}");
     assert!(stdout.contains("cell clean_t: pass"), "stdout: {stdout}");
@@ -59,6 +71,8 @@ fn roundtrip_check_passes_and_perturbation_fails() {
         "t",
         "--seed",
         "12345",
+        "--throughput-tolerance",
+        "90",
         "--check",
         dir_s,
     ]);
