@@ -32,6 +32,7 @@ pub const LAYERS: &[(&str, u32)] = &[
     ("text", 1),
     ("govern", 1),
     ("par", 2),
+    ("store", 2),
     ("corpus", 3),
     ("features", 3),
     ("synth", 4),

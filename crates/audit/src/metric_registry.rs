@@ -55,6 +55,7 @@ pub const METRIC_REGISTRY: &[&str] = &[
     "govern.bytes_estimated",
     "govern.deadline_expired",
     "govern.io_retries",
+    "govern.tmp_cleaned",
     "ingest.lines_total",
     // Expansions of the dynamic `ingest.quarantined.<IssueKind>` name,
     // one per `IssueKind::as_str` value.
@@ -64,6 +65,7 @@ pub const METRIC_REGISTRY: &[&str] = &[
     "ingest.quarantined.unparseable_field",
     "ingest.quarantined_lines",
     "ingest.records_kept",
+    "linker.fit_artifact",
     "linker.link",
     "linker.prepare",
     "par.worker_panics",
@@ -83,6 +85,10 @@ pub const METRIC_REGISTRY: &[&str] = &[
     "polish.step.transforms",
     "polish.threads",
     "polish.total",
+    "store.crc_failures",
+    "store.epoch_fallbacks",
+    "store.loads",
+    "store.saves",
     "twostage.links_accepted",
     "twostage.links_rejected",
     "twostage.rescored_unknowns",

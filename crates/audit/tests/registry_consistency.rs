@@ -110,6 +110,46 @@ fn every_registered_name_is_anchored_in_source() {
 }
 
 #[test]
+fn store_family_is_registered_and_anchored_in_the_store_crate() {
+    // The durable-artifact counters are recorded inside darklight-store
+    // (crates/store/src/epoch.rs), not through the usual pipeline crates;
+    // this pins the family in both directions so a renamed counter there
+    // cannot silently fork the time series.
+    let epoch = workspace_root().join("crates/store/src/epoch.rs");
+    let source = std::fs::read_to_string(&epoch).expect("crates/store/src/epoch.rs exists");
+    // Only `counter("…")` call sites count: the store crate also names
+    // fault-injection *sites* with dotted store.* literals, and those are
+    // not metrics.
+    let recorded: Vec<String> = source
+        .lines()
+        .filter(|l| l.contains(".counter("))
+        .flat_map(quoted_metric_names)
+        .filter(|n| n.starts_with("store."))
+        .collect();
+    assert!(
+        !recorded.is_empty(),
+        "store crate records no store.* metrics — anchor extraction broken?"
+    );
+    for name in &recorded {
+        assert!(
+            is_registered(name),
+            "store crate records unregistered metric {name:?}"
+        );
+    }
+    let registered: Vec<&&str> = METRIC_REGISTRY
+        .iter()
+        .filter(|n| n.starts_with("store."))
+        .collect();
+    assert_eq!(registered.len(), 4, "store family drifted: {registered:?}");
+    for name in &registered {
+        assert!(
+            recorded.iter().any(|r| r == **name),
+            "registered metric {name:?} is not recorded by the store crate"
+        );
+    }
+}
+
+#[test]
 fn quarantine_expansions_match_the_issue_kind_enum() {
     // The dynamic family ingest.quarantined.<kind> is bounded by
     // IssueKind::label() in crates/corpus/src/io.rs; every label must be

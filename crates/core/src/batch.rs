@@ -292,6 +292,14 @@ pub fn run_batched_governed(
     let (mut survivors, mut rounds_done) = match &ctx {
         None => (fresh_pools(known, unknown), 0),
         Some((spec, fingerprint)) => {
+            // Checkpoint hygiene: a crash between the tmp write and the
+            // rename leaves a stale sibling behind. It was never named
+            // `spec.path`, so it holds no recoverable state — remove it
+            // before this run starts writing its own tmp files there.
+            let stale = spec.path.with_extension("tmp");
+            if stale.exists() && std::fs::remove_file(&stale).is_ok() {
+                metrics.counter("govern.tmp_cleaned").incr();
+            }
             match checkpoint::load_retrying(&spec.path, &govern.retry, *fingerprint, metrics)? {
                 Some(ck) => {
                     if ck.fingerprint != *fingerprint {
@@ -386,7 +394,7 @@ pub fn run_fingerprint(
     h.finish()
 }
 
-fn hash_feature_config(h: &mut Fnv1a, fc: &darklight_features::pipeline::FeatureConfig) {
+pub(crate) fn hash_feature_config(h: &mut Fnv1a, fc: &darklight_features::pipeline::FeatureConfig) {
     h.write_u64(fc.max_word_n as u64);
     h.write_u64(fc.max_char_n as u64);
     h.write_u64(fc.top_word_ngrams as u64);
@@ -401,7 +409,7 @@ fn hash_feature_config(h: &mut Fnv1a, fc: &darklight_features::pipeline::Feature
     }
 }
 
-fn hash_dataset(h: &mut Fnv1a, ds: &Dataset) {
+pub(crate) fn hash_dataset(h: &mut Fnv1a, ds: &Dataset) {
     h.write_str(&ds.name);
     let (max_word_n, max_char_n) = ds.ngram_orders();
     h.write_u64(max_word_n as u64);
@@ -899,6 +907,29 @@ mod tests {
         let ck = run_batched_checkpointed(&e, &config, &known, &unknown, &spec).unwrap();
         assert_eq!(plain, ck);
         assert!(!spec.path.exists(), "checkpoint removed on success");
+    }
+
+    #[test]
+    fn stale_tmp_from_crashed_save_is_cleaned_at_start() {
+        use darklight_obs::PipelineMetrics;
+        let (known, unknown) = world();
+        let metrics = PipelineMetrics::enabled();
+        let e = TwoStage::new(TwoStageConfig {
+            k: 3,
+            threads: 2,
+            metrics: metrics.clone(),
+            ..TwoStageConfig::default()
+        });
+        let config = BatchConfig { batch_size: 4 };
+        let spec = CheckpointSpec::new(ckpt_path("stale_tmp.json"));
+        checkpoint::remove(&spec.path);
+        let stale = spec.path.with_extension("tmp");
+        std::fs::write(&stale, b"half-written garbage from a crashed save").unwrap();
+        let plain = run_batched(&e, &config, &known, &unknown).unwrap();
+        let ck = run_batched_checkpointed(&e, &config, &known, &unknown, &spec).unwrap();
+        assert_eq!(plain, ck, "stale tmp must not perturb the run");
+        assert!(!stale.exists(), "stale tmp file removed at startup");
+        assert_eq!(metrics.counter("govern.tmp_cleaned").get(), 1);
     }
 
     #[test]

@@ -23,11 +23,13 @@
 //!   (feature-subsampling vote) baselines of §IV-F;
 //! * [`batch`] — the RAM-bounded hierarchical batching of §IV-J;
 //! * [`checkpoint`] — crash-recovery state for batched runs;
+//! * [`artifact`] — persisted fit artifacts (fit once, serve many);
 //! * [`linker`] — the high-level corpus-to-corpus linking API.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod artifact;
 pub mod attrib;
 pub mod baseline;
 pub mod batch;
@@ -40,6 +42,7 @@ pub mod linker;
 pub mod session;
 pub mod twostage;
 
+pub use artifact::FitArtifact;
 pub use attrib::CandidateIndex;
 pub use batch::{BatchConfig, BatchError, CheckpointSpec};
 pub use calibrate::{calibrate_threshold, Calibration};

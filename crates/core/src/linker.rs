@@ -5,6 +5,7 @@
 //! run the two-stage pipeline, and emit alias pairs above the threshold.
 //! This is the API a downstream investigator would call.
 
+use crate::artifact::FitArtifact;
 use crate::batch::{run_batched_governed, BatchConfig, BatchError, CheckpointSpec};
 use crate::dataset::{Dataset, DatasetBuilder};
 use crate::twostage::{TwoStage, TwoStageConfig};
@@ -120,6 +121,48 @@ impl Linker {
         let profiles = ProfileBuilder::new(ProfilePolicy::default());
         let refined = refine(&polished, self.config.refine, &profiles);
         self.builder.build(&refined)
+    }
+
+    /// Runs the offline half of a fit-once/serve-many split: prepares
+    /// the known corpus exactly as [`link`](Linker::link) would (polish,
+    /// refine, build) and captures the stage-1 fit in a [`FitArtifact`]
+    /// ready to persist. Serving the artifact through
+    /// [`link_with_artifact`](Linker::link_with_artifact) reproduces the
+    /// fit-every-time output byte-for-byte.
+    pub fn fit_artifact(&self, known: &Corpus) -> FitArtifact {
+        let _fit = self.metrics.timer("linker.fit_artifact").start();
+        let known_ds = self.prepare(known);
+        FitArtifact::fit(&self.config.two_stage, known_ds)
+    }
+
+    /// Links `unknown`'s aliases against a previously fitted artifact
+    /// instead of refitting on a known corpus: prepares only the
+    /// unknown side, ranks it against the artifact's restored space and
+    /// vectors, and rescores stage 2 on the artifact's known records.
+    /// Output is byte-identical to [`link`](Linker::link) over the
+    /// corpus the artifact was fitted from (pinned by
+    /// `tests/artifact_parity.rs` at threads 1, 2, and 7).
+    ///
+    /// Serving is always unbatched — batching exists to bound the
+    /// *fit-side* working set, which the artifact has already paid.
+    pub fn link_with_artifact(&self, artifact: &FitArtifact, unknown: &Corpus) -> Vec<AliasMatch> {
+        let _link = self.metrics.timer("linker.link").start();
+        let unknown_ds = self.prepare(unknown);
+        if artifact.known.is_empty() || unknown_ds.is_empty() {
+            return Vec::new();
+        }
+        let engine = TwoStage::new(self.config.two_stage.clone());
+        let stage1 = engine.reduce_prefit(&artifact.space, &artifact.known_vecs, &unknown_ds);
+        let ranked = engine.rescore(&artifact.known, &unknown_ds, stage1);
+        engine
+            .threshold_links(ranked)
+            .into_iter()
+            .map(|(u, k, score)| AliasMatch {
+                known_alias: artifact.known.records[k].alias.clone(),
+                unknown_alias: unknown_ds.records[u].alias.clone(),
+                score,
+            })
+            .collect()
     }
 
     /// Links `unknown`'s aliases to `known`'s: every emitted pair says
@@ -340,6 +383,26 @@ mod tests {
         cfg.batch = Some(BatchConfig { batch_size: 0 });
         let err = Linker::new(cfg).try_link(&known, &unknown).unwrap_err();
         assert!(matches!(err, BatchError::InvalidConfig(_)), "{err}");
+    }
+
+    #[test]
+    fn artifact_serving_matches_fresh_link_exactly() {
+        let known = corpus("forum_a", 0);
+        let unknown = corpus("forum_b", 1800);
+        let mut cfg = LinkerConfig::default();
+        cfg.two_stage.k = 2;
+        cfg.two_stage.threshold = 0.3;
+        cfg.two_stage.threads = 2;
+        let linker = Linker::new(cfg);
+        let fresh = linker.link(&known, &unknown);
+        let artifact = linker.fit_artifact(&known);
+        let served = linker.link_with_artifact(&artifact, &unknown);
+        assert_eq!(fresh.len(), served.len());
+        for (a, b) in fresh.iter().zip(&served) {
+            assert_eq!(a.known_alias, b.known_alias);
+            assert_eq!(a.unknown_alias, b.unknown_alias);
+            assert_eq!(a.score.to_bits(), b.score.to_bits());
+        }
     }
 
     #[test]

@@ -155,6 +155,28 @@ impl TwoStage {
         index.top_k_batch(&queries, self.config.k, threads)
     }
 
+    /// Stage 1 against an **already fitted** space: ranks every unknown
+    /// against precomputed known vectors instead of refitting on the
+    /// known set. This is the serving path for a persisted fit artifact
+    /// (`darklight-core::artifact`): the space and the known vectors are
+    /// restored bit-exactly from disk, queries are vectorized in the
+    /// restored space, and the candidate lists come out byte-identical
+    /// to [`reduce`](Self::reduce) on the original known dataset.
+    pub fn reduce_prefit(
+        &self,
+        space: &darklight_features::pipeline::FeatureSpace,
+        known_vecs: &[SparseVector],
+        unknown: &Dataset,
+    ) -> Vec<Vec<Ranked>> {
+        let metrics = &self.config.metrics;
+        let _stage1 = metrics.timer("twostage.stage1").start();
+        let threads = self.config.observed_threads();
+        let index = CandidateIndex::build_with_metrics(known_vecs, space.dim(), metrics);
+        let queries =
+            self.vectorize_tolerant(&unknown.records, threads, space, "twostage.vectorize_query");
+        index.top_k_batch(&queries, self.config.k, threads)
+    }
+
     /// Vectorizes `records` in parallel, degrading panicking records to
     /// the zero vector (skip-and-record policy; see [`reduce`](Self::reduce)).
     fn vectorize_tolerant(

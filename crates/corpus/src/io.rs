@@ -97,6 +97,15 @@ fn escape(s: &str) -> String {
     out
 }
 
+/// Strips a leading UTF-8 byte-order mark from the header line. Editors
+/// (notably on Windows) prepend one invisibly; without this the header
+/// prefix match fails and an otherwise clean corpus is rejected. Only the
+/// first line of a file can carry a BOM, so callers apply this to the
+/// header only — record lines are left untouched.
+fn strip_bom(s: &str) -> &str {
+    s.strip_prefix('\u{feff}').unwrap_or(s)
+}
+
 fn unescape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     let mut chars = s.chars();
@@ -331,7 +340,7 @@ pub fn read_corpus<R: BufRead>(r: R) -> Result<Corpus, ReadError> {
         .next()
         .ok_or_else(|| ReadError::BadHeader("<empty input>".into()))?;
     let header = header?;
-    let name = header
+    let name = strip_bom(&header)
         .strip_prefix("#darklight-corpus v1 ")
         .ok_or_else(|| ReadError::BadHeader(header.clone()))?;
     let mut corpus = Corpus::new(unescape(name));
@@ -417,7 +426,7 @@ pub fn read_corpus_lenient<R: BufRead>(
         }),
         Some((_, Ok(header))) => {
             report.lines_total += 1;
-            match header.strip_prefix("#darklight-corpus v1 ") {
+            match strip_bom(&header).strip_prefix("#darklight-corpus v1 ") {
                 Some(name) => corpus.name = unescape(name),
                 None => {
                     report.issues.push(IngestIssue {
@@ -831,6 +840,70 @@ mod tests {
         assert_eq!(metrics.counter("ingest.records_kept").get(), 2);
         assert_eq!(metrics.counter("ingest.quarantined_lines").get(), 1);
         assert_eq!(metrics.counter("ingest.quarantined.bad_record").get(), 1);
+    }
+
+    #[test]
+    fn crlf_line_endings_load_like_unix_ones() {
+        // Windows-exported TSVs terminate lines with \r\n; `lines()`
+        // strips the \r, so both readers must accept the file unchanged
+        // and report the same 1-based line numbers as the \n version.
+        let data = "#darklight-corpus v1 win\r\nU\talice\t7\r\nP\t99\tmarket\thello\r\n";
+        let c = read_corpus(data.as_bytes()).unwrap();
+        assert_eq!(c.name, "win");
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.users[0].posts.len(), 1);
+        assert_eq!(c.users[0].posts[0].text, "hello");
+        let (lenient, report) =
+            read_corpus_lenient(data.as_bytes(), &LenientConfig::default()).unwrap();
+        assert_eq!(lenient, c);
+        assert!(report.is_clean());
+        assert_eq!(report.lines_total, 3);
+        assert_eq!(report.records_kept, 2);
+    }
+
+    #[test]
+    fn crlf_input_reports_unshifted_line_numbers() {
+        // The bad record sits on file line 3 in both encodings; CRLF
+        // termination must not shift the number in the report.
+        let data = "#darklight-corpus v1 win\r\nU\talice\t7\r\nZ\tbogus\r\nP\t99\tt\tkept\r\n";
+        let (_, report) = read_corpus_lenient(data.as_bytes(), &LenientConfig::default()).unwrap();
+        assert_eq!(report.quarantined(), 1);
+        assert_eq!(report.issues[0].line, 3);
+        assert_eq!(report.issues[0].kind, IssueKind::BadRecord);
+        match read_corpus(data.as_bytes()).unwrap_err() {
+            ReadError::BadRecord { line, .. } => assert_eq!(line, 3),
+            other => panic!("expected BadRecord, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn utf8_bom_before_header_is_ignored() {
+        // A BOM glued to the header's `#` must not fail the version
+        // match or leak into the corpus name, in either reader.
+        let data = "\u{feff}#darklight-corpus v1 bommed\nU\talice\t7\nP\t99\tt\thi\n";
+        let c = read_corpus(data.as_bytes()).unwrap();
+        assert_eq!(c.name, "bommed");
+        assert_eq!(c.len(), 1);
+        let (lenient, report) =
+            read_corpus_lenient(data.as_bytes(), &LenientConfig::default()).unwrap();
+        assert_eq!(lenient, c);
+        assert!(report.is_clean());
+        assert_eq!(report.records_kept, 2);
+    }
+
+    #[test]
+    fn bom_with_crlf_keeps_exact_line_numbers() {
+        // The worst realistic Windows export: BOM + CRLF. Record lines
+        // keep their exact 1-based numbers (bad record on line 4).
+        let data =
+            "\u{feff}#darklight-corpus v1 both\r\nU\talice\t7\r\nP\t1\tt\tok\r\nU\tbob\tNaN\r\n";
+        let (corpus, report) =
+            read_corpus_lenient(data.as_bytes(), &LenientConfig::default()).unwrap();
+        assert_eq!(corpus.name, "both");
+        assert_eq!(corpus.len(), 1);
+        assert_eq!(report.quarantined(), 1);
+        assert_eq!(report.issues[0].line, 4);
+        assert_eq!(report.issues[0].kind, IssueKind::UnparseableField);
     }
 
     #[test]

@@ -435,9 +435,43 @@ impl FeatureExtractor {
 }
 
 impl FeatureSpace {
+    /// Reassembles a space from its frozen parts — the configuration and
+    /// the two fitted vocabularies. The IDF weights are *recomputed* from
+    /// the vocabularies' document frequencies ([`TfIdf::fit`] is a pure
+    /// function of the vocabulary), so a space rebuilt from a persisted
+    /// artifact vectorizes bit-identically to the original fit. The
+    /// rebuilt space carries disabled instruments; artifact loads are not
+    /// a fit and record no `features.*` metrics.
+    pub fn from_parts(
+        config: FeatureConfig,
+        word_vocab: Vocabulary,
+        char_vocab: Vocabulary,
+    ) -> FeatureSpace {
+        let word_tfidf = TfIdf::fit(&word_vocab);
+        let char_tfidf = TfIdf::fit(&char_vocab);
+        FeatureSpace {
+            config,
+            word_vocab,
+            word_tfidf,
+            char_vocab,
+            char_tfidf,
+            instruments: SpaceInstruments::default(),
+        }
+    }
+
     /// The configuration the space was fitted with.
     pub fn config(&self) -> &FeatureConfig {
         &self.config
+    }
+
+    /// The fitted word n-gram vocabulary.
+    pub fn word_vocab(&self) -> &Vocabulary {
+        &self.word_vocab
+    }
+
+    /// The fitted char n-gram vocabulary.
+    pub fn char_vocab(&self) -> &Vocabulary {
+        &self.char_vocab
     }
 
     /// Dense offset of the char n-gram block.
@@ -719,6 +753,31 @@ mod tests {
                 .with_threads(threads)
                 .fit(&docs);
             assert_eq!(par_fit.dim(), serial.dim());
+        }
+    }
+
+    #[test]
+    fn from_parts_rebuilds_a_bit_identical_space() {
+        let docs = [
+            prep("i always ship with tracking and stealth is great"),
+            prep("never had a problem with this vendor, top quality"),
+            prep("bitcoin fees are insane today the mempool is backed up"),
+        ];
+        let space = FeatureExtractor::new(FeatureConfig::space_reduction()).fit(&docs);
+        let rebuilt = FeatureSpace::from_parts(
+            space.config().clone(),
+            space.word_vocab().clone(),
+            space.char_vocab().clone(),
+        );
+        assert_eq!(rebuilt.dim(), space.dim());
+        for d in &docs {
+            let a = space.vectorize(d, Some(&profile(9)));
+            let b = rebuilt.vectorize(d, Some(&profile(9)));
+            assert_eq!(a.nnz(), b.nnz());
+            for ((ia, va), (ib, vb)) in a.iter().zip(b.iter()) {
+                assert_eq!(ia, ib);
+                assert_eq!(va.to_bits(), vb.to_bits(), "index {ia}");
+            }
         }
     }
 

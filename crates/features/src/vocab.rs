@@ -101,6 +101,31 @@ pub struct Vocabulary {
 }
 
 impl Vocabulary {
+    /// Rebuilds a vocabulary from its frozen parts: `terms` in dense-index
+    /// order (term `i` maps to index `i`), the matching per-term document
+    /// frequencies, and the corpus document count. This is the inverse of
+    /// serializing [`iter`](Vocabulary::iter) sorted by index — artifact
+    /// deserialization uses it to restore a fitted vocabulary bit-exactly.
+    ///
+    /// Returns `None` when the two slices disagree in length or a term is
+    /// duplicated (a corrupt or hand-edited artifact, not a valid freeze).
+    pub fn from_parts(terms: Vec<String>, doc_freq: Vec<u32>, num_docs: u32) -> Option<Vocabulary> {
+        if terms.len() != doc_freq.len() {
+            return None;
+        }
+        let mut index = HashMap::with_capacity(terms.len());
+        for (i, term) in terms.into_iter().enumerate() {
+            if index.insert(term, i as u32).is_some() {
+                return None;
+            }
+        }
+        Some(Vocabulary {
+            index,
+            doc_freq,
+            num_docs,
+        })
+    }
+
     /// Number of terms in the vocabulary.
     pub fn len(&self) -> usize {
         self.index.len()
@@ -261,6 +286,34 @@ mod tests {
         let v = b.select_top(2);
         assert_eq!(v.index_of("a"), Some(0));
         assert_eq!(v.doc_freq(0), 1);
+    }
+
+    #[test]
+    fn from_parts_round_trips_a_selected_vocab() {
+        let mut b = VocabBuilder::new();
+        b.add_doc_counts(&doc(&["x", "x", "y"]));
+        b.add_doc_counts(&doc(&["x", "z"]));
+        let v = b.select_top(3);
+        // Serialize: terms sorted by dense index, plus doc freqs.
+        let mut pairs: Vec<(String, u32)> = v.iter().map(|(t, i)| (t.to_string(), i)).collect();
+        pairs.sort_by_key(|&(_, i)| i);
+        let terms: Vec<String> = pairs.iter().map(|(t, _)| t.clone()).collect();
+        let freqs: Vec<u32> = pairs.iter().map(|&(_, i)| v.doc_freq(i)).collect();
+        let back = Vocabulary::from_parts(terms, freqs, v.num_docs()).unwrap();
+        assert_eq!(back.len(), v.len());
+        assert_eq!(back.num_docs(), v.num_docs());
+        for (term, i) in v.iter() {
+            assert_eq!(back.index_of(term), Some(i));
+            assert_eq!(back.doc_freq(i), v.doc_freq(i));
+        }
+    }
+
+    #[test]
+    fn from_parts_rejects_malformed_input() {
+        // Length mismatch between terms and doc frequencies.
+        assert!(Vocabulary::from_parts(vec!["a".into()], vec![1, 2], 2).is_none());
+        // Duplicate term.
+        assert!(Vocabulary::from_parts(vec!["a".into(), "a".into()], vec![1, 1], 2).is_none());
     }
 
     #[test]

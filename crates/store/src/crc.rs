@@ -1,0 +1,99 @@
+//! CRC-32 (IEEE 802.3) over byte slices.
+//!
+//! The workspace builds offline with no external crates, so the
+//! polynomial table is computed once at first use. This is the same
+//! reflected CRC-32 that zlib, PNG, and Ethernet use — `crc32(b"123456789")`
+//! is the classic check value `0xcbf4_3926`.
+
+use std::sync::OnceLock;
+
+const POLY: u32 = 0xedb8_8320;
+
+fn table() -> &'static [u32; 256] {
+    static TABLE: OnceLock<[u32; 256]> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        let mut t = [0u32; 256];
+        for (i, slot) in t.iter_mut().enumerate() {
+            let mut c = i as u32;
+            for _ in 0..8 {
+                c = if c & 1 != 0 { POLY ^ (c >> 1) } else { c >> 1 };
+            }
+            *slot = c;
+        }
+        t
+    })
+}
+
+/// An incremental CRC-32 — feed byte runs with [`update`](Crc32::update)
+/// and read the digest with [`finish`](Crc32::finish). Hashing runs
+/// incrementally is what lets a section checksum cover its tag, length,
+/// and payload without concatenating them into a scratch buffer.
+#[derive(Debug, Clone)]
+pub struct Crc32 {
+    state: u32,
+}
+
+impl Default for Crc32 {
+    fn default() -> Crc32 {
+        Crc32::new()
+    }
+}
+
+impl Crc32 {
+    /// Starts a fresh digest.
+    pub fn new() -> Crc32 {
+        Crc32 { state: !0 }
+    }
+
+    /// Absorbs a run of bytes.
+    pub fn update(&mut self, bytes: &[u8]) {
+        let t = table();
+        for &b in bytes {
+            self.state = t[((self.state ^ b as u32) & 0xff) as usize] ^ (self.state >> 8);
+        }
+    }
+
+    /// The digest of everything absorbed so far.
+    pub fn finish(&self) -> u32 {
+        !self.state
+    }
+}
+
+/// The CRC-32 of `bytes`.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut c = Crc32::new();
+    c.update(bytes);
+    c.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classic_check_value() {
+        assert_eq!(crc32(b"123456789"), 0xcbf4_3926);
+    }
+
+    #[test]
+    fn empty_input() {
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn incremental_matches_one_shot() {
+        let mut c = Crc32::new();
+        c.update(b"1234");
+        c.update(b"");
+        c.update(b"56789");
+        assert_eq!(c.finish(), crc32(b"123456789"));
+    }
+
+    #[test]
+    fn single_bit_difference_changes_crc() {
+        let a = crc32(b"darklight artifact payload");
+        let mut flipped = b"darklight artifact payload".to_vec();
+        flipped[7] ^= 0x01;
+        assert_ne!(a, crc32(&flipped));
+    }
+}

@@ -1,0 +1,142 @@
+//! Durable artifact storage for fitted pipeline state.
+//!
+//! The checkpoint machinery in `darklight-core` already writes JSON via
+//! the tmp + fsync + rename discipline, which protects against a crash
+//! *between* files — but not against a torn write, a truncated tail, or
+//! a flipped bit inside one: those load as garbage. This crate adds the
+//! storage layer an artifact-serving daemon needs:
+//!
+//! * [`container`] — a versioned, sectioned, CRC-checksummed binary
+//!   container. Every section carries its own CRC-32; loads return
+//!   typed [`StoreError`]s ([`VersionMismatch`](StoreError::VersionMismatch),
+//!   [`SectionCrcMismatch`](StoreError::SectionCrcMismatch),
+//!   [`TruncatedSection`](StoreError::TruncatedSection), …) and never
+//!   panic on hostile bytes.
+//! * [`epoch`] — immutable epoch directories under a store root, with a
+//!   `CURRENT` pointer swapped atomically after each publish and a
+//!   recovery ladder that walks back to the newest epoch that still
+//!   loads cleanly.
+//! * [`codec`] — the little-endian byte codec the container and its
+//!   payload encoders share, with bounds-checked reads.
+//!
+//! What goes *inside* the sections is the caller's business: the domain
+//! encoding of the fitted pipeline (vocabularies, IDF, author vectors,
+//! activity profiles, the fit fingerprint) lives in
+//! `darklight-core::artifact`, keeping this crate a generic container
+//! layer below the engine.
+//!
+//! Writes consult the `DARKLIGHT_FAULT_IO` hooks of `darklight-govern`:
+//! the count mode injects transient I/O errors, and the `trunc:`/`flip:`
+//! modes corrupt the buffered bytes before they reach disk — the
+//! crash-consistency harness drives every fault point through them.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod codec;
+pub mod container;
+pub mod crc;
+pub mod epoch;
+
+pub use container::{read_container, write_container, Container, Section, FORMAT_VERSION};
+pub use epoch::{EpochStore, CURRENT_FILE};
+
+use std::fmt;
+
+/// Typed failures of the artifact store. Corruption is always reported
+/// as a value — no load path panics on malformed bytes.
+#[derive(Debug)]
+pub enum StoreError {
+    /// An underlying filesystem operation failed.
+    Io(std::io::Error),
+    /// The bytes are not a container at all, or a payload failed to
+    /// decode (bad magic, impossible lengths, malformed UTF-8, …).
+    Malformed(String),
+    /// The container was written by a different format version.
+    VersionMismatch {
+        /// The version this build reads and writes.
+        expected: u32,
+        /// The version found in the file header.
+        found: u32,
+    },
+    /// A section's payload does not match its stored CRC-32.
+    SectionCrcMismatch {
+        /// Tag of the failing section.
+        section: String,
+    },
+    /// The file ends before a section's declared payload does.
+    TruncatedSection {
+        /// Tag of the truncated section (or `<header>`).
+        section: String,
+    },
+    /// A required section is absent from the container.
+    MissingSection {
+        /// Tag of the absent section.
+        section: String,
+    },
+    /// The artifact's stored fingerprint does not match the state that
+    /// was decoded from it (or the fingerprint the caller demanded).
+    FingerprintMismatch {
+        /// The fingerprint the caller expected.
+        expected: u64,
+        /// The fingerprint found in the artifact.
+        found: u64,
+    },
+    /// No epoch under the store root loads cleanly.
+    NoUsableEpoch,
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Io(e) => write!(f, "artifact i/o error: {e}"),
+            StoreError::Malformed(what) => write!(f, "malformed artifact: {what}"),
+            StoreError::VersionMismatch { expected, found } => write!(
+                f,
+                "artifact format version mismatch: expected v{expected}, found v{found}"
+            ),
+            StoreError::SectionCrcMismatch { section } => {
+                write!(f, "artifact section {section:?} failed its CRC-32 check")
+            }
+            StoreError::TruncatedSection { section } => {
+                write!(f, "artifact section {section:?} is truncated")
+            }
+            StoreError::MissingSection { section } => {
+                write!(f, "artifact is missing required section {section:?}")
+            }
+            StoreError::FingerprintMismatch { expected, found } => write!(
+                f,
+                "artifact fingerprint mismatch: expected {expected:016x}, found {found:016x}"
+            ),
+            StoreError::NoUsableEpoch => {
+                write!(f, "no epoch in the store loads cleanly")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StoreError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for StoreError {
+    fn from(e: std::io::Error) -> StoreError {
+        StoreError::Io(e)
+    }
+}
+
+impl StoreError {
+    /// True for errors that mean "these bytes are not a trustworthy
+    /// artifact" — the recovery ladder falls back to an earlier epoch on
+    /// them. I/O errors also qualify (a vanished file is as unusable as
+    /// a corrupt one); only [`NoUsableEpoch`](StoreError::NoUsableEpoch)
+    /// itself is terminal.
+    pub fn is_corruption(&self) -> bool {
+        !matches!(self, StoreError::NoUsableEpoch)
+    }
+}

@@ -10,12 +10,31 @@
 //! darklight stats <in.tsv> [--lenient|--strict]
 //!     Corpus statistics: users, posts, words-per-user CDF.
 //!
+//! darklight fit <known.tsv> --out <artifact-dir> [--threads N]
+//!              [--metrics out.json] [--lenient|--strict]
+//!     Polish, refine, and fit the known corpus once, then persist the
+//!     fitted pipeline state (vocabulary + IDF weights, per-author
+//!     sparse vectors, activity profiles, feature config, run
+//!     fingerprint) as a durable artifact under <artifact-dir>. Each
+//!     fit publishes a new epoch directory and atomically swaps the
+//!     CURRENT pointer; earlier epochs are kept for recovery.
+//!
 //! darklight link <known.tsv> <unknown.tsv> [--threshold T] [--k K]
 //!               [--threads N] [--metrics out.json] [--lenient|--strict]
 //!               [--batch-size B] [--mem-budget SIZE] [--deadline DUR]
 //!               [--checkpoint state.json]
+//! darklight link --artifact <artifact-dir> <unknown.tsv> [--threshold T]
+//!               [--k K] [--threads N] [--metrics out.json]
+//!               [--lenient|--strict]
 //!     Polish, refine, and link the two corpora; print matched alias
 //!     pairs as TSV (unknown_alias, known_alias, score). With
+//!     --artifact, the known side is loaded from a `darklight fit`
+//!     artifact instead of being refit — output is byte-identical to
+//!     the fit-every-time run at every thread count. A corrupt
+//!     artifact is detected (CRC + fingerprint) and the loader falls
+//!     back to the newest intact epoch; --artifact serves unbatched,
+//!     so it rejects --batch-size/--mem-budget/--deadline/--checkpoint.
+//!     With
 //!     --metrics, also write a JSON snapshot of pipeline counters,
 //!     stage timers, and latency histograms (see darklight-obs).
 //!     --threads 0 (the default) sizes the worker pool from the
@@ -65,6 +84,7 @@
 //! Exit codes: 0 success, 1 data/IO error, 2 usage error.
 
 use darklight::activity::profile::{ProfileBuilder, ProfilePolicy};
+use darklight::core::artifact::FitArtifact;
 use darklight::core::batch::{BatchConfig, BatchError};
 use darklight::core::linker::{Linker, LinkerConfig};
 use darklight::corpus::io::{load_corpus, load_corpus_lenient, save_corpus, LenientConfig};
@@ -76,6 +96,7 @@ use darklight::govern::{
     fault, parse_duration, seed_from, with_retry, Deadline, MemoryBudget, RetryPolicy,
 };
 use darklight::obs::PipelineMetrics;
+use darklight::store::EpochStore;
 use darklight::synth::scenario::{ScenarioBuilder, ScenarioConfig};
 use darklight::text::obfuscate::{ObfuscateConfig, Obfuscator};
 use std::path::{Path, PathBuf};
@@ -102,6 +123,7 @@ fn main() -> ExitCode {
         Some("gen") => cmd_gen(&args[1..]),
         Some("polish") => cmd_polish(&args[1..]),
         Some("stats") => cmd_stats(&args[1..]),
+        Some("fit") => cmd_fit(&args[1..]),
         Some("link") => cmd_link(&args[1..]),
         Some("profile") => cmd_profile(&args[1..]),
         Some("obfuscate") => cmd_obfuscate(&args[1..]),
@@ -125,13 +147,17 @@ fn main() -> ExitCode {
     }
 }
 
-const USAGE: &str = "usage: darklight <gen|polish|stats|link|profile|obfuscate|bench-matrix> ...\n\
+const USAGE: &str =
+    "usage: darklight <gen|polish|stats|fit|link|profile|obfuscate|bench-matrix> ...\n\
   gen <out-dir> [--scale small|default|paper] [--seed N]\n\
   polish <in.tsv> <out.tsv> [--lenient|--strict]\n\
   stats <in.tsv> [--lenient|--strict]\n\
+  fit <known.tsv> --out <artifact-dir> [--threads N] [--metrics out.json] [--lenient|--strict]\n\
   link <known.tsv> <unknown.tsv> [--threshold T] [--k K] [--threads N] [--metrics out.json]\n\
        [--lenient|--strict] [--batch-size B] [--mem-budget SIZE] [--deadline DUR]\n\
        [--checkpoint state.json]\n\
+  link --artifact <artifact-dir> <unknown.tsv> [--threshold T] [--k K] [--threads N]\n\
+       [--metrics out.json] [--lenient|--strict]\n\
   profile <corpus.tsv> <alias>\n\
   obfuscate <in.tsv> <out.tsv>\n\
   bench-matrix [--out DIR] [--check [DIR]] [--scenarios a,b] [--scales t,s,m,l] [--seed N]\n\
@@ -303,7 +329,116 @@ fn cmd_stats(args: &[String]) -> Result<(), CliError> {
     Ok(())
 }
 
+fn cmd_fit(args: &[String]) -> Result<(), CliError> {
+    let known_path = positional(args, 0)?;
+    let out_dir = flag_value(args, "--out")
+        .ok_or_else(|| usage(format!("fit requires --out <artifact-dir>\n{USAGE}")))?;
+    let lenient = lenient_mode(args)?;
+    let metrics_path = flag_value(args, "--metrics");
+    let metrics = if metrics_path.is_some() {
+        PipelineMetrics::enabled()
+    } else {
+        PipelineMetrics::disabled()
+    };
+    let mut config = LinkerConfig::default();
+    if let Some(t) = flag_value(args, "--threads") {
+        config.two_stage.threads = t
+            .parse()
+            .map_err(|_| usage("--threads must be an integer (0 = auto)"))?;
+    }
+    let known = load_corpus_cli(known_path, lenient, &metrics)?;
+    eprintln!(
+        "fitting {} known aliases (threads={})...",
+        known.len(),
+        config.two_stage.effective_threads(),
+    );
+    let mut linker = Linker::new(config);
+    if metrics_path.is_some() {
+        linker = linker.with_metrics(metrics.clone());
+    }
+    let artifact = linker.fit_artifact(&known);
+    let store = EpochStore::new(out_dir).with_metrics(metrics);
+    let epoch = artifact.save(&store).map_err(data)?;
+    eprintln!(
+        "fitted {} alias(es) -> {} (epoch {epoch})",
+        artifact.known.len(),
+        out_dir,
+    );
+    if let Some(path) = metrics_path {
+        std::fs::write(path, linker.metrics().to_json_pretty()).map_err(data)?;
+        eprintln!("pipeline metrics written to {path}");
+    }
+    Ok(())
+}
+
+/// Serving half of the fit-once split: `link --artifact <dir> <unknown>`.
+fn cmd_link_artifact(args: &[String], artifact_dir: &str) -> Result<(), CliError> {
+    for banned in ["--batch-size", "--mem-budget", "--deadline", "--checkpoint"] {
+        if has_flag(args, banned) {
+            return Err(usage(format!(
+                "{banned} cannot be combined with --artifact: serving a fitted artifact \
+                 is always unbatched (batching bounds the fit-side working set, which \
+                 the artifact has already paid)",
+            )));
+        }
+    }
+    let unknown_path = positional(args, 0)?;
+    let lenient = lenient_mode(args)?;
+    let metrics_path = flag_value(args, "--metrics");
+    let metrics = if metrics_path.is_some() {
+        PipelineMetrics::enabled()
+    } else {
+        PipelineMetrics::disabled()
+    };
+    let mut config = LinkerConfig::default();
+    if let Some(t) = flag_value(args, "--threshold") {
+        config.two_stage.threshold = t
+            .parse()
+            .map_err(|_| usage("--threshold must be a float"))?;
+    }
+    if let Some(k) = flag_value(args, "--k") {
+        config.two_stage.k = k.parse().map_err(|_| usage("--k must be an integer"))?;
+    }
+    if let Some(t) = flag_value(args, "--threads") {
+        config.two_stage.threads = t
+            .parse()
+            .map_err(|_| usage("--threads must be an integer (0 = auto)"))?;
+    }
+    let threads = config.two_stage.effective_threads();
+    let store = EpochStore::new(artifact_dir).with_metrics(metrics.clone());
+    let (artifact, epoch) = FitArtifact::load(&store, threads).map_err(data)?;
+    let unknown = load_corpus_cli(unknown_path, lenient, &metrics)?;
+    eprintln!(
+        "linking {} unknowns against {} fitted knowns from {} epoch {epoch} \
+         (k={}, threshold={}, threads={threads})...",
+        unknown.len(),
+        artifact.known.len(),
+        artifact_dir,
+        config.two_stage.k,
+        config.two_stage.threshold,
+    );
+    let mut linker = Linker::new(config);
+    if metrics_path.is_some() {
+        linker = linker.with_metrics(metrics);
+    }
+    let matches = linker.link_with_artifact(&artifact, &unknown);
+    println!("unknown_alias\tknown_alias\tscore");
+    for m in &matches {
+        println!("{}\t{}\t{:.4}", m.unknown_alias, m.known_alias, m.score);
+    }
+    eprintln!("{} pair(s) emitted", matches.len());
+    if let Some(path) = metrics_path {
+        std::fs::write(path, linker.metrics().to_json_pretty()).map_err(data)?;
+        eprintln!("pipeline metrics written to {path}");
+    }
+    Ok(())
+}
+
 fn cmd_link(args: &[String]) -> Result<(), CliError> {
+    if let Some(dir) = flag_value(args, "--artifact") {
+        let dir = dir.to_string();
+        return cmd_link_artifact(args, &dir);
+    }
     let known_path = positional(args, 0)?;
     let unknown_path = positional(args, 1)?;
     let lenient = lenient_mode(args)?;

@@ -28,6 +28,8 @@
 //!   cooperative stage deadlines, and deterministic retrying I/O;
 //! * [`par`] — the shared scoped-thread worker-pool helpers every parallel
 //!   stage routes through (deterministic indexed parallel map);
+//! * [`store`] — durable fit artifacts: a versioned, checksummed,
+//!   epoch-swapped container for persisted pipeline state (DESIGN.md §14);
 //! * [`bench`] — the experiment harness behind the `repro` binary and the
 //!   `bench-matrix` scenario-matrix benchmark (DESIGN.md §12).
 //!
@@ -72,6 +74,7 @@ pub use darklight_features as features;
 pub use darklight_govern as govern;
 pub use darklight_obs as obs;
 pub use darklight_par as par;
+pub use darklight_store as store;
 pub use darklight_synth as synth;
 pub use darklight_text as text;
 

@@ -1,0 +1,312 @@
+//! Crash-consistency harness for the durable fit-artifact store
+//! (DESIGN.md §14), driven through real `darklight` process invocations
+//! so every `DARKLIGHT_FAULT_IO` spec latches in a fresh process.
+//!
+//! The contract under test: after any injected fault — a torn write, a
+//! flipped byte, a crash before the artifact rename, a crash before the
+//! `CURRENT` pointer swap, a corrupted pointer — `link --artifact`
+//! either serves output byte-identical to a clean run (falling back to
+//! the newest intact epoch) or fails with a typed error and exit 1.
+//! Never a panic, never a silently different answer.
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_darklight"))
+}
+
+fn temp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "darklight_store_crash_{name}_{}",
+        std::process::id()
+    ));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn assert_no_panic(out: &Output, what: &str) {
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(!stderr.contains("panicked"), "{what} panicked:\n{stderr}");
+}
+
+/// Generates a small world and returns (known.tsv, unknown.tsv).
+fn gen_world(dir: &Path) -> (PathBuf, PathBuf) {
+    let out = bin()
+        .args([
+            "gen",
+            dir.to_str().unwrap(),
+            "--scale",
+            "small",
+            "--seed",
+            "11",
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    (dir.join("tmg.tsv"), dir.join("dm.tsv"))
+}
+
+/// Runs `darklight fit` into `store`, optionally under a fault spec.
+fn fit(known: &Path, store: &Path, fault: Option<&str>) -> Output {
+    let mut cmd = bin();
+    cmd.args([
+        "fit",
+        known.to_str().unwrap(),
+        "--out",
+        store.to_str().unwrap(),
+    ]);
+    if let Some(spec) = fault {
+        cmd.env("DARKLIGHT_FAULT_IO", spec);
+    }
+    cmd.output().unwrap()
+}
+
+/// Runs `link --artifact`, returning the raw process output.
+fn serve(store: &Path, unknown: &Path, metrics: Option<&Path>) -> Output {
+    let mut cmd = bin();
+    cmd.args([
+        "link",
+        "--artifact",
+        store.to_str().unwrap(),
+        unknown.to_str().unwrap(),
+        "--threshold",
+        "0.86",
+    ]);
+    if let Some(m) = metrics {
+        cmd.args(["--metrics", m.to_str().unwrap()]);
+    }
+    cmd.output().unwrap()
+}
+
+/// One clean fit + serve, returning the baseline stdout all fault
+/// scenarios must reproduce.
+fn baseline(dir: &Path, known: &Path, unknown: &Path) -> (PathBuf, Vec<u8>) {
+    let store = dir.join("store");
+    let out = fit(known, &store, None);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let out = serve(&store, unknown, None);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    (store, out.stdout)
+}
+
+#[test]
+fn clean_fit_then_serve_matches_the_refit_link_byte_for_byte() {
+    let dir = temp_dir("clean");
+    let (known, unknown) = gen_world(&dir);
+    let (_store, served) = baseline(&dir, &known, &unknown);
+    let refit = bin()
+        .args([
+            "link",
+            known.to_str().unwrap(),
+            unknown.to_str().unwrap(),
+            "--threshold",
+            "0.86",
+        ])
+        .output()
+        .unwrap();
+    assert!(refit.status.success());
+    assert_eq!(
+        served, refit.stdout,
+        "artifact serving must be byte-identical to fit-every-time"
+    );
+    // And at other thread counts, still byte-identical.
+    for threads in ["2", "7"] {
+        let store = dir.join("store");
+        let out = bin()
+            .args([
+                "link",
+                "--artifact",
+                store.to_str().unwrap(),
+                unknown.to_str().unwrap(),
+                "--threshold",
+                "0.86",
+                "--threads",
+                threads,
+            ])
+            .output()
+            .unwrap();
+        assert!(out.status.success());
+        assert_eq!(out.stdout, served, "diverged at {threads} threads");
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn torn_artifact_write_falls_back_to_the_previous_epoch() {
+    let dir = temp_dir("torn");
+    let (known, unknown) = gen_world(&dir);
+    let (store, expected) = baseline(&dir, &known, &unknown);
+    // Second fit suffers a torn write: only 64 bytes of epoch 2's
+    // artifact reach the disk, but the rename and CURRENT swap still
+    // complete — the worst case the CRC layer exists for.
+    let out = fit(&known, &store, Some("trunc:store.write_artifact:64"));
+    assert_no_panic(&out, "torn-write fit");
+    // CURRENT now names the corrupt epoch 2; serving must detect the
+    // truncation and fall back to intact epoch 1 with identical output.
+    let metrics = dir.join("metrics.json");
+    let out = serve(&store, &unknown, Some(&metrics));
+    assert_no_panic(&out, "serve after torn write");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert_eq!(
+        out.stdout, expected,
+        "fallback output must be byte-identical"
+    );
+    let snapshot = std::fs::read_to_string(&metrics).unwrap();
+    assert!(
+        snapshot.contains("store.epoch_fallbacks"),
+        "fallback must be visible in metrics:\n{snapshot}"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn flipped_byte_in_the_artifact_falls_back_to_the_previous_epoch() {
+    let dir = temp_dir("flip");
+    let (known, unknown) = gen_world(&dir);
+    let (store, expected) = baseline(&dir, &known, &unknown);
+    // Bit rot in the middle of epoch 2's section data.
+    let out = fit(&known, &store, Some("flip:store.write_artifact:200"));
+    assert_no_panic(&out, "bit-flip fit");
+    let metrics = dir.join("metrics.json");
+    let out = serve(&store, &unknown, Some(&metrics));
+    assert_no_panic(&out, "serve after bit flip");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert_eq!(out.stdout, expected);
+    let snapshot = std::fs::read_to_string(&metrics).unwrap();
+    assert!(snapshot.contains("store.crc_failures"), "{snapshot}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn crash_before_artifact_rename_leaves_the_old_epoch_serving() {
+    let dir = temp_dir("rename");
+    let (known, unknown) = gen_world(&dir);
+    let (store, expected) = baseline(&dir, &known, &unknown);
+    // The second fit dies before renaming tmp -> artifact.dla: the
+    // publish fails loudly (exit 1) and nothing it wrote is visible.
+    let out = fit(&known, &store, Some("store.publish_rename:1"));
+    assert_no_panic(&out, "crash-before-rename fit");
+    assert_eq!(out.status.code(), Some(1), "failed publish must exit 1");
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("error:"),
+        "typed error expected"
+    );
+    let out = serve(&store, &unknown, None);
+    assert!(out.status.success());
+    assert_eq!(out.stdout, expected, "old epoch must keep serving");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn crash_before_current_swap_keeps_serving_the_pointed_epoch() {
+    let dir = temp_dir("swap");
+    let (known, unknown) = gen_world(&dir);
+    let (store, expected) = baseline(&dir, &known, &unknown);
+    // Epoch 2's artifact lands durably, but the process dies before the
+    // CURRENT pointer swap: the fit reports failure and loads keep
+    // honoring the pointer at epoch 1.
+    let out = fit(&known, &store, Some("store.current_swap:1"));
+    assert_no_panic(&out, "crash-before-swap fit");
+    assert_eq!(out.status.code(), Some(1));
+    let out = serve(&store, &unknown, None);
+    assert!(out.status.success());
+    assert_eq!(out.stdout, expected);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn corrupt_current_pointer_is_ignored_and_the_newest_epoch_scanned() {
+    let dir = temp_dir("pointer");
+    let (known, unknown) = gen_world(&dir);
+    let (store, expected) = baseline(&dir, &known, &unknown);
+    // The pointer itself is torn: its first byte is flipped, so it no
+    // longer parses. The swap "succeeded", so the fit exits 0 — and the
+    // loader must treat the garbage pointer as absent, scan newest-first,
+    // and find epoch 2, which is intact and fits the same corpus.
+    let out = fit(&known, &store, Some("flip:store.current_swap:0"));
+    assert_no_panic(&out, "corrupt-pointer fit");
+    assert!(out.status.success());
+    let current = std::fs::read(store.join("CURRENT")).unwrap();
+    assert!(
+        !current.starts_with(b"epoch-"),
+        "precondition: pointer must actually be corrupt"
+    );
+    let out = serve(&store, &unknown, None);
+    assert_no_panic(&out, "serve with corrupt pointer");
+    assert!(out.status.success());
+    assert_eq!(out.stdout, expected);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn corruption_with_no_intact_epoch_is_a_typed_data_error() {
+    let dir = temp_dir("nofallback");
+    let (known, unknown) = gen_world(&dir);
+    let store = dir.join("store");
+    // The only fit ever run is torn: there is no epoch to fall back to.
+    let out = fit(&known, &store, Some("trunc:store.write_artifact:64"));
+    assert_no_panic(&out, "torn-only fit");
+    let out = serve(&store, &unknown, None);
+    assert_no_panic(&out, "serve with no intact epoch");
+    assert_eq!(out.status.code(), Some(1), "must exit 1, not panic");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("error:"), "{stderr}");
+    // An empty store (wrong directory) is equally typed.
+    let out = serve(&dir.join("no_such_store"), &unknown, None);
+    assert_eq!(out.status.code(), Some(1));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn artifact_serving_rejects_batching_flags_as_usage_errors() {
+    let dir = temp_dir("usage");
+    for (flag, value) in [
+        ("--batch-size", "10"),
+        ("--mem-budget", "512MiB"),
+        ("--deadline", "30m"),
+        ("--checkpoint", "state.json"),
+    ] {
+        let out = bin()
+            .args([
+                "link",
+                "--artifact",
+                "somewhere",
+                "unknown.tsv",
+                flag,
+                value,
+            ])
+            .output()
+            .unwrap();
+        assert_eq!(out.status.code(), Some(2), "{flag} must be a usage error");
+        assert!(
+            String::from_utf8_lossy(&out.stderr).contains("--artifact"),
+            "{flag} error must explain the conflict"
+        );
+    }
+    // fit without --out is a usage error too.
+    let out = bin().args(["fit", "known.tsv"]).output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    std::fs::remove_dir_all(&dir).ok();
+}
